@@ -1,0 +1,50 @@
+// Ablation: §5.3.1 disk selection. Under a *static* heterogeneous
+// competitive load (some disks persistently hot), uniform random
+// selection keeps stumbling into the hot disks; metadata-guided selection
+// learns per-disk load from client access reports (EWMA) and routes new
+// accesses to cold disks.
+//
+// The effect is strongest for RAID-0, whose latency is gated by its
+// slowest disk; RobuSTore's own redundancy already masks hot disks, so
+// guided selection adds less there — exactly the paper's division of
+// labour between §5.3.1 placement and §4.1.2 speculation.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace robustore;
+  bench::banner("Ablation: disk selection policy (§5.3.1)",
+                "uniform random vs metadata-guided, static hot/cold load");
+
+  auto base = bench::baselineConfig();
+  base.layout.heterogeneous = false;
+  base.background = core::ExperimentConfig::Background::kHeterogeneousStatic;
+  base.bg_interval_min = 6 * kMilliseconds;  // some disks ~90% busy, always
+  base.access.k = 512;  // 512 MB keeps the repeated trials quick
+  base.disks_per_access = 32;  // leaves headroom to be choosy (32 of 128)
+  base.trials = bench::defaultTrials(16);
+
+  std::printf("%-11s %-18s %14s %16s %14s\n", "scheme", "selection",
+              "read MBps", "mean latency", "lat stddev");
+  for (const auto kind :
+       {client::SchemeKind::kRaid0, client::SchemeKind::kRobuStore}) {
+    for (const bool guided : {false, true}) {
+      auto cfg = base;
+      cfg.metadata_disk_selection = guided;
+      core::ExperimentRunner runner(cfg);
+      const auto agg = runner.run(kind);
+      std::printf("%-11s %-18s %14.1f %15.2fs %13.3fs\n",
+                  client::schemeName(kind),
+                  guided ? "metadata-guided" : "uniform random",
+                  agg.meanBandwidthMBps(), agg.meanLatency(),
+                  agg.latencyStdDev());
+    }
+  }
+  std::printf("\nExpected: guided selection rescues RAID-0 (it stops "
+              "drawing ~90%%-busy disks once the load map warms up) and "
+              "adds a smaller margin for RobuSTore, whose speculation "
+              "already tolerates hot disks.\n");
+  return 0;
+}

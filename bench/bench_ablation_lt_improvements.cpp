@@ -1,0 +1,109 @@
+// Ablation: the §5.2.3 LT improvements, each toggled independently.
+//  (1) guaranteed decodability — how often a raw Luby graph fails to
+//      decode even with every block received, vs never after the
+//      check/repair pass;
+//  (2) uniform coverage — input-degree spread and reception overhead with
+//      pseudo-random permutation selection vs plain random selection;
+//  (3) lazy XOR — buffer XOR operations actually executed vs the eager
+//      baseline (one XOR per removed edge).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "coding/lt_codec.hpp"
+#include "coding/lt_graph.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace robustore;
+  const std::uint32_t k = 1024;
+  const std::uint32_t n = 4096;
+  const std::uint32_t trials = core::ExperimentRunner::trialsFromEnv(20);
+  Rng rng(72);
+
+  // --- (1) decodability guarantee -----------------------------------------
+  {
+    coding::LtParams raw;
+    raw.guarantee_decodable = false;
+    std::uint32_t failures = 0;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const auto g = coding::LtGraph::generate(k, n, raw, rng);
+      if (!g.decodableWithAll()) ++failures;
+    }
+    std::uint32_t repaired_failures = 0;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const auto g =
+          coding::LtGraph::generate(k, n, coding::LtParams{}, rng);
+      if (!g.decodableWithAll()) ++repaired_failures;
+    }
+    std::printf("(1) decodability with all %u blocks received:\n", n);
+    std::printf("    raw Luby graphs undecodable: %u / %u\n", failures,
+                trials);
+    std::printf("    with check+repair:           %u / %u (must be 0)\n\n",
+                repaired_failures, trials);
+  }
+
+  // --- (2) uniform coverage ------------------------------------------------
+  {
+    for (const bool uniform : {false, true}) {
+      coding::LtParams params;
+      params.uniform_coverage = uniform;
+      params.guarantee_decodable = false;
+      RunningStats spread;
+      RunningStats min_degree;
+      RunningStats overhead;
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        const auto g = coding::LtGraph::generate(k, n, params, rng);
+        const auto degrees = g.inputDegrees();
+        const auto [lo, hi] =
+            std::minmax_element(degrees.begin(), degrees.end());
+        spread.add(static_cast<double>(*hi - *lo));
+        min_degree.add(static_cast<double>(*lo));
+        if (!g.decodableWithAll()) continue;
+        coding::LtDecoder decoder(g);
+        const auto order = rng.permutation(n);
+        for (const auto c : order) {
+          if (decoder.addSymbol(c)) break;
+        }
+        if (decoder.complete()) {
+          overhead.add(static_cast<double>(decoder.symbolsUsed()) / k - 1.0);
+        }
+      }
+      std::printf("(2) %-14s input-degree spread %5.1f, min degree %4.1f, "
+                  "reception overhead %.3f\n",
+                  uniform ? "uniform cover:" : "random cover:",
+                  spread.mean(), min_degree.mean(), overhead.mean());
+    }
+    std::printf("    (uniform coverage removes low-degree bottleneck "
+                "blocks, §5.2.3(2))\n\n");
+  }
+
+  // --- (3) lazy XOR ---------------------------------------------------------
+  {
+    RunningStats lazy;
+    RunningStats eager;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const auto g =
+          coding::LtGraph::generate(k, n, coding::LtParams{}, rng);
+      coding::LtDecoder decoder(g);
+      const auto order = rng.permutation(n);
+      std::uint64_t eager_ops = 0;
+      for (const auto c : order) {
+        // The eager baseline XORs once per already-recovered neighbor on
+        // arrival and once per edge removal afterwards — i.e. one XOR per
+        // edge incident to every *received* block whose neighbors get
+        // resolved. Upper-bound it by the received blocks' total degree.
+        eager_ops += g.degree(c);
+        if (decoder.addSymbol(c)) break;
+      }
+      lazy.add(static_cast<double>(decoder.xorOps()));
+      eager.add(static_cast<double>(eager_ops));
+    }
+    std::printf("(3) XOR operations per decode: lazy %.0f vs eager-bound "
+                "%.0f (%.1fx saved, §5.2.3(3))\n",
+                lazy.mean(), eager.mean(), eager.mean() / lazy.mean());
+  }
+  return 0;
+}

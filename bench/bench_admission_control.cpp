@@ -1,0 +1,57 @@
+// Admission control (§5.4): multi-user workloads with and without a
+// capacity-based admission controller in front of each storage server.
+// Without it, concurrent large accesses interleave on shared disks and
+// the resulting seek storms collapse per-disk throughput; with per-disk
+// budgets, clients land on disjoint disks (possibly waiting their turn)
+// and the system moves more total bytes per second with far more
+// predictable per-access latency.
+
+#include <cstdio>
+
+#include "core/multi_client.hpp"
+
+int main() {
+  using namespace robustore;
+
+  std::printf("Admission control ablation (§5.4): N clients x 16 MB reads, "
+              "16 disks\n\n");
+  std::printf("%10s | %26s | %26s\n", "", "free-for-all",
+              "capacity-based admission");
+  std::printf("%10s | %12s %13s | %12s %13s %8s\n", "clients", "sys MBps",
+              "lat stddev", "sys MBps", "lat stddev", "refused");
+
+  for (const std::uint32_t clients : {1u, 2u, 4u, 6u, 8u, 12u}) {
+    core::MultiClientConfig cfg;
+    cfg.num_servers = 4;
+    cfg.disks_per_server = 4;
+    cfg.num_clients = clients;
+    cfg.disks_per_access = 8;
+    cfg.access.k = 64;
+    cfg.access.block_bytes = 256 * kKiB;
+    cfg.access.redundancy = 2.0;
+    cfg.layout.heterogeneous = false;
+    cfg.retry_interval = 25 * kMilliseconds;  // refused clients re-ask soon
+    cfg.seed = 300 + clients;
+
+    core::MultiClientExperiment free_for_all(cfg);
+    const auto without = free_for_all.run();
+
+    cfg.admission.enabled = true;
+    cfg.admission.max_streams_per_disk = 1;
+    core::MultiClientExperiment controlled(cfg);
+    const auto with = controlled.run();
+
+    std::printf("%10u | %12.1f %12.3fs | %12.1f %12.3fs %8llu\n", clients,
+                without.system_throughput_mbps,
+                without.accesses.latencyStdDev(),
+                with.system_throughput_mbps, with.accesses.latencyStdDev(),
+                static_cast<unsigned long long>(with.admission_refusals));
+  }
+  std::printf("\nExpected: identical at 1 client; under contention the "
+              "controlled system keeps per-access latency variation an "
+              "order of magnitude lower (the QoS guarantee of §5.4) and "
+              "generally moves more total bytes because exclusive access "
+              "preserves sequential disk bandwidth. Throughput can dip "
+              "when admission waves leave tail capacity idle.\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Data-plane micro-benchmarks (google-benchmark): XOR kernel, GF(256)
+// multiply-accumulate, robust-soliton sampling, LT graph generation,
+// LT encode/decode throughput, RS encode/decode.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "coding/gf256.hpp"
+#include "coding/lt_codec.hpp"
+#include "coding/lt_graph.hpp"
+#include "coding/reed_solomon.hpp"
+#include "coding/soliton.hpp"
+#include "coding/xor_kernel.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+using namespace robustore;
+using namespace robustore::coding;
+
+std::vector<std::uint8_t> randomBytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+void BM_XorKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = randomBytes(n, 1);
+  const auto src = randomBytes(n, 2);
+  for (auto _ : state) {
+    xorInto(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_XorKernel)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_XorKernel2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = randomBytes(n, 1);
+  const auto a = randomBytes(n, 2);
+  const auto b = randomBytes(n, 3);
+  for (auto _ : state) {
+    xorInto2(dst, a, b);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          2);
+}
+BENCHMARK(BM_XorKernel2)->Arg(65536)->Arg(1 << 20);
+
+void BM_GfMulAdd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = randomBytes(n, 4);
+  const auto src = randomBytes(n, 5);
+  for (auto _ : state) {
+    GF256::mulAddInto(dst, src, 0x57);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_GfMulAdd)->Arg(65536)->Arg(1 << 20);
+
+void BM_SolitonSample(benchmark::State& state) {
+  const RobustSoliton dist(static_cast<std::uint32_t>(state.range(0)), 1.0,
+                           0.5);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.sample(rng));
+  }
+}
+BENCHMARK(BM_SolitonSample)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_LtGraphGenerate(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    auto graph = LtGraph::generate(k, 4 * k, LtParams{}, rng);
+    benchmark::DoNotOptimize(graph.totalEdges());
+  }
+}
+BENCHMARK(BM_LtGraphGenerate)->Arg(128)->Arg(1024);
+
+void BM_LtEncode(benchmark::State& state) {
+  const std::uint32_t k = 1024;
+  const auto block = static_cast<Bytes>(state.range(0));
+  Rng rng(8);
+  const auto graph = LtGraph::generate(k, 4 * k, LtParams{}, rng);
+  const auto data = randomBytes(static_cast<std::size_t>(k) * block, 9);
+  const LtEncoder encoder(graph, data, block);
+  std::vector<std::uint8_t> out(block);
+  std::uint32_t c = 0;
+  for (auto _ : state) {
+    encoder.encodeBlock(c, out);
+    c = (c + 1) % graph.n();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block));
+}
+BENCHMARK(BM_LtEncode)->Arg(4096)->Arg(65536);
+
+void BM_LtDecodeFull(benchmark::State& state) {
+  // Full decode of K blocks per iteration; reports useful-data bytes/s —
+  // the Figure 5-3 metric.
+  const std::uint32_t k = 1024;
+  const Bytes block = static_cast<Bytes>(state.range(0));
+  Rng rng(10);
+  const auto graph = LtGraph::generate(k, 4 * k, LtParams{}, rng);
+  const auto data = randomBytes(static_cast<std::size_t>(k) * block, 11);
+  const LtEncoder encoder(graph, data, block);
+  const auto coded = encoder.encodeAll();
+  const auto order = rng.permutation(graph.n());
+  for (auto _ : state) {
+    LtDecoder decoder(graph, block);
+    for (const auto s : order) {
+      if (decoder.addSymbol(s, std::span(coded).subspan(
+                                   static_cast<std::size_t>(s) * block,
+                                   block))) {
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(decoder.complete());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k) *
+                          static_cast<std::int64_t>(block));
+}
+BENCHMARK(BM_LtDecodeFull)->Arg(4096)->Arg(65536);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const Bytes total = 16 * kMiB;
+  const Bytes block = total / k;
+  const ReedSolomon rs(k, 2 * k);
+  const auto data = randomBytes(total, 12);
+  for (auto _ : state) {
+    auto coded = rs.encode(data, block);
+    benchmark::DoNotOptimize(coded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_RsEncode)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RsDecode(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const Bytes total = 16 * kMiB;
+  const Bytes block = total / k;
+  const ReedSolomon rs(k, 2 * k);
+  const auto data = randomBytes(total, 13);
+  const auto coded = rs.encode(data, block);
+  std::vector<std::uint32_t> idx;
+  for (std::uint32_t i = k; i < 2 * k; ++i) idx.push_back(i);
+  const std::vector<std::uint8_t> blocks(coded.begin() + k * block,
+                                         coded.end());
+  for (auto _ : state) {
+    auto out = rs.decode(idx, blocks, block);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_RsDecode)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace

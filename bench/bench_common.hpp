@@ -1,0 +1,135 @@
+#pragma once
+
+// Shared plumbing for the figure/table reproduction binaries: consistent
+// headers, row formatting, and the standard four-scheme sweep loop.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace robustore::bench {
+
+inline constexpr client::SchemeKind kAllSchemes[] = {
+    client::SchemeKind::kRaid0, client::SchemeKind::kRRaidS,
+    client::SchemeKind::kRRaidA, client::SchemeKind::kRobuStore};
+
+inline void banner(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline std::uint32_t defaultTrials(std::uint32_t fallback = 10) {
+  return core::ExperimentRunner::trialsFromEnv(fallback);
+}
+
+/// One metric series across a swept parameter, printed per scheme —
+/// matching the paper's figure format (x axis = sweep value, one curve
+/// per scheme).
+struct SweepPoint {
+  std::string label;  // x-axis value as text
+  core::ExperimentConfig config;
+};
+
+/// Runs every scheme at every sweep point and prints the three §6.2.3
+/// metrics as aligned tables (bandwidth, latency stddev, I/O overhead).
+inline void runSchemeSweep(const char* xlabel,
+                           const std::vector<SweepPoint>& points,
+                           bool include_reception = false) {
+  struct Row {
+    std::string label;
+    double bw[4];
+    double stdev[4];
+    double io[4];
+    double reception[4];
+    std::size_t incomplete[4];
+  };
+  std::vector<Row> rows;
+  for (const auto& point : points) {
+    Row row;
+    row.label = point.label;
+    core::ExperimentRunner runner(point.config);
+    for (int s = 0; s < 4; ++s) {
+      const auto agg = runner.run(kAllSchemes[s]);
+      row.bw[s] = agg.meanBandwidthMBps();
+      row.stdev[s] = agg.latencyStdDev();
+      row.io[s] = agg.meanIoOverhead();
+      row.reception[s] = agg.meanReceptionOverhead();
+      row.incomplete[s] = agg.incompleteCount();
+    }
+    rows.push_back(std::move(row));
+    std::fflush(stdout);
+  }
+
+  const auto printTable = [&](const char* title,
+                              const std::function<double(const Row&, int)>& f,
+                              const char* fmt) {
+    std::printf("\n%s\n", title);
+    std::printf("%-12s %12s %12s %12s %12s\n", xlabel, "RAID-0", "RRAID-S",
+                "RRAID-A", "RobuSTore");
+    for (const auto& row : rows) {
+      std::printf("%-12s", row.label.c_str());
+      for (int s = 0; s < 4; ++s) std::printf(fmt, f(row, s));
+      std::printf("\n");
+    }
+  };
+  printTable("Average bandwidth (MBps)",
+             [](const Row& r, int s) { return r.bw[s]; }, " %12.1f");
+  printTable("Std deviation of access latency (s)",
+             [](const Row& r, int s) { return r.stdev[s]; }, " %12.3f");
+  printTable("I/O overhead (fraction of data size)",
+             [](const Row& r, int s) { return r.io[s]; }, " %12.2f");
+  if (include_reception) {
+    printTable("Reception overhead (blocks received / K - 1)",
+               [](const Row& r, int s) { return r.reception[s]; }, " %12.2f");
+  }
+  bool any_incomplete = false;
+  for (const auto& row : rows) {
+    for (int s = 0; s < 4; ++s) any_incomplete |= row.incomplete[s] > 0;
+  }
+  if (any_incomplete) {
+    std::printf("\nNote: some accesses hit the simulation timeout:\n");
+    for (const auto& row : rows) {
+      for (int s = 0; s < 4; ++s) {
+        if (row.incomplete[s] > 0) {
+          std::printf("  %s @ %s: %zu incomplete\n",
+                      client::schemeName(kAllSchemes[s]), row.label.c_str(),
+                      row.incomplete[s]);
+        }
+      }
+    }
+  }
+
+  // Machine-readable block for plotting pipelines; opt-in via
+  // ROBUSTORE_CSV so the default output stays human-shaped.
+  if (std::getenv("ROBUSTORE_CSV") != nullptr) {
+    std::printf("\ncsv,%s,scheme,bandwidth_mbps,latency_stddev_s,"
+                "io_overhead,reception_overhead\n",
+                xlabel);
+    for (const auto& row : rows) {
+      for (int s = 0; s < 4; ++s) {
+        std::printf("csv,%s,%s,%.3f,%.4f,%.4f,%.4f\n", row.label.c_str(),
+                    client::schemeName(kAllSchemes[s]), row.bw[s],
+                    row.stdev[s], row.io[s], row.reception[s]);
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+/// Baseline configuration of §6.2.5 scaled for bench wall-clock time:
+/// the full 128-disk cluster with 64-disk accesses, 1 MB blocks, 3x
+/// redundancy. Data size defaults to 1 GB (K=1024); heavy sweeps may
+/// shrink K, which preserves every trend in the paper's figures.
+inline core::ExperimentConfig baselineConfig() {
+  core::ExperimentConfig cfg;
+  cfg.trials = defaultTrials();
+  cfg.seed = 20070613;  // arbitrary but fixed: results are reproducible
+  return cfg;
+}
+
+}  // namespace robustore::bench

@@ -1,0 +1,48 @@
+// Figure 4-1: cumulative probability of reassembling K=1024 original
+// blocks from M randomly drawn blocks, with 4x storage: plain-text
+// replication (4 copies) vs LT coding (degree ~5). Paper: replication
+// needs ~3K blocks, erasure coding ~1.5K.
+
+#include <cstdio>
+
+#include "analysis/reassembly.hpp"
+#include "common/rng.hpp"
+
+int main() {
+  using namespace robustore;
+  const std::uint32_t k = 1024;
+  const std::uint32_t copies = 4;
+  const double degree = 5.0;
+
+  std::printf("Figure 4-1: P(reassembly) vs blocks received "
+              "(K=%u, 4x storage)\n",
+              k);
+  std::printf("%8s %14s %14s %18s\n", "M", "replication", "LT (deg 5)",
+              "replication(MC)");
+
+  Rng rng(7);
+  for (std::uint32_t m = k; m <= copies * k; m += k / 8) {
+    const double rep = analysis::replicationCoverageProbability(k, copies, m);
+    const double coded = analysis::codedCoverageProbability(k, degree, m);
+    const double mc =
+        analysis::replicationCoverageMonteCarlo(k, copies, m, 400, rng);
+    std::printf("%8u %14.4f %14.4f %18.4f\n", m, rep, coded, mc);
+  }
+
+  // Where does each curve cross 50% / 99%?
+  const auto crossing = [&](double target, bool replication) {
+    for (std::uint32_t m = k; m <= copies * k; ++m) {
+      const double p =
+          replication ? analysis::replicationCoverageProbability(k, copies, m)
+                      : analysis::codedCoverageProbability(k, degree, m);
+      if (p >= target) return m;
+    }
+    return copies * k;
+  };
+  std::printf("\nBlocks needed for P>=0.5:  replication %u, coded %u\n",
+              crossing(0.5, true), crossing(0.5, false));
+  std::printf("Blocks needed for P>=0.99: replication %u, coded %u\n",
+              crossing(0.99, true), crossing(0.99, false));
+  std::printf("(paper: ~3K = %u vs ~1.5K = %u)\n", 3 * k, 3 * k / 2);
+  return 0;
+}

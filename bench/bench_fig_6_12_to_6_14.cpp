@@ -1,0 +1,26 @@
+// Figures 6-12/6-13/6-14: read performance versus network round-trip
+// latency (1..100 ms), for 1 GB and 128 MB accesses, heterogeneous
+// layout. Paper: single-round schemes (RAID-0, RRAID-S, RobuSTore) barely
+// notice; multi-round RRAID-A loses ~30% at 1 GB and ~52% at 128 MB.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace robustore;
+  bench::banner("Figures 6-12..6-14", "read vs network latency (RTT)");
+
+  for (const std::uint32_t k : {1024u, 128u}) {
+    std::printf("--- data size: %u MB ---\n", k);
+    std::vector<bench::SweepPoint> points;
+    for (const double ms : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+      auto cfg = bench::baselineConfig();
+      cfg.access.k = k;
+      cfg.round_trip = ms * kMilliseconds;
+      points.push_back({std::to_string(static_cast<int>(ms)) + "ms", cfg});
+    }
+    bench::runSchemeSweep("RTT", points);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figures 6-29/6-30/6-31: WRITE performance versus data redundancy with
+// heterogeneous competitive workloads. Paper: write bandwidth decreases
+// with redundancy for everyone; RobuSTore stays far ahead with much
+// lower write-latency variation; I/O overhead tracks redundancy.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace robustore;
+  bench::banner("Figures 6-29..6-31",
+                "write vs redundancy, heterogeneous competitive workloads");
+
+  std::vector<bench::SweepPoint> points;
+  for (const double d : {0.0, 1.0, 2.0, 3.0, 5.0}) {
+    auto cfg = bench::baselineConfig();
+    cfg.op = core::ExperimentConfig::Op::kWrite;
+    cfg.layout.heterogeneous = false;
+    cfg.background = core::ExperimentConfig::Background::kHeterogeneous;
+    cfg.access.redundancy = d;
+    points.push_back({std::to_string(static_cast<int>(d * 100)) + "%", cfg});
+  }
+  bench::runSchemeSweep("redundancy", points);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figures 6-32/6-33/6-34: read-after-write (unbalanced striping for
+// RobuSTore) versus redundancy with heterogeneous competitive workloads.
+// Paper: RobuSTore still delivers the highest bandwidth and the lowest
+// latency variation; its I/O overhead stays at ~40-50% independent of
+// striping balance.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace robustore;
+  bench::banner(
+      "Figures 6-32..6-34",
+      "read-after-write vs redundancy, heterogeneous competitive workloads");
+
+  std::vector<bench::SweepPoint> points;
+  for (const double d : {1.0, 2.0, 3.0, 5.0}) {
+    auto cfg = bench::baselineConfig();
+    cfg.op = core::ExperimentConfig::Op::kReadAfterWrite;
+    cfg.layout.heterogeneous = false;
+    cfg.background = core::ExperimentConfig::Background::kHeterogeneous;
+    cfg.access.redundancy = d;
+    points.push_back({std::to_string(static_cast<int>(d * 100)) + "%", cfg});
+  }
+  bench::runSchemeSweep("redundancy", points, /*include_reception=*/true);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figures 6-6/6-7/6-8: read bandwidth, latency std-dev, and I/O overhead
+// versus the number of disks (2..128), 1 GB accesses, heterogeneous
+// in-disk layout. Paper anchors at 64 disks: 31 / 117 / 228 / 459 MBps
+// (RAID-0 / RRAID-S / RRAID-A / RobuSTore) and latency std-dev
+// 1.9 / 7.3 / 1.9 / 0.5 s; only RobuSTore scales linearly.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace robustore;
+  bench::banner("Figures 6-6..6-8",
+                "read vs number of disks, heterogeneous layout");
+
+  std::vector<bench::SweepPoint> points;
+  for (const std::uint32_t disks : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    auto cfg = bench::baselineConfig();
+    cfg.disks_per_access = disks;
+    points.push_back({std::to_string(disks), cfg});
+  }
+  bench::runSchemeSweep("disks", points, /*include_reception=*/true);
+  return 0;
+}

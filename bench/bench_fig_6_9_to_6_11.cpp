@@ -1,0 +1,29 @@
+// Figures 6-9/6-10/6-11: read performance versus coding block size
+// (0.5..64 MB) at fixed 1 GB data, heterogeneous layout. Paper: RobuSTore
+// bandwidth falls off as blocks grow (wasted in-flight bytes + decode
+// tail) and dips slightly at 0.5 MB (K=2048 raises LT reception
+// overhead); plain-text schemes are insensitive.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace robustore;
+  bench::banner("Figures 6-9..6-11",
+                "read vs coding block size, heterogeneous layout");
+
+  const Bytes data = 1 * kGiB;
+  std::vector<bench::SweepPoint> points;
+  for (const Bytes mb : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull,
+                         128ull}) {
+    auto cfg = bench::baselineConfig();
+    cfg.access.block_bytes = (mb * kMiB) / 2;  // 0.5, 1, 2, ... 32 MB
+    cfg.access.k =
+        static_cast<std::uint32_t>(data / cfg.access.block_bytes);
+    points.push_back(
+        {std::to_string(mb / 2) + (mb % 2 ? ".5MB" : "MB"), cfg});
+  }
+  bench::runSchemeSweep("block", points, /*include_reception=*/true);
+  return 0;
+}

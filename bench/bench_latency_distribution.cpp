@@ -1,0 +1,35 @@
+// Latency-distribution view of the robustness claim (companion to the
+// Figure 6-7/6-16 standard deviations): per-access latency percentiles
+// for each scheme on the baseline 1 GB / 64-disk heterogeneous-layout
+// read. Robustness means a short tail — RobuSTore's p95 should sit close
+// to its median, while RAID-0's and RRAID-S's tails stretch to whatever
+// the slowest disk felt like.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace robustore;
+  bench::banner("Latency distribution",
+                "per-access read latency percentiles, baseline config");
+
+  auto cfg = bench::baselineConfig();
+  cfg.trials = bench::defaultTrials(20);
+  core::ExperimentRunner runner(cfg);
+
+  std::printf("%-10s %10s %10s %10s %10s %12s\n", "scheme", "p10", "p50",
+              "p90", "p95", "p95/p50");
+  for (const auto kind : bench::kAllSchemes) {
+    const auto agg = runner.run(kind);
+    const double p50 = agg.latencyPercentile(50);
+    std::printf("%-10s %9.2fs %9.2fs %9.2fs %9.2fs %12.2f\n",
+                client::schemeName(kind), agg.latencyPercentile(10), p50,
+                agg.latencyPercentile(90), agg.latencyPercentile(95),
+                p50 > 0 ? agg.latencyPercentile(95) / p50 : 0.0);
+  }
+  std::printf("\nExpected: RobuSTore's p95/p50 ratio stays near 1 (the "
+              "predictable-wait property); striped plain-text schemes "
+              "stretch far above their medians.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Speculative rateless writing (§4.3.2, §5.3): a data-acquisition client
+// streams a capture to whatever disks keep up. The example writes one
+// file with RobuSTore's speculative writer, prints the per-disk commit
+// counts (unbalanced striping!), verifies the committed set decodes, and
+// then reads the file back after the disks' performance has changed.
+
+#include <cstdio>
+#include <vector>
+
+#include "client/robustore_scheme.hpp"
+#include "coding/lt_codec.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace robustore;
+
+  sim::Engine engine;
+  client::ClusterConfig cc;
+  cc.num_servers = 2;
+  cc.server.disks_per_server = 4;
+  client::Cluster cluster(engine, cc, Rng(77));
+
+  client::AccessConfig access;
+  access.k = 128;  // 128 MB at 1 MB blocks
+  access.block_bytes = 1 * kMiB;
+  access.redundancy = 3.0;
+
+  client::LayoutPolicy policy;  // heterogeneous: disks will differ wildly
+
+  client::RobuStoreScheme scheme(cluster);
+  Rng rng(3);
+  client::StoredFile file;
+  const auto wm = scheme.write(access, std::vector<std::uint32_t>{0, 1, 2, 3,
+                                                                  4, 5, 6, 7},
+                               policy, rng, &file);
+  if (!wm.complete) {
+    std::printf("write did not complete\n");
+    return 1;
+  }
+  std::printf("wrote %u coded blocks (%u original) in %.2f s "
+              "=> %.1f MBps write bandwidth\n",
+              wm.blocks_received, access.k, wm.latency, wm.bandwidthMBps());
+
+  std::printf("\nper-disk commits (speculative writing follows disk speed):\n");
+  for (const auto& p : file.placements) {
+    std::printf("  disk %u: %4zu blocks  [", p.global_disk, p.stored.size());
+    const auto bar = static_cast<int>(p.stored.size() / 4);
+    for (int i = 0; i < bar; ++i) std::printf("#");
+    std::printf("]\n");
+  }
+
+  // The writer's guarantee: what landed on disk decodes.
+  coding::LtDecoder check(*file.lt_graph);
+  for (const auto& p : file.placements) {
+    for (const auto id : p.stored) check.addSymbol(static_cast<std::uint32_t>(id));
+  }
+  std::printf("\ncommitted set decodable: %s\n",
+              check.complete() ? "yes" : "NO (bug!)");
+
+  // Disks change between write and read; redraw layouts and read back.
+  file.redrawLayouts(policy, rng);
+  const auto rm = scheme.read(file, access);
+  std::printf("read-back: %.1f MBps using %u of %llu stored blocks "
+              "(reception overhead %.0f%%)\n",
+              rm.bandwidthMBps(), rm.blocks_received,
+              static_cast<unsigned long long>(file.totalStoredBlocks()),
+              rm.receptionOverhead() * 100);
+  return rm.complete && check.complete() ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Update access (§4.3.4): a curator fixes one corrupted 1 MB block inside
+// a 128 MB LT-coded dataset. With a near-optimal code only the coded
+// blocks adjacent to that original in the coding graph change — the
+// client examines the graph, XOR-patches exactly those blocks, and the
+// file still decodes to the corrected contents. With an optimal code
+// (Reed-Solomon) the same edit would dirty every parity block.
+
+#include <cstdio>
+#include <vector>
+
+#include "coding/lt_codec.hpp"
+#include "coding/lt_graph.hpp"
+#include "coding/update.hpp"
+#include "common/rng.hpp"
+
+int main() {
+  using namespace robustore;
+  const std::uint32_t k = 128;
+  const std::uint32_t n = 512;
+  const Bytes block = 1 * kMiB;
+
+  Rng rng(42);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(k) * block);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+
+  const auto graph = coding::LtGraph::generate(k, n, coding::LtParams{}, rng);
+  const coding::LtEncoder encoder(graph, data, block);
+  auto stored = encoder.encodeAll();
+  std::printf("dataset: %u MB in %u coded blocks (%u MB stored)\n", k, n, n);
+
+  // The curator replaces original block 42.
+  const std::uint32_t target = 42;
+  std::vector<std::uint8_t> fixed(block);
+  for (auto& b : fixed) b = static_cast<std::uint8_t>(rng.below(256));
+  const std::vector<std::uint8_t> old_block(
+      data.begin() + static_cast<std::size_t>(target) * block,
+      data.begin() + static_cast<std::size_t>(target + 1) * block);
+
+  const coding::LtUpdater updater(graph);
+  const auto plan = updater.plan(target);
+  std::printf("updating original block %u dirties %zu of %u coded blocks "
+              "(%.2f%% of stored data; graph mean %.1f)\n",
+              target, plan.affected.size(), n, 100.0 * plan.fraction,
+              updater.meanAffected());
+
+  for (const auto c : plan.affected) {
+    coding::LtUpdater::applyDelta(
+        std::span(stored).subspan(static_cast<std::size_t>(c) * block, block),
+        old_block, fixed);
+  }
+  std::copy(fixed.begin(), fixed.end(),
+            data.begin() + static_cast<std::size_t>(target) * block);
+
+  // Read the patched file back through the normal speculative path.
+  coding::LtDecoder decoder(graph, block);
+  const auto order = rng.permutation(n);
+  for (const auto c : order) {
+    if (decoder.addSymbol(c, std::span<const std::uint8_t>(stored).subspan(
+                                 static_cast<std::size_t>(c) * block,
+                                 block))) {
+      break;
+    }
+  }
+  const bool ok = decoder.complete() && decoder.takeData() == data;
+  std::printf("decode after in-place update: %s (used %u blocks)\n",
+              ok ? "OK" : "CORRUPTED", decoder.symbolsUsed());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+#include "analysis/reassembly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/expects.hpp"
+
+namespace robustore::analysis {
+
+double logBinomial(double n, double k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+}
+
+double replicationCoverageProbability(std::uint32_t k, std::uint32_t copies,
+                                      std::uint32_t m) {
+  ROBUSTORE_EXPECTS(k >= 1 && copies >= 1, "need k >= 1 and copies >= 1");
+  const std::uint64_t total = static_cast<std::uint64_t>(k) * copies;
+  if (m < k) return 0.0;
+  if (m >= total) return 1.0;
+
+  // P(cover) = sum_{i=0}^{K} (-1)^i C(K,i) C(total - copies*i, M)/C(total, M)
+  // where i counts originals with no copy drawn.
+  const double log_denom = logBinomial(static_cast<double>(total),
+                                       static_cast<double>(m));
+  // Conditioning guard. The alternating terms reach ~e^mu where mu is the
+  // expected number of uncovered originals, while each term carries the
+  // ~1e-13 absolute log error of double-precision lgamma. Beyond mu = 9
+  // the summation noise would exceed the true value (P < e^-9 there), so
+  // return the to-double-precision-correct answer 0 instead.
+  const double log_mu =
+      std::log(static_cast<double>(k)) +
+      logBinomial(static_cast<double>(total - copies),
+                  static_cast<double>(m)) -
+      log_denom;
+  if (log_mu > std::log(9.0)) return 0.0;
+  long double sum = 0.0L;
+  for (std::uint32_t i = 0; i <= k; ++i) {
+    const double remaining =
+        static_cast<double>(total) - static_cast<double>(copies) * i;
+    const double lt = logBinomial(static_cast<double>(k), i) +
+                      logBinomial(remaining, static_cast<double>(m)) -
+                      log_denom;
+    if (!std::isfinite(lt)) break;  // C(remaining, m) hit zero: series ends
+    const long double term = std::exp(static_cast<long double>(lt));
+    sum += (i % 2 == 0) ? term : -term;
+  }
+  return std::clamp(static_cast<double>(sum), 0.0, 1.0);
+}
+
+double codedCoverageProbability(std::uint32_t k, double mean_degree,
+                                std::uint32_t m) {
+  ROBUSTORE_EXPECTS(k >= 1 && mean_degree > 0, "need k >= 1 and degree > 0");
+  if (m == 0) return 0.0;
+  // sum_{j=0}^{K-1} (-1)^j C(K,j) ((K-j)/K)^(d*M); terms decay once
+  // K * exp(-d*M/K) < j, so truncate when negligible.
+  const double exponent = mean_degree * static_cast<double>(m);
+  long double sum = 0.0L;
+  for (std::uint32_t j = 0; j < k; ++j) {
+    const double frac = static_cast<double>(k - j) / k;
+    const double lt = logBinomial(static_cast<double>(k), j) +
+                      exponent * std::log(frac);
+    const long double term = std::exp(static_cast<long double>(lt));
+    sum += (j % 2 == 0) ? term : -term;
+    if (j > 8 && term < 1e-18L) break;
+  }
+  return std::clamp(static_cast<double>(sum), 0.0, 1.0);
+}
+
+double replicationCoverageMonteCarlo(std::uint32_t k, std::uint32_t copies,
+                                     std::uint32_t m, std::uint32_t trials,
+                                     Rng& rng) {
+  ROBUSTORE_EXPECTS(trials >= 1, "need at least one trial");
+  std::uint32_t hits = 0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    if (sampleReplicationBlocksNeeded(k, copies, rng) <= m) ++hits;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+std::uint32_t sampleReplicationBlocksNeeded(std::uint32_t k,
+                                            std::uint32_t copies, Rng& rng) {
+  const std::uint32_t total = k * copies;
+  const auto order = rng.permutation(total);
+  std::vector<bool> have(k, false);
+  std::uint32_t covered = 0;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::uint32_t original = order[i] / copies;
+    if (!have[original]) {
+      have[original] = true;
+      if (++covered == k) return i + 1;
+    }
+  }
+  return total;  // unreachable for copies >= 1, kept for totality
+}
+
+double expectedReplicationBlocksNeeded(std::uint32_t k, std::uint32_t copies) {
+  // E[T] = sum_{m >= 0} P(T > m) = sum_m (1 - P(cover with m)).
+  const std::uint64_t total = static_cast<std::uint64_t>(k) * copies;
+  double expected = 0.0;
+  for (std::uint64_t m = 0; m < total; ++m) {
+    expected += 1.0 - replicationCoverageProbability(
+                          k, copies, static_cast<std::uint32_t>(m));
+  }
+  return expected;
+}
+
+}  // namespace robustore::analysis

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace robustore::analysis {
+
+/// ln C(n, k) via lgamma; -inf for invalid arguments.
+[[nodiscard]] double logBinomial(double n, double k);
+
+/// Appendix A.1: probability that M blocks drawn uniformly at random
+/// *without replacement* from `copies`*K replicated blocks include at least
+/// one copy of each of the K originals.
+///
+/// Evaluated by inclusion–exclusion over the number of missing originals in
+/// long-double log space. The alternating series is well conditioned in the
+/// transition region the paper plots (P in roughly [1e-9, 1]); outside it
+/// the result is clamped to [0, 1].
+[[nodiscard]] double replicationCoverageProbability(std::uint32_t k,
+                                                    std::uint32_t copies,
+                                                    std::uint32_t m);
+
+/// Appendix A.2: probability that M coded blocks of (mean) degree d cover
+/// all K originals, P_c(M) = sum_i (-1)^(K-i) C(K,i) (i/K)^(d*M).
+/// Coverage is the paper's analytic proxy for decodability.
+[[nodiscard]] double codedCoverageProbability(std::uint32_t k,
+                                              double mean_degree,
+                                              std::uint32_t m);
+
+/// Monte-Carlo estimate of the replication coverage probability; validates
+/// the closed form and extends it outside its well-conditioned range.
+[[nodiscard]] double replicationCoverageMonteCarlo(std::uint32_t k,
+                                                   std::uint32_t copies,
+                                                   std::uint32_t m,
+                                                   std::uint32_t trials,
+                                                   Rng& rng);
+
+/// Draws one random arrival order of the replicated blocks and returns how
+/// many were needed to cover every original (the §5.2.1 K*ln(K)/copies
+/// coupon-collector cost, sampled).
+[[nodiscard]] std::uint32_t sampleReplicationBlocksNeeded(std::uint32_t k,
+                                                          std::uint32_t copies,
+                                                          Rng& rng);
+
+/// Expected blocks needed under pure replication with `copies` copies and
+/// random arrival: the closed-form coupon-collector bound of §5.2.1,
+/// approximately K * H(K) / copies adjusted for sampling w/o replacement.
+[[nodiscard]] double expectedReplicationBlocksNeeded(std::uint32_t k,
+                                                     std::uint32_t copies);
+
+}  // namespace robustore::analysis

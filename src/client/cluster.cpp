@@ -1,0 +1,101 @@
+#include "client/cluster.hpp"
+
+#include "common/expects.hpp"
+
+namespace robustore::client {
+
+Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config, Rng rng)
+    : engine_(&engine), config_(config), bg_rng_(rng.fork(0xb9)) {
+  ROBUSTORE_EXPECTS(config.num_servers >= 1, "cluster needs >= 1 server");
+  servers_.reserve(config.num_servers);
+  if (config.client_bandwidth > 0) {
+    client_link_ = std::make_unique<net::Link>(engine, 0.0,
+                                               config.client_bandwidth);
+  }
+  for (std::uint32_t s = 0; s < config.num_servers; ++s) {
+    servers_.push_back(std::make_unique<server::StorageServer>(
+        engine, config.server, rng.fork(s + 1), s));
+    if (client_link_) servers_.back()->setClientLink(client_link_.get());
+  }
+  background_.resize(numDisks());
+
+  // Register every disk with the metadata server (§4.2: static info at
+  // join time). Availability varies per disk so §5.3.1's mixed-selection
+  // rule has something to mix.
+  Rng meta_rng = rng.fork(0xe7a);
+  for (std::uint32_t d = 0; d < numDisks(); ++d) {
+    meta::DiskRecord record;
+    record.global_disk = d;
+    record.site = d / config.server.disks_per_server;
+    record.capacity = 400 * kGiB;
+    record.peak_bandwidth = config.server.disk_params.media_rate_max;
+    record.availability = meta_rng.uniform(0.95, 0.9999);
+    metadata_.registerDisk(record);
+  }
+}
+
+void Cluster::setUniformBackground(const workload::BackgroundConfig& config) {
+  for (std::uint32_t d = 0; d < numDisks(); ++d) {
+    const bool was_active = background_[d] && background_[d]->active();
+    if (was_active) background_[d]->stop();
+    background_[d] = std::make_unique<workload::BackgroundGenerator>(
+        *engine_, disk(d), config, bg_rng_.fork(d));
+    if (was_active) background_[d]->start();
+  }
+}
+
+void Cluster::randomizeBackground(SimTime min_interval, SimTime max_interval,
+                                  Rng& rng, double mean_sectors) {
+  ROBUSTORE_EXPECTS(min_interval > 0 && max_interval >= min_interval,
+                    "bad background interval range");
+  for (std::uint32_t d = 0; d < numDisks(); ++d) {
+    workload::BackgroundConfig cfg;
+    cfg.mean_interval = rng.uniform(min_interval, max_interval);
+    cfg.mean_sectors = mean_sectors;
+    const bool was_active = background_[d] && background_[d]->active();
+    if (was_active) background_[d]->stop();
+    background_[d] = std::make_unique<workload::BackgroundGenerator>(
+        *engine_, disk(d), cfg, bg_rng_.fork(d));
+    if (was_active) background_[d]->start();
+  }
+}
+
+void Cluster::startBackground() {
+  for (auto& g : background_) {
+    if (g) g->start();
+  }
+}
+
+void Cluster::stopBackground() {
+  for (auto& g : background_) {
+    if (g) g->stop();
+  }
+}
+
+bool Cluster::backgroundConfigured() const {
+  for (const auto& g : background_) {
+    if (g && g->config().enabled()) return true;
+  }
+  return false;
+}
+
+void Cluster::resetDisks() {
+  for (std::uint32_t d = 0; d < numDisks(); ++d) disk(d).reset();
+}
+
+Bytes Cluster::networkBytes(disk::StreamId stream) const {
+  Bytes total = 0;
+  for (const auto& s : servers_) total += s->networkBytes(stream);
+  return total;
+}
+
+std::vector<std::uint32_t> Cluster::selectDisks(std::uint32_t count,
+                                                Rng& rng) const {
+  ROBUSTORE_EXPECTS(count >= 1 && count <= numDisks(),
+                    "disk selection count out of range");
+  auto perm = rng.permutation(numDisks());
+  perm.resize(count);
+  return perm;
+}
+
+}  // namespace robustore::client

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "meta/metadata_server.hpp"
+#include "server/storage_server.hpp"
+#include "sim/engine.hpp"
+#include "workload/background.hpp"
+
+namespace robustore::client {
+
+/// Cluster-wide configuration (§6.2.5 baseline: 16 filers x 8 disks).
+struct ClusterConfig {
+  std::uint32_t num_servers = 16;
+  server::ServerConfig server;
+  /// Shared client downlink bandwidth in bytes/s; 0 = plentiful (the
+  /// paper's assumption). Set to e.g. mbps(1250) to model one 10 GbE NIC.
+  double client_bandwidth = 0.0;
+};
+
+/// The simulated wide-area storage system: the servers (filers + disks)
+/// plus one background-workload generator per disk. Disks are addressed by
+/// a flat global index so schemes can stripe without caring about filer
+/// boundaries.
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, const ClusterConfig& config, Rng rng);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t numDisks() const {
+    return config_.num_servers * config_.server.disks_per_server;
+  }
+  [[nodiscard]] std::uint32_t numServers() const {
+    return config_.num_servers;
+  }
+
+  [[nodiscard]] server::StorageServer& server(std::uint32_t index) {
+    return *servers_[index];
+  }
+  [[nodiscard]] server::StorageServer& serverOfDisk(std::uint32_t global_disk) {
+    return *servers_[global_disk / config_.server.disks_per_server];
+  }
+  [[nodiscard]] std::uint32_t localDiskIndex(std::uint32_t global_disk) const {
+    return global_disk % config_.server.disks_per_server;
+  }
+  [[nodiscard]] disk::Disk& disk(std::uint32_t global_disk) {
+    return serverOfDisk(global_disk).disk(localDiskIndex(global_disk));
+  }
+
+  /// Uniform background load on every disk (homogeneous competitive
+  /// workloads, Figure 6-24).
+  void setUniformBackground(const workload::BackgroundConfig& config);
+
+  /// Per-disk random mean intervals drawn uniformly in
+  /// [min_interval, max_interval] (heterogeneous competitive workloads,
+  /// §6.3.2: "reset the competitive workload generator randomly for each
+  /// disk" before every access).
+  void randomizeBackground(SimTime min_interval, SimTime max_interval,
+                           Rng& rng, double mean_sectors = 50.0);
+
+  void startBackground();
+  void stopBackground();
+  [[nodiscard]] bool backgroundConfigured() const;
+
+  /// Between-trials cleanup: drops completed request bookkeeping on every
+  /// disk. The engine must be drained first.
+  void resetDisks();
+
+  /// Network payload bytes moved for `stream` across all servers.
+  [[nodiscard]] Bytes networkBytes(disk::StreamId stream) const;
+
+  /// Fresh ids for accesses and files (cache keys need stable file ids).
+  [[nodiscard]] disk::StreamId nextStream() { return next_stream_++; }
+  [[nodiscard]] std::uint64_t nextFileId() { return next_file_++; }
+
+  /// Draws `count` distinct global disk indices uniformly at random —
+  /// each access selects a random subset of the 128 disks (§6.2.5).
+  [[nodiscard]] std::vector<std::uint32_t> selectDisks(std::uint32_t count,
+                                                       Rng& rng) const;
+
+  /// The cluster's metadata server (§4.2): every disk registers at
+  /// construction (static info: site, capacity, peak bandwidth); clients
+  /// may use it for §5.3.1 load/space/diversity-aware disk selection
+  /// instead of uniform random choice.
+  [[nodiscard]] meta::MetadataServer& metadata() { return metadata_; }
+
+ private:
+  sim::Engine* engine_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<server::StorageServer>> servers_;
+  std::unique_ptr<net::Link> client_link_;
+  std::vector<std::unique_ptr<workload::BackgroundGenerator>> background_;
+  meta::MetadataServer metadata_;
+  Rng bg_rng_;
+  disk::StreamId next_stream_ = 1;
+  std::uint64_t next_file_ = 1;
+};
+
+}  // namespace robustore::client

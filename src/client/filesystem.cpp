@@ -1,0 +1,104 @@
+#include "client/filesystem.hpp"
+
+namespace robustore::client {
+namespace {
+
+meta::CodingScheme codingOf(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kRaid0:
+      return meta::CodingScheme::kNone;
+    case SchemeKind::kRRaidS:
+    case SchemeKind::kRRaidA:
+      return meta::CodingScheme::kReplication;
+    case SchemeKind::kRobuStore:
+      return meta::CodingScheme::kLtCode;
+  }
+  return meta::CodingScheme::kNone;
+}
+
+}  // namespace
+
+FileSystemClient::FileSystemClient(Cluster& cluster, SchemeKind scheme,
+                                   coding::LtParams lt, std::uint64_t seed)
+    : cluster_(&cluster), lt_(lt), rng_(seed) {
+  scheme_ = makeScheme(scheme, cluster, lt);
+}
+
+FileSystemClient::Result FileSystemClient::writeFile(
+    const std::string& name, AccessConfig access, const meta::QosOptions& qos,
+    std::uint32_t num_disks) {
+  Result result;
+  meta::MetadataServer& metadata = cluster_->metadata();
+
+  meta::FileDescriptor fd;
+  result.status = metadata.open(name, meta::AccessType::kWrite, qos, &fd);
+  if (result.status != meta::OpenStatus::kOk) return result;
+
+  if (qos.redundancy > 0) access.redundancy = qos.redundancy;
+  if (num_disks == 0) {
+    num_disks = std::min<std::uint32_t>(64, cluster_->numDisks());
+  }
+  const auto disks = metadata.selectDisks(num_disks, qos, rng_);
+
+  LayoutPolicy policy;  // heterogeneity is a property of the facility
+  StoredFile file;
+  result.metrics = scheme_->write(access, disks, policy, rng_, &file);
+  if (!result.metrics.complete) {
+    metadata.close(fd.handle);
+    metadata.remove(name);
+    return result;
+  }
+
+  // §4.3.2 final step: register data structure + location, release lock.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> locations;
+  for (const auto& p : file.placements) {
+    locations.emplace_back(p.global_disk,
+                           static_cast<std::uint32_t>(p.stored.size()));
+  }
+  metadata.registerFile(fd.handle, access.dataBytes(), access.block_bytes,
+                        access.k, codingOf(scheme_->kind()), lt_,
+                        std::move(locations));
+  // Durable contents keyed by the metadata's file id.
+  const meta::FileRecord* record = metadata.file(name);
+  file.file_id = record->file_id;
+  store_[record->file_id] = std::move(file);
+  configs_[record->file_id] = access;
+  metadata.close(fd.handle);
+  return result;
+}
+
+FileSystemClient::Result FileSystemClient::readFile(
+    const std::string& name, const meta::QosOptions& qos) {
+  Result result;
+  meta::MetadataServer& metadata = cluster_->metadata();
+
+  meta::FileDescriptor fd;
+  result.status = metadata.open(name, meta::AccessType::kRead, qos, &fd);
+  if (result.status != meta::OpenStatus::kOk) return result;
+
+  const auto it = store_.find(fd.file_id);
+  if (it == store_.end()) {  // metadata knows it; the stores lost it
+    metadata.close(fd.handle);
+    result.status = meta::OpenStatus::kNotFound;
+    return result;
+  }
+  // The access parameters come from the descriptor (§4.3.1: "coding
+  // algorithm, coding parameters, data offset").
+  const AccessConfig access = configs_.at(fd.file_id);
+  result.metrics = scheme_->read(it->second, access);
+  metadata.close(fd.handle);
+  return result;
+}
+
+bool FileSystemClient::removeFile(const std::string& name) {
+  meta::MetadataServer& metadata = cluster_->metadata();
+  const meta::FileRecord* record = metadata.file(name);
+  if (record == nullptr) return false;
+  const std::uint64_t id = record->file_id;
+  if (!metadata.remove(name)) return false;
+  store_.erase(id);
+  configs_.erase(id);
+  return true;
+}
+
+}  // namespace robustore::client

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "client/cluster.hpp"
+#include "client/scheme.hpp"
+#include "client/stored_file.hpp"
+#include "meta/metadata_server.hpp"
+#include "metrics/metrics.hpp"
+
+namespace robustore::client {
+
+/// The application-facing interface of §4.3.1 — open / write / read /
+/// close — glued over the simulated cluster:
+///
+///   * open() goes to the cluster's metadata server for naming, locking
+///     and the coding parameters (Appendix B);
+///   * writes create the file via a storage scheme (speculative rateless
+///     writing for RobuSTore), then register structure + location with
+///     the metadata server and release the lock (§4.3.2);
+///   * reads obtain the descriptor, run the speculative read, and close
+///     (§4.3.3);
+///   * QoS options can drive disk-count/redundancy planning (§5.3.2) and
+///     capacity reservations.
+class FileSystemClient {
+ public:
+  explicit FileSystemClient(Cluster& cluster,
+                            SchemeKind scheme = SchemeKind::kRobuStore,
+                            coding::LtParams lt = coding::LtParams{},
+                            std::uint64_t seed = 0x5f5);
+
+  struct Result {
+    meta::OpenStatus status = meta::OpenStatus::kOk;
+    metrics::AccessMetrics metrics;
+    [[nodiscard]] bool ok() const {
+      return status == meta::OpenStatus::kOk && metrics.complete;
+    }
+  };
+
+  /// Creates and writes `name`. Disks are chosen by the metadata server's
+  /// §5.3.1 policy; `access.redundancy` may be overridden by
+  /// `qos.redundancy` when set.
+  Result writeFile(const std::string& name, AccessConfig access,
+                   const meta::QosOptions& qos = {},
+                   std::uint32_t num_disks = 0);
+
+  /// Reads `name` back. Block size, K and coding parameters come from
+  /// the file's metadata, not from the caller.
+  Result readFile(const std::string& name, const meta::QosOptions& qos = {});
+
+  /// Deletes `name`; fails while the file is open anywhere.
+  bool removeFile(const std::string& name);
+
+  [[nodiscard]] bool exists(const std::string& name) const {
+    return cluster_->metadata().exists(name);
+  }
+  [[nodiscard]] SchemeKind schemeKind() const { return scheme_->kind(); }
+
+ private:
+  Cluster* cluster_;
+  std::unique_ptr<Scheme> scheme_;
+  coding::LtParams lt_;
+  Rng rng_;
+  /// Simulated durable contents: what the storage servers hold, keyed by
+  /// metadata file id.
+  std::map<std::uint64_t, StoredFile> store_;
+  std::map<std::uint64_t, AccessConfig> configs_;
+};
+
+}  // namespace robustore::client

@@ -1,0 +1,97 @@
+#include "client/raid0.hpp"
+
+#include <utility>
+
+#include "coding/replication.hpp"
+#include "common/expects.hpp"
+
+namespace robustore::client {
+
+struct Raid0Scheme::ReadState {
+  coding::ReplicationTracker tracker;
+  explicit ReadState(std::uint32_t k) : tracker(k) {}
+};
+
+struct Raid0Scheme::WriteState {
+  std::uint32_t acks = 0;
+  std::uint32_t total = 0;
+};
+
+StoredFile Raid0Scheme::planFile(const AccessConfig& config,
+                                 std::span<const std::uint32_t> disks,
+                                 const LayoutPolicy& policy, Rng& rng) {
+  StoredFile file;
+  file.file_id = cluster().nextFileId();
+  file.block_bytes = config.block_bytes;
+  file.k = config.k;
+  const auto h = static_cast<std::uint32_t>(disks.size());
+  file.placements.resize(h);
+  for (std::uint32_t d = 0; d < h; ++d) {
+    auto& p = file.placements[d];
+    p.global_disk = disks[d];
+    for (std::uint32_t b = d; b < config.k; b += h) p.stored.push_back(b);
+    p.layout = disk::FileDiskLayout::generate(
+        static_cast<std::uint32_t>(p.stored.size()), config.block_bytes,
+        policy.draw(rng), rng);
+  }
+  return file;
+}
+
+void Raid0Scheme::startRead(Session& session, StoredFile& file,
+                            const AccessConfig& config) {
+  (void)config;
+  read_state_ = std::make_shared<ReadState>(file.k);
+  auto state = read_state_;
+  for (std::uint32_t p = 0; p < file.placements.size(); ++p) {
+    const auto& placement = file.placements[p];
+    for (std::uint32_t pos = 0; pos < placement.stored.size(); ++pos) {
+      const auto block = static_cast<std::uint32_t>(placement.stored[pos]);
+      issueBlockRead(session, file, p, pos, /*force_position=*/false,
+                     [this, state, &session, block](bool cache_hit) {
+        if (session.complete) return;
+        ++session.blocks_received;
+        if (cache_hit) ++session.cache_hits;
+        if (state->tracker.addCopy(block)) finish(session);
+      });
+    }
+  }
+}
+
+void Raid0Scheme::startWrite(Session& session, const AccessConfig& config,
+                             std::span<const std::uint32_t> disks,
+                             const LayoutPolicy& policy, Rng& rng,
+                             StoredFile& out) {
+  const auto h = static_cast<std::uint32_t>(disks.size());
+  out.placements.resize(h);
+  write_state_ = std::make_shared<WriteState>();
+  auto state = write_state_;
+  state->total = config.k;
+
+  for (std::uint32_t d = 0; d < h; ++d) {
+    auto& p = out.placements[d];
+    p.global_disk = disks[d];
+    for (std::uint32_t b = d; b < config.k; b += h) p.stored.push_back(b);
+    p.layout = disk::FileDiskLayout::generate(
+        static_cast<std::uint32_t>(p.stored.size()), config.block_bytes,
+        policy.draw(rng), rng);
+  }
+  for (std::uint32_t d = 0; d < h; ++d) {
+    auto& p = out.placements[d];
+    server::StorageServer& srv = cluster().serverOfDisk(p.global_disk);
+    for (std::uint32_t pos = 0; pos < p.stored.size(); ++pos) {
+      server::StorageServer::BlockWrite req;
+      req.stream = session.stream;
+      req.cache_key = out.cacheKey(d, pos);
+      req.disk_index = cluster().localDiskIndex(p.global_disk);
+      req.layout = &p.layout;
+      req.layout_block = pos;
+      srv.writeBlock(req, [this, state, &session] {
+        if (session.complete) return;
+        ++session.blocks_received;
+        if (++state->acks == state->total) finish(session);
+      });
+    }
+  }
+}
+
+}  // namespace robustore::client

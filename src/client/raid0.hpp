@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+
+#include "client/scheme.hpp"
+
+namespace robustore::client {
+
+/// RAID-0 (§6.2.1): plain-text blocks striped round-robin with zero
+/// redundancy. Reads request every block from every disk in parallel and
+/// must wait for all of them — the slowest disk gates the access. Writes
+/// stripe evenly and wait for every commit.
+class Raid0Scheme final : public Scheme {
+ public:
+  using Scheme::Scheme;
+
+  [[nodiscard]] SchemeKind kind() const override { return SchemeKind::kRaid0; }
+
+  [[nodiscard]] StoredFile planFile(const AccessConfig& config,
+                                    std::span<const std::uint32_t> disks,
+                                    const LayoutPolicy& policy,
+                                    Rng& rng) override;
+
+ protected:
+  void startRead(Session& session, StoredFile& file,
+                 const AccessConfig& config) override;
+  void startWrite(Session& session, const AccessConfig& config,
+                  std::span<const std::uint32_t> disks,
+                  const LayoutPolicy& policy, Rng& rng,
+                  StoredFile& out) override;
+
+ private:
+  struct ReadState;
+  struct WriteState;
+  std::shared_ptr<ReadState> read_state_;
+  std::shared_ptr<WriteState> write_state_;
+};
+
+}  // namespace robustore::client

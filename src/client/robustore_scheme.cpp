@@ -1,0 +1,209 @@
+#include "client/robustore_scheme.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace robustore::client {
+namespace {
+
+/// Codec-agnostic incremental decoder: the schemes only need "feed a
+/// received coded id, tell me when reconstruction completes".
+class DecoderAdapter {
+ public:
+  virtual ~DecoderAdapter() = default;
+  virtual bool addSymbol(std::uint32_t id) = 0;
+  [[nodiscard]] virtual bool complete() const = 0;
+};
+
+class LtAdapter final : public DecoderAdapter {
+ public:
+  explicit LtAdapter(const coding::LtGraph& graph) : decoder_(graph) {}
+  bool addSymbol(std::uint32_t id) override { return decoder_.addSymbol(id); }
+  [[nodiscard]] bool complete() const override { return decoder_.complete(); }
+
+ private:
+  coding::LtDecoder decoder_;
+};
+
+class RaptorAdapter final : public DecoderAdapter {
+ public:
+  explicit RaptorAdapter(const coding::RaptorCode& code) : decoder_(code) {}
+  bool addSymbol(std::uint32_t id) override { return decoder_.addSymbol(id); }
+  [[nodiscard]] bool complete() const override { return decoder_.complete(); }
+
+ private:
+  coding::RaptorCode::Decoder decoder_;
+};
+
+std::unique_ptr<DecoderAdapter> makeDecoder(const StoredFile& file) {
+  if (file.raptor) return std::make_unique<RaptorAdapter>(*file.raptor);
+  ROBUSTORE_EXPECTS(file.lt_graph != nullptr,
+                    "RobuSTore file without a coding structure");
+  return std::make_unique<LtAdapter>(*file.lt_graph);
+}
+
+std::uint32_t codedStreamLength(const StoredFile& file) {
+  return file.raptor ? file.raptor->n() : file.lt_graph->n();
+}
+
+}  // namespace
+
+struct RobuStoreScheme::ReadState {
+  std::unique_ptr<DecoderAdapter> decoder;
+};
+
+struct RobuStoreScheme::WriteState {
+  std::unique_ptr<DecoderAdapter> committed;  // decodability of commits
+  std::uint32_t stream_n = 0;
+  std::uint32_t target_n = 0;
+  std::uint32_t next_coded_id = 0;
+  std::uint32_t committed_count = 0;
+  std::uint32_t outstanding = 0;
+  std::vector<std::uint32_t> submitted_per_disk;
+  Rng layout_rng{0};
+};
+
+void RobuStoreScheme::attachCodec(StoredFile& file, std::uint32_t k,
+                                  std::uint32_t n, Rng& rng) const {
+  if (codec_ == CodecKind::kRaptor) {
+    file.raptor = std::make_shared<const coding::RaptorCode>(
+        k, n, coding::RaptorParams{}, rng);
+  } else {
+    file.lt_graph = std::make_shared<const coding::LtGraph>(
+        coding::LtGraph::generate(k, n, lt_, rng));
+  }
+}
+
+StoredFile RobuStoreScheme::planFile(const AccessConfig& config,
+                                     std::span<const std::uint32_t> disks,
+                                     const LayoutPolicy& policy, Rng& rng) {
+  StoredFile file;
+  file.file_id = cluster().nextFileId();
+  file.block_bytes = config.block_bytes;
+  file.k = config.k;
+  const std::uint32_t n = config.codedBlockCount();
+  attachCodec(file, config.k, n, rng);
+
+  const auto h = static_cast<std::uint32_t>(disks.size());
+  file.placements.resize(h);
+  for (std::uint32_t d = 0; d < h; ++d) {
+    auto& p = file.placements[d];
+    p.global_disk = disks[d];
+    for (std::uint32_t c = d; c < n; c += h) p.stored.push_back(c);
+    p.layout = disk::FileDiskLayout::generate(
+        static_cast<std::uint32_t>(p.stored.size()), config.block_bytes,
+        policy.draw(rng), rng);
+  }
+  return file;
+}
+
+void RobuStoreScheme::startRead(Session& session, StoredFile& file,
+                                const AccessConfig& config) {
+  read_state_ = std::make_shared<ReadState>();
+  read_state_->decoder = makeDecoder(file);
+  auto state = read_state_;
+  const SimTime decode_tail =
+      config.decode_rate > 0
+          ? static_cast<double>(config.block_bytes) / config.decode_rate
+          : 0.0;
+  for (std::uint32_t p = 0; p < file.placements.size(); ++p) {
+    const auto& placement = file.placements[p];
+    for (std::uint32_t pos = 0; pos < placement.stored.size(); ++pos) {
+      const auto coded = static_cast<std::uint32_t>(placement.stored[pos]);
+      issueBlockRead(session, file, p, pos, /*force_position=*/false,
+                     [this, state, &session, coded,
+                      decode_tail](bool cache_hit) {
+        if (session.complete) return;
+        ++session.blocks_received;
+        if (cache_hit) ++session.cache_hits;
+        if (state->decoder->addSymbol(coded)) {
+          // Decoding is pipelined with I/O; only the last block's XOR work
+          // extends the critical path (§6.2.5).
+          session.extra_latency = decode_tail;
+          finish(session);
+        }
+      });
+    }
+  }
+}
+
+void RobuStoreScheme::startWrite(Session& session, const AccessConfig& config,
+                                 std::span<const std::uint32_t> disks,
+                                 const LayoutPolicy& policy, Rng& rng,
+                                 StoredFile& out) {
+  const auto h = static_cast<std::uint32_t>(disks.size());
+  const std::uint32_t target_n = config.codedBlockCount();
+  // The rateless stream must outlast the target: decodability can require
+  // more than N commits (notably at low redundancy), and the per-disk
+  // pipelines overshoot by up to `depth` blocks each.
+  const std::uint32_t stream_n =
+      std::max(target_n,
+               static_cast<std::uint32_t>(1.6 * static_cast<double>(config.k)))
+      + 2 * h * write_pipeline_depth_ + 64;
+  attachCodec(out, config.k, stream_n, rng);
+
+  out.placements.resize(h);
+  for (std::uint32_t d = 0; d < h; ++d) {
+    auto& p = out.placements[d];
+    p.global_disk = disks[d];
+    p.layout = disk::FileDiskLayout::generate(0, config.block_bytes,
+                                              policy.draw(rng), rng);
+  }
+
+  write_state_ = std::make_shared<WriteState>();
+  write_state_->committed = makeDecoder(out);
+  write_state_->stream_n = codedStreamLength(out);
+  write_state_->target_n = target_n;
+  write_state_->submitted_per_disk.assign(h, 0);
+  write_state_->layout_rng = rng.fork(0x77);
+  for (std::uint32_t d = 0; d < h; ++d) {
+    for (std::uint32_t w = 0; w < write_pipeline_depth_; ++w) {
+      submitNextWrite(session, out, d);
+    }
+  }
+}
+
+void RobuStoreScheme::submitNextWrite(Session& session, StoredFile& out,
+                                      std::uint32_t p) {
+  auto state = write_state_;
+  if (state->next_coded_id >= state->stream_n) {
+    // Stream exhausted (cannot happen with the sizing above, but guard
+    // against livelock): give up once nothing is in flight any more.
+    if (state->outstanding == 0 && !session.complete) engine().stop();
+    return;
+  }
+  const std::uint32_t coded = state->next_coded_id++;
+  ++state->outstanding;
+  auto& placement = out.placements[p];
+  const std::uint32_t pos = state->submitted_per_disk[p]++;
+  placement.layout.extendTo(pos + 1, state->layout_rng);
+
+  server::StorageServer& srv = cluster().serverOfDisk(placement.global_disk);
+  server::StorageServer::BlockWrite req;
+  req.stream = session.stream;
+  req.cache_key = out.cacheKey(p, pos);
+  req.disk_index = cluster().localDiskIndex(placement.global_disk);
+  req.layout = &placement.layout;
+  req.layout_block = pos;
+  srv.writeBlock(req, [this, state, &session, &out, p, coded] {
+    if (session.complete) return;
+    --state->outstanding;
+    ++session.blocks_received;
+    ++state->committed_count;
+    out.placements[p].stored.push_back(coded);
+    state->committed->addSymbol(coded);
+    // §4.3.2: stop once enough blocks committed; the writer additionally
+    // guarantees that what it leaves behind is decodable (§5.2.3(1)).
+    if (state->committed_count >= state->target_n &&
+        state->committed->complete()) {
+      finish(session);
+      return;
+    }
+    submitNextWrite(session, out, p);
+  });
+}
+
+}  // namespace robustore::client

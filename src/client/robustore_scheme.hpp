@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+
+#include "client/scheme.hpp"
+#include "coding/lt_codec.hpp"
+#include "coding/lt_graph.hpp"
+#include "coding/raptor.hpp"
+
+namespace robustore::client {
+
+/// RobuSTore (Chapter 4): LT-coded symmetric redundancy plus speculative
+/// access.
+///
+/// Reads request every stored coded block from every disk in a single
+/// round and feed arrivals to the real LT peeling decoder (ID mode); the
+/// access completes the moment decoding does, and the remaining requests
+/// are cancelled. Writes are speculative and rateless: the client keeps a
+/// small per-disk pipeline of fresh coded blocks and stops once N blocks
+/// have committed *and* the committed set is decodable — faster disks
+/// absorb more blocks, producing unbalanced striping.
+class RobuStoreScheme final : public Scheme {
+ public:
+  explicit RobuStoreScheme(Cluster& cluster,
+                           coding::LtParams lt = coding::LtParams{},
+                           std::uint32_t write_pipeline_depth = 2,
+                           CodecKind codec = CodecKind::kLt)
+      : Scheme(cluster),
+        lt_(lt),
+        write_pipeline_depth_(write_pipeline_depth),
+        codec_(codec) {}
+
+  [[nodiscard]] SchemeKind kind() const override {
+    return SchemeKind::kRobuStore;
+  }
+  [[nodiscard]] const coding::LtParams& ltParams() const { return lt_; }
+  [[nodiscard]] CodecKind codec() const { return codec_; }
+
+  [[nodiscard]] StoredFile planFile(const AccessConfig& config,
+                                    std::span<const std::uint32_t> disks,
+                                    const LayoutPolicy& policy,
+                                    Rng& rng) override;
+
+ protected:
+  void startRead(Session& session, StoredFile& file,
+                 const AccessConfig& config) override;
+  void startWrite(Session& session, const AccessConfig& config,
+                  std::span<const std::uint32_t> disks,
+                  const LayoutPolicy& policy, Rng& rng,
+                  StoredFile& out) override;
+
+ private:
+  struct ReadState;
+  struct WriteState;
+
+  /// Builds the codec structure for a file of `k` originals with `n`
+  /// coded blocks, stored into `file`.
+  void attachCodec(StoredFile& file, std::uint32_t k, std::uint32_t n,
+                   Rng& rng) const;
+  void submitNextWrite(Session& session, StoredFile& out, std::uint32_t p);
+
+  coding::LtParams lt_;
+  std::uint32_t write_pipeline_depth_;
+  CodecKind codec_;
+  std::shared_ptr<ReadState> read_state_;
+  std::shared_ptr<WriteState> write_state_;
+};
+
+}  // namespace robustore::client

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+
+#include "client/scheme.hpp"
+
+namespace robustore::client {
+
+/// RRAID (§6.2.1): plain-text blocks with rotated replication — copy r of
+/// block b lives on disk (b + r) mod H. Two access mechanisms share the
+/// layout:
+///
+///  * RRAID-S (speculative): one request per disk for everything it
+///    stores; the access completes when at least one copy of each block
+///    has arrived; the rest is cancelled. Duplicate copies are wasted I/O.
+///  * RRAID-A (adaptive): initially requests only replica 0; when a disk
+///    drains, the client steals the second half of the most-backlogged
+///    disk's pending blocks (among blocks the idle disk also stores) and
+///    re-requests them there, paying one extra round trip per round.
+class RRaidScheme final : public Scheme {
+ public:
+  RRaidScheme(Cluster& cluster, bool adaptive)
+      : Scheme(cluster), adaptive_(adaptive) {}
+
+  [[nodiscard]] SchemeKind kind() const override {
+    return adaptive_ ? SchemeKind::kRRaidA : SchemeKind::kRRaidS;
+  }
+
+  [[nodiscard]] StoredFile planFile(const AccessConfig& config,
+                                    std::span<const std::uint32_t> disks,
+                                    const LayoutPolicy& policy,
+                                    Rng& rng) override;
+
+ protected:
+  void startRead(Session& session, StoredFile& file,
+                 const AccessConfig& config) override;
+  void startWrite(Session& session, const AccessConfig& config,
+                  std::span<const std::uint32_t> disks,
+                  const LayoutPolicy& policy, Rng& rng,
+                  StoredFile& out) override;
+
+ private:
+  struct SpecReadState;
+  struct AdaptiveReadState;
+  struct WriteState;
+
+  void startSpeculativeRead(Session& session, StoredFile& file);
+  void startAdaptiveRead(Session& session, StoredFile& file);
+  void adaptiveRequest(Session& session, StoredFile& file, std::uint32_t p,
+                       std::uint32_t stored_pos);
+  void adaptiveSteal(Session& session, StoredFile& file,
+                     std::uint32_t idle_placement);
+
+  bool adaptive_;
+  std::shared_ptr<SpecReadState> spec_state_;
+  std::shared_ptr<AdaptiveReadState> adaptive_state_;
+  std::shared_ptr<WriteState> write_state_;
+};
+
+}  // namespace robustore::client

@@ -1,0 +1,167 @@
+#include "client/scheme.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "client/raid0.hpp"
+#include "client/robustore_scheme.hpp"
+#include "client/rraid.hpp"
+#include "common/expects.hpp"
+
+namespace robustore::client {
+
+const char* schemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kRaid0:
+      return "RAID-0";
+    case SchemeKind::kRRaidS:
+      return "RRAID-S";
+    case SchemeKind::kRRaidA:
+      return "RRAID-A";
+    case SchemeKind::kRobuStore:
+      return "RobuSTore";
+  }
+  return "?";
+}
+
+std::uint32_t AccessConfig::replicaCount() const {
+  const auto copies = static_cast<std::uint32_t>(std::llround(redundancy)) + 1;
+  return copies < 1 ? 1 : copies;
+}
+
+std::uint32_t AccessConfig::codedBlockCount() const {
+  const auto n = static_cast<std::uint32_t>(
+      std::llround((1.0 + redundancy) * static_cast<double>(k)));
+  return n < k ? k : n;
+}
+
+void Scheme::finish(Session& session) {
+  ROBUSTORE_EXPECTS(!session.complete, "access finished twice");
+  session.complete = true;
+  session.finish_time = engine().now();
+  if (session.on_complete) {
+    session.on_complete();
+  } else {
+    engine().stop();
+  }
+}
+
+void Scheme::beginRead(Session& session, StoredFile& file,
+                       const AccessConfig& config) {
+  ROBUSTORE_EXPECTS(!file.placements.empty(), "read of an unplaced file");
+  if (session.stream == 0) session.stream = cluster_->nextStream();
+  session.start = engine().now();
+  engine().schedule(config.metadata_latency,
+                    [this, &session, &file, &config] {
+                      startRead(session, file, config);
+                    });
+}
+
+void Scheme::cancelOutstanding(const Session& session) {
+  for (std::uint32_t s = 0; s < cluster_->numServers(); ++s) {
+    cluster_->server(s).cancelStream(session.stream);
+  }
+}
+
+metrics::AccessMetrics Scheme::collect(const Session& session,
+                                       Bytes data_bytes,
+                                       std::uint32_t k) const {
+  metrics::AccessMetrics m;
+  m.complete = session.complete;
+  m.latency = session.complete
+                  ? session.finish_time - session.start + session.extra_latency
+                  : 0.0;
+  m.data_bytes = data_bytes;
+  m.network_bytes = cluster_->networkBytes(session.stream);
+  m.blocks_received = session.blocks_received;
+  m.blocks_original = k;
+  m.cache_hits = session.cache_hits;
+  return m;
+}
+
+server::StorageServer::ReadHandle Scheme::issueBlockRead(
+    Session& session, StoredFile& file, std::uint32_t placement,
+    std::uint32_t stored_pos, bool force_position,
+    server::StorageServer::DeliveryFn on_delivered) {
+  const DiskPlacement& p = file.placements[placement];
+  server::StorageServer& srv = cluster_->serverOfDisk(p.global_disk);
+  server::StorageServer::BlockRead req;
+  req.stream = session.stream;
+  req.cache_key = file.cacheKey(placement, stored_pos);
+  req.disk_index = cluster_->localDiskIndex(p.global_disk);
+  req.layout = &p.layout;
+  req.layout_block = stored_pos;
+  req.force_position_first = force_position;
+  return srv.readBlock(req, std::move(on_delivered));
+}
+
+metrics::AccessMetrics Scheme::read(StoredFile& file,
+                                    const AccessConfig& config) {
+  Session session;
+  cluster_->startBackground();
+  beginRead(session, file, config);
+  engine().runUntil(session.start + config.timeout);
+  return settle(session, file.dataBytes(), file.k);
+}
+
+metrics::AccessMetrics Scheme::write(const AccessConfig& config,
+                                     std::span<const std::uint32_t> disks,
+                                     const LayoutPolicy& policy, Rng& rng,
+                                     StoredFile* out) {
+  ROBUSTORE_EXPECTS(!disks.empty(), "write needs at least one disk");
+  Session session;
+  session.stream = cluster_->nextStream();
+  cluster_->startBackground();
+  session.start = engine().now();
+
+  StoredFile file;
+  file.file_id = cluster_->nextFileId();
+  file.block_bytes = config.block_bytes;
+  file.k = config.k;
+
+  engine().schedule(config.metadata_latency, [this, &session, &config, disks,
+                                              &policy, &rng, &file] {
+    startWrite(session, config, disks, policy, rng, file);
+  });
+  engine().runUntil(session.start + config.timeout);
+  metrics::AccessMetrics m = settle(session, file.dataBytes(), file.k);
+  if (out != nullptr) *out = std::move(file);
+  return m;
+}
+
+metrics::AccessMetrics Scheme::settle(Session& session, Bytes data_bytes,
+                                      std::uint32_t k) {
+  // Cancel whatever speculative work is still queued, then let in-flight
+  // service and deliveries drain so the byte accounting is final.
+  cancelOutstanding(session);
+  cluster_->stopBackground();
+  engine().run();
+  cluster_->resetDisks();
+  return collect(session, data_bytes, k);
+}
+
+std::unique_ptr<Scheme> makeScheme(SchemeKind kind, Cluster& cluster,
+                                   const coding::LtParams& lt) {
+  return makeScheme(kind, cluster, lt, CodecKind::kLt);
+}
+
+std::unique_ptr<Scheme> makeScheme(SchemeKind kind, Cluster& cluster,
+                                   const coding::LtParams& lt,
+                                   CodecKind codec) {
+  switch (kind) {
+    case SchemeKind::kRaid0:
+      return std::make_unique<Raid0Scheme>(cluster);
+    case SchemeKind::kRRaidS:
+      return std::make_unique<RRaidScheme>(cluster, /*adaptive=*/false);
+    case SchemeKind::kRRaidA:
+      return std::make_unique<RRaidScheme>(cluster, /*adaptive=*/true);
+    case SchemeKind::kRobuStore:
+      return std::make_unique<RobuStoreScheme>(cluster, lt,
+                                               /*write_pipeline_depth=*/2,
+                                               codec);
+  }
+  ROBUSTORE_EXPECTS(false, "unknown scheme kind");
+  return nullptr;
+}
+
+}  // namespace robustore::client

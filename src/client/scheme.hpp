@@ -1,0 +1,176 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "client/cluster.hpp"
+#include "coding/lt_graph.hpp"
+#include "client/stored_file.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "metrics/metrics.hpp"
+
+namespace robustore::client {
+
+/// The four storage schemes of §6.2.1.
+enum class SchemeKind : std::uint8_t {
+  kRaid0,      // plain striping, no redundancy, parallel read-all
+  kRRaidS,     // rotated replication + speculative access
+  kRRaidA,     // rotated replication + adaptive multi-round access
+  kRobuStore,  // LT-coded redundancy + speculative access
+};
+
+[[nodiscard]] const char* schemeName(SchemeKind kind);
+
+/// Per-access knobs shared by every scheme.
+struct AccessConfig {
+  Bytes block_bytes = 1 * kMiB;
+  /// Original block count K; data size = k * block_bytes (1 GB baseline).
+  std::uint32_t k = 1024;
+  /// Degree of data redundancy D = N/K - 1 (3x baseline). RAID-0 always
+  /// stores exactly 1x. Replicated schemes round to whole copies.
+  double redundancy = 3.0;
+  /// Metadata-server / connection-setup cost charged once per access.
+  SimTime metadata_latency = 5.0 * kMilliseconds;
+  /// Client LT decode rate in bytes/s; the pipeline hides all but the last
+  /// block (§6.2.5: 500 MBps, i.e. +2 ms for a 1 MB block).
+  double decode_rate = mbps(500.0);
+  /// Safety horizon: an access not completed after this much simulated
+  /// time is reported incomplete (guards dead-disk scenarios).
+  SimTime timeout = 3600.0;
+
+  [[nodiscard]] Bytes dataBytes() const {
+    return static_cast<Bytes>(k) * block_bytes;
+  }
+  [[nodiscard]] std::uint32_t replicaCount() const;
+  [[nodiscard]] std::uint32_t codedBlockCount() const;
+};
+
+/// Base class for storage schemes: owns the common access lifecycle
+/// (metadata latency, background workload start, engine run, request
+/// cancellation, drain, metric extraction) while subclasses provide the
+/// scheme-specific block placement and request logic.
+///
+/// A Scheme instance runs one access at a time against its Cluster; the
+/// experiment harness calls read()/write() once per trial.
+class Scheme {
+ public:
+  explicit Scheme(Cluster& cluster) : cluster_(&cluster) {}
+  virtual ~Scheme() = default;
+
+  Scheme(const Scheme&) = delete;
+  Scheme& operator=(const Scheme&) = delete;
+
+  [[nodiscard]] virtual SchemeKind kind() const = 0;
+  [[nodiscard]] const char* name() const { return schemeName(kind()); }
+
+  /// Synthesizes the on-disk state of a previously written file with
+  /// balanced striping across `disks` (the §6.3.1 read experiments start
+  /// from such a state without simulating the write).
+  [[nodiscard]] virtual StoredFile planFile(const AccessConfig& config,
+                                            std::span<const std::uint32_t> disks,
+                                            const LayoutPolicy& policy,
+                                            Rng& rng) = 0;
+
+  /// Simulates one full read access; runs the simulation engine until the
+  /// access completes (or times out) and the system drains.
+  [[nodiscard]] metrics::AccessMetrics read(StoredFile& file,
+                                            const AccessConfig& config);
+
+  /// Simulates one full write access; `out` (optional) receives the
+  /// resulting file state, including any unbalanced striping a
+  /// speculative writer produced.
+  [[nodiscard]] metrics::AccessMetrics write(const AccessConfig& config,
+                                             std::span<const std::uint32_t> disks,
+                                             const LayoutPolicy& policy,
+                                             Rng& rng,
+                                             StoredFile* out = nullptr);
+
+  /// Mutable state of the access in flight; subclasses update the
+  /// counters from their delivery callbacks and call finish() exactly
+  /// once. Public so multi-client drivers can own several sessions on a
+  /// shared simulation engine.
+  struct Session {
+    disk::StreamId stream = 0;
+    SimTime start = 0.0;
+    SimTime finish_time = 0.0;
+    bool complete = false;
+    std::uint32_t blocks_received = 0;
+    std::uint32_t cache_hits = 0;
+    /// Extra latency charged after the last arrival (decode tail).
+    SimTime extra_latency = 0.0;
+    /// Completion hook for asynchronous (multi-client) use. When unset,
+    /// finish() stops the engine so the synchronous read()/write()
+    /// wrappers return.
+    std::function<void()> on_complete;
+  };
+
+  /// Asynchronous entry point: issues the access on the shared engine
+  /// without running it. The caller owns session/file/config lifetimes
+  /// until the engine drains, starts any background load itself, and is
+  /// notified through session.on_complete.
+  void beginRead(Session& session, StoredFile& file,
+                 const AccessConfig& config);
+
+  /// Cancels whatever the access still has queued across the cluster;
+  /// multi-client drivers call this from on_complete so a finished client
+  /// stops competing for disk time.
+  void cancelOutstanding(const Session& session);
+
+  /// Extracts the paper metrics from a finished (or timed-out) session.
+  /// Byte accounting is only final after in-flight work drained.
+  [[nodiscard]] metrics::AccessMetrics collect(const Session& session,
+                                               Bytes data_bytes,
+                                               std::uint32_t k) const;
+
+ protected:
+
+  /// Issues the scheme's initial read requests. Called `metadata_latency`
+  /// after the access starts.
+  virtual void startRead(Session& session, StoredFile& file,
+                         const AccessConfig& config) = 0;
+
+  /// Issues the scheme's write traffic and fills `out.placements` as
+  /// commits land.
+  virtual void startWrite(Session& session, const AccessConfig& config,
+                          std::span<const std::uint32_t> disks,
+                          const LayoutPolicy& policy, Rng& rng,
+                          StoredFile& out) = 0;
+
+  /// Marks the access complete and stops the engine run loop.
+  void finish(Session& session);
+
+  /// Issues one stored-block read; wraps cache keys and placement lookup.
+  server::StorageServer::ReadHandle issueBlockRead(
+      Session& session, StoredFile& file, std::uint32_t placement,
+      std::uint32_t stored_pos, bool force_position,
+      server::StorageServer::DeliveryFn on_delivered);
+
+  [[nodiscard]] Cluster& cluster() { return *cluster_; }
+  [[nodiscard]] sim::Engine& engine() { return cluster_->engine(); }
+
+ private:
+  metrics::AccessMetrics settle(Session& session, Bytes data_bytes,
+                                std::uint32_t k);
+
+  Cluster* cluster_;
+};
+
+/// Which rateless code backs the RobuSTore data plane. LT is the paper's
+/// choice; Raptor implements the §7.3 future-work direction ("more
+/// efficient erasure codes") with a sparser inner graph.
+enum class CodecKind : std::uint8_t { kLt, kRaptor };
+
+/// Builds a scheme of the given kind against `cluster` (the §6.2.1
+/// roster). `lt` and `codec` only affect RobuSTore.
+[[nodiscard]] std::unique_ptr<Scheme> makeScheme(SchemeKind kind,
+                                                 Cluster& cluster,
+                                                 const coding::LtParams& lt);
+[[nodiscard]] std::unique_ptr<Scheme> makeScheme(SchemeKind kind,
+                                                 Cluster& cluster,
+                                                 const coding::LtParams& lt,
+                                                 CodecKind codec);
+
+}  // namespace robustore::client

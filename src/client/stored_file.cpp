@@ -1,0 +1,38 @@
+#include "client/stored_file.hpp"
+
+#include "common/expects.hpp"
+
+namespace robustore::client {
+
+disk::LayoutConfig LayoutPolicy::draw(Rng& rng) const {
+  if (!heterogeneous) return homogeneous;
+  static constexpr std::uint32_t kFactors[] = {8,   16,  32,  64,
+                                               128, 256, 512, 1024};
+  return disk::LayoutConfig{kFactors[rng.below(8)],
+                            rng.bernoulli(0.5) ? 1.0 : 0.0};
+}
+
+std::uint64_t StoredFile::totalStoredBlocks() const {
+  std::uint64_t total = 0;
+  for (const auto& p : placements) total += p.stored.size();
+  return total;
+}
+
+std::uint64_t StoredFile::cacheKey(std::uint32_t p,
+                                   std::uint32_t stored_pos) const {
+  ROBUSTORE_EXPECTS(p < placements.size(), "placement index out of range");
+  const std::uint64_t disk_id = placements[p].global_disk;
+  return (((file_id << 10 | disk_id) << 22) |
+          static_cast<std::uint64_t>(stored_pos))
+         << 16;
+}
+
+void StoredFile::redrawLayouts(const LayoutPolicy& policy, Rng& rng) {
+  for (auto& p : placements) {
+    p.layout = disk::FileDiskLayout::generate(
+        static_cast<std::uint32_t>(p.stored.size()), block_bytes,
+        policy.draw(rng), rng);
+  }
+}
+
+}  // namespace robustore::client

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <memory>
+
+#include "coding/lt_graph.hpp"
+#include "coding/raptor.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "disk/layout.hpp"
+
+namespace robustore::client {
+
+/// How in-disk layouts are drawn for new placements (§6.2.5).
+struct LayoutPolicy {
+  /// Heterogeneous: blocking factor uniform over {8,16,...,1024} and
+  /// sequential-probability uniform over {0,1} per (file, disk) — the
+  /// Table 6-1 grid. Homogeneous: every placement uses `homogeneous`.
+  bool heterogeneous = true;
+  disk::LayoutConfig homogeneous{1024, 1.0};
+
+  [[nodiscard]] disk::LayoutConfig draw(Rng& rng) const;
+};
+
+/// Where a file's blocks live on one disk. `stored` carries
+/// scheme-specific block identifiers (original index for RAID-0, original
+/// index + replica for RRAID, coded id for RobuSTore) in physical stored
+/// order — the order a single speculative request streams them in.
+struct DiskPlacement {
+  std::uint32_t global_disk = 0;
+  disk::FileDiskLayout layout;
+  std::vector<std::uint64_t> stored;
+};
+
+/// A file as it exists in the storage system: the unit every access
+/// operates on.
+struct StoredFile {
+  std::uint64_t file_id = 0;
+  Bytes block_bytes = 0;
+  /// Original (useful) block count K; data size = k * block_bytes.
+  std::uint32_t k = 0;
+  std::vector<DiskPlacement> placements;
+  /// RobuSTore files carry their coding structure (the metadata server
+  /// stores coding algorithm + parameters per file, §4.2); both null for
+  /// plain-text schemes, exactly one set for coded files.
+  std::shared_ptr<const coding::LtGraph> lt_graph;
+  std::shared_ptr<const coding::RaptorCode> raptor;
+
+  [[nodiscard]] std::uint64_t totalStoredBlocks() const;
+  [[nodiscard]] Bytes dataBytes() const {
+    return static_cast<Bytes>(k) * block_bytes;
+  }
+
+  /// Cache key of the stored block at `stored_pos` on placement `p`;
+  /// leaves 16 low bits of sub-key space for cache lines (enough for a
+  /// 64 MB block with 4 KB lines) and stays collision-free for files,
+  /// disks and block positions within the simulated ranges.
+  [[nodiscard]] std::uint64_t cacheKey(std::uint32_t p,
+                                       std::uint32_t stored_pos) const;
+
+  /// Redraws every placement's layout from `policy` while keeping the
+  /// stored block lists. Models the paper's assumption that disk
+  /// performance at read time is independent of what it was at write time
+  /// (§6.3.1, unbalanced-striping experiments).
+  void redrawLayouts(const LayoutPolicy& policy, Rng& rng);
+};
+
+}  // namespace robustore::client

@@ -1,0 +1,90 @@
+#include "coding/gf256.hpp"
+
+#include "common/expects.hpp"
+
+namespace robustore::coding {
+namespace {
+
+GF256::Elem slowMul(GF256::Elem a, GF256::Elem b) {
+  // Russian-peasant multiplication with modular reduction; only used to
+  // build the tables once.
+  std::uint16_t result = 0;
+  std::uint16_t aa = a;
+  std::uint16_t bb = b;
+  while (bb != 0) {
+    if (bb & 1) result ^= aa;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= 0x11b;
+    bb >>= 1;
+  }
+  return static_cast<GF256::Elem>(result);
+}
+
+}  // namespace
+
+const GF256::Tables GF256::tables_ = [] {
+  Tables t{};
+  // Generator 3 is primitive for 0x11b, so successive powers enumerate all
+  // 255 non-zero elements.
+  GF256::Elem x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    t.exp[i] = x;
+    t.log[x] = static_cast<std::uint16_t>(i);
+    x = slowMul(x, 3);
+  }
+  for (unsigned i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  t.log[0] = 0;  // never consulted: mul() short-circuits zero operands
+  return t;
+}();
+
+const std::array<GF256::Elem, 512>& GF256::exp_ = GF256::tables_.exp;
+const std::array<std::uint16_t, 256>& GF256::log_ = GF256::tables_.log;
+
+GF256::Elem GF256::div(Elem a, Elem b) {
+  ROBUSTORE_EXPECTS(b != 0, "division by zero in GF(256)");
+  if (a == 0) return 0;
+  return exp_[log_[a] + 255 - log_[b]];
+}
+
+GF256::Elem GF256::inv(Elem a) {
+  ROBUSTORE_EXPECTS(a != 0, "inverse of zero in GF(256)");
+  return exp_[255 - log_[a]];
+}
+
+GF256::Elem GF256::pow(Elem a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  return exp_[(static_cast<unsigned>(log_[a]) * n) % 255];
+}
+
+void GF256::mulAddInto(std::span<Elem> dst, std::span<const Elem> src,
+                       Elem coeff) {
+  ROBUSTORE_EXPECTS(dst.size() == src.size(), "mulAddInto size mismatch");
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  // Per-coefficient product table: one 256-entry lookup table amortised
+  // over the whole buffer, the classic RS optimisation.
+  Elem table[256];
+  table[0] = 0;
+  const std::uint16_t lc = log_[coeff];
+  for (unsigned v = 1; v < 256; ++v) table[v] = exp_[log_[v] + lc];
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= table[src[i]];
+}
+
+void GF256::scaleInto(std::span<Elem> dst, Elem coeff) {
+  if (coeff == 1) return;
+  if (coeff == 0) {
+    for (auto& v : dst) v = 0;
+    return;
+  }
+  Elem table[256];
+  table[0] = 0;
+  const std::uint16_t lc = log_[coeff];
+  for (unsigned v = 1; v < 256; ++v) table[v] = exp_[log_[v] + lc];
+  for (auto& v : dst) v = table[v];
+}
+
+}  // namespace robustore::coding

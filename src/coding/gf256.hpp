@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace robustore::coding {
+
+/// Arithmetic over GF(2^8) with the AES/Rijndael reduction polynomial
+/// x^8 + x^4 + x^3 + x + 1 (0x11b). Backs the Reed–Solomon baseline the
+/// paper measures in Table 5-1.
+///
+/// Multiplication uses log/antilog tables built at static-init time;
+/// addition is XOR. All operations are branch-light and constant time with
+/// respect to values (not a security property here, just speed).
+class GF256 {
+ public:
+  using Elem = std::uint8_t;
+
+  static constexpr Elem add(Elem a, Elem b) { return a ^ b; }
+  static constexpr Elem sub(Elem a, Elem b) { return a ^ b; }
+
+  [[nodiscard]] static Elem mul(Elem a, Elem b) {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  /// a / b; b must be non-zero.
+  [[nodiscard]] static Elem div(Elem a, Elem b);
+
+  /// Multiplicative inverse; a must be non-zero.
+  [[nodiscard]] static Elem inv(Elem a);
+
+  /// a^n with a in the field, n >= 0.
+  [[nodiscard]] static Elem pow(Elem a, unsigned n);
+
+  /// dst += coeff * src over the field, element-wise (the RS inner loop).
+  static void mulAddInto(std::span<Elem> dst, std::span<const Elem> src,
+                         Elem coeff);
+
+  /// dst *= coeff element-wise.
+  static void scaleInto(std::span<Elem> dst, Elem coeff);
+
+ private:
+  struct Tables {
+    std::array<Elem, 512> exp;  // doubled so mul avoids a modulo
+    std::array<std::uint16_t, 256> log;
+  };
+  static const Tables tables_;
+  static const std::array<Elem, 512>& exp_;
+  static const std::array<std::uint16_t, 256>& log_;
+};
+
+}  // namespace robustore::coding

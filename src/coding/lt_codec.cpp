@@ -1,0 +1,164 @@
+#include "coding/lt_codec.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "coding/xor_kernel.hpp"
+#include "common/expects.hpp"
+
+namespace robustore::coding {
+
+LtEncoder::LtEncoder(const LtGraph& graph, std::span<const std::uint8_t> data,
+                     Bytes block_size)
+    : graph_(&graph), data_(data), block_size_(block_size) {
+  ROBUSTORE_EXPECTS(block_size > 0, "encoder needs a positive block size");
+  ROBUSTORE_EXPECTS(data.size() == graph.k() * block_size,
+                    "data must be k blocks of block_size bytes");
+}
+
+void LtEncoder::encodeBlock(std::uint32_t index,
+                            std::span<std::uint8_t> out) const {
+  ROBUSTORE_EXPECTS(out.size() == block_size_, "bad encode output size");
+  const auto nb = graph_->neighbors(index);
+  ROBUSTORE_EXPECTS(!nb.empty(), "coded block with zero degree");
+  const auto block = [&](std::uint32_t o) {
+    return data_.subspan(o * block_size_, block_size_);
+  };
+  std::copy_n(block(nb[0]).data(), block_size_, out.data());
+  std::size_t i = 1;
+  for (; i + 1 < nb.size(); i += 2) {
+    xorInto2(out, block(nb[i]), block(nb[i + 1]));
+  }
+  if (i < nb.size()) xorInto(out, block(nb[i]));
+}
+
+std::vector<std::uint8_t> LtEncoder::encodeAll() const {
+  std::vector<std::uint8_t> out(graph_->n() * block_size_);
+  for (std::uint32_t c = 0; c < graph_->n(); ++c) {
+    encodeBlock(c, std::span(out).subspan(c * block_size_, block_size_));
+  }
+  return out;
+}
+
+LtDecoder::LtDecoder(const LtGraph& graph, Bytes block_size,
+                     std::uint32_t watch_prefix)
+    : graph_(&graph), block_size_(block_size) {
+  const std::uint32_t k = graph.k();
+  watch_prefix_ = std::min(watch_prefix, k);
+  const std::uint32_t n = graph.n();
+  if (block_size_ > 0) {
+    data_.resize(static_cast<std::size_t>(k) * block_size_);
+    payloads_.resize(n);
+  }
+  received_.assign(n, false);
+  recovered_.assign(k, false);
+  remaining_.assign(n, 0);
+
+  // Reverse adjacency (original -> coded), CSR.
+  std::vector<std::uint32_t> count(k, 0);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    for (const auto o : graph.neighbors(c)) ++count[o];
+  }
+  rev_offsets_.assign(k + 1, 0);
+  for (std::uint32_t o = 0; o < k; ++o) {
+    rev_offsets_[o + 1] = rev_offsets_[o] + count[o];
+  }
+  rev_edges_.resize(graph.totalEdges());
+  std::vector<std::uint64_t> cursor(rev_offsets_.begin(),
+                                    rev_offsets_.end() - 1);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    for (const auto o : graph.neighbors(c)) rev_edges_[cursor[o]++] = c;
+  }
+}
+
+bool LtDecoder::addSymbol(std::uint32_t coded_id,
+                          std::span<const std::uint8_t> payload) {
+  ROBUSTORE_EXPECTS(coded_id < graph_->n(), "coded id out of range");
+  if (received_[coded_id] || complete()) return complete();
+  if (block_size_ > 0) {
+    ROBUSTORE_EXPECTS(payload.size() == block_size_,
+                      "payload size must equal block size");
+    payloads_[coded_id].assign(payload.begin(), payload.end());
+  }
+  received_[coded_id] = true;
+  ++symbols_used_;
+
+  std::uint32_t rem = 0;
+  for (const auto o : graph_->neighbors(coded_id)) {
+    if (!recovered_[o]) ++rem;
+  }
+  remaining_[coded_id] = rem;
+  if (rem == 0) {
+    if (!payloads_.empty()) payloads_[coded_id].clear();
+    return complete();
+  }
+  if (rem == 1) {
+    ripple_.push_back(coded_id);
+    while (!ripple_.empty() && !complete()) {
+      const std::uint32_t c = ripple_.back();
+      ripple_.pop_back();
+      if (remaining_[c] == 1) resolve(c);
+    }
+  }
+  return complete();
+}
+
+void LtDecoder::resolve(std::uint32_t coded_id) {
+  const auto nb = graph_->neighbors(coded_id);
+  std::uint32_t target = graph_->k();
+  for (const auto o : nb) {
+    if (!recovered_[o]) {
+      target = o;
+      break;
+    }
+  }
+  ROBUSTORE_EXPECTS(target < graph_->k(), "resolve without an open neighbor");
+
+  if (block_size_ > 0) {
+    // Lazy XOR: combine the stored payload with every *recovered* neighbor
+    // now, in one pass over the target buffer.
+    auto dst = std::span(data_).subspan(
+        static_cast<std::size_t>(target) * block_size_, block_size_);
+    std::copy(payloads_[coded_id].begin(), payloads_[coded_id].end(),
+              dst.begin());
+    for (const auto o : nb) {
+      if (o == target) continue;
+      xorInto(dst, std::span<const std::uint8_t>(data_).subspan(
+                       static_cast<std::size_t>(o) * block_size_,
+                       block_size_));
+      ++xor_ops_;
+    }
+    payloads_[coded_id].clear();
+    payloads_[coded_id].shrink_to_fit();
+  } else {
+    xor_ops_ += nb.size() - 1;
+  }
+  edges_used_ += nb.size();
+  remaining_[coded_id] = 0;
+  recovered_[target] = true;
+  ++recovered_count_;
+  if (target < watch_prefix_) ++recovered_prefix_count_;
+
+  for (std::uint64_t e = rev_offsets_[target]; e < rev_offsets_[target + 1];
+       ++e) {
+    const std::uint32_t c2 = rev_edges_[e];
+    if (!received_[c2] || remaining_[c2] == 0) continue;
+    if (--remaining_[c2] == 1) ripple_.push_back(c2);
+  }
+}
+
+std::vector<std::uint8_t> LtDecoder::takeData() {
+  ROBUSTORE_EXPECTS(complete(), "takeData before decoding completed");
+  ROBUSTORE_EXPECTS(block_size_ > 0, "takeData in ID-only mode");
+  return std::move(data_);
+}
+
+std::vector<std::uint8_t> LtDecoder::takePrefixData() {
+  ROBUSTORE_EXPECTS(prefixComplete(),
+                    "takePrefixData before the prefix was recovered");
+  ROBUSTORE_EXPECTS(block_size_ > 0, "takePrefixData in ID-only mode");
+  data_.resize(static_cast<std::size_t>(watch_prefix_) * block_size_);
+  return std::move(data_);
+}
+
+}  // namespace robustore::coding

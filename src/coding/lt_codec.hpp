@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/lt_graph.hpp"
+#include "common/units.hpp"
+
+namespace robustore::coding {
+
+/// LT encoder: each coded block is the XOR of its graph neighbors.
+///
+/// Encoding is stateless with respect to order, so the storage client can
+/// overlap it with network I/O (§5.2.1: coding off the critical path).
+class LtEncoder {
+ public:
+  /// `data` holds the k original blocks concatenated (k * block_size bytes).
+  LtEncoder(const LtGraph& graph, std::span<const std::uint8_t> data,
+            Bytes block_size);
+
+  [[nodiscard]] const LtGraph& graph() const { return *graph_; }
+
+  /// Writes coded block `index` into `out` (block_size bytes).
+  void encodeBlock(std::uint32_t index, std::span<std::uint8_t> out) const;
+
+  /// Encodes every coded block; returns n * block_size bytes.
+  [[nodiscard]] std::vector<std::uint8_t> encodeAll() const;
+
+ private:
+  const LtGraph* graph_;
+  std::span<const std::uint8_t> data_;
+  Bytes block_size_;
+};
+
+/// Incremental LT peeling decoder with lazy XOR (§5.2.3(3)).
+///
+/// Two modes share one implementation:
+///  * data mode (block_size > 0): payloads are XOR-combined and the
+///    original data can be extracted on completion;
+///  * ID mode (block_size == 0): runs the identical peeling schedule over
+///    block identities only — this is what the storage simulator uses to
+///    learn exactly when a read access can complete.
+class LtDecoder {
+ public:
+  /// `watch_prefix` (default: all of k) selects how many leading original
+  /// blocks the prefix counter tracks; composed codes (Raptor) use it to
+  /// detect "all source symbols recovered" before every intermediate is.
+  explicit LtDecoder(const LtGraph& graph, Bytes block_size = 0,
+                     std::uint32_t watch_prefix = ~0u);
+
+  /// Feeds one received coded block. Duplicate ids are ignored (returns
+  /// current completion state). In data mode `payload` must be block_size
+  /// bytes; in ID mode it must be empty.
+  bool addSymbol(std::uint32_t coded_id,
+                 std::span<const std::uint8_t> payload = {});
+
+  [[nodiscard]] bool complete() const { return recovered_count_ == graph_->k(); }
+  [[nodiscard]] std::uint32_t recoveredCount() const { return recovered_count_; }
+  /// Recovered blocks among the first `watch_prefix` originals.
+  [[nodiscard]] std::uint32_t recoveredPrefixCount() const {
+    return recovered_prefix_count_;
+  }
+  [[nodiscard]] bool prefixComplete() const {
+    return recovered_prefix_count_ == watch_prefix_;
+  }
+  [[nodiscard]] bool isRecovered(std::uint32_t original) const {
+    return recovered_[original];
+  }
+
+  /// Distinct coded blocks accepted before completion; the reception
+  /// overhead of Figure 5-1 is symbolsUsed()/k - 1.
+  [[nodiscard]] std::uint32_t symbolsUsed() const { return symbols_used_; }
+
+  /// Sum of degrees of the coded blocks that resolved an original — the
+  /// "edges used on decoding" metric of Figure 5-2.
+  [[nodiscard]] std::uint64_t edgesUsed() const { return edges_used_; }
+
+  /// Buffer XOR operations actually performed (lazy XOR does exactly
+  /// degree-1 per resolving block and none for never-resolving blocks).
+  [[nodiscard]] std::uint64_t xorOps() const { return xor_ops_; }
+
+  /// Data mode only: concatenated original blocks; aborts if !complete().
+  [[nodiscard]] std::vector<std::uint8_t> takeData();
+
+  /// Data mode only: the first watch-prefix blocks, once prefixComplete().
+  /// Composed codes extract the source symbols this way while padding
+  /// intermediates may remain unrecovered.
+  [[nodiscard]] std::vector<std::uint8_t> takePrefixData();
+
+ private:
+  void resolve(std::uint32_t coded_id);
+
+  const LtGraph* graph_;
+  Bytes block_size_;
+  std::vector<std::uint8_t> data_;         // k * block_size (data mode)
+  std::vector<std::vector<std::uint8_t>> payloads_;  // per coded block
+  std::vector<bool> received_;
+  std::vector<bool> recovered_;
+  std::vector<std::uint32_t> remaining_;   // unrecovered-neighbor counts
+  std::vector<std::uint64_t> rev_offsets_;  // original -> coded CSR
+  std::vector<std::uint32_t> rev_edges_;
+  std::vector<std::uint32_t> ripple_;
+  std::uint32_t watch_prefix_ = 0;
+  std::uint32_t recovered_prefix_count_ = 0;
+  std::uint32_t recovered_count_ = 0;
+  std::uint32_t symbols_used_ = 0;
+  std::uint64_t edges_used_ = 0;
+  std::uint64_t xor_ops_ = 0;
+};
+
+}  // namespace robustore::coding

@@ -1,0 +1,218 @@
+#include "coding/lt_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/expects.hpp"
+
+namespace robustore::coding {
+namespace {
+
+struct PeelResult {
+  std::vector<bool> recovered;  // per original block
+  std::vector<bool> useful;     // coded blocks that resolved an original
+  std::uint32_t recovered_count = 0;
+};
+
+/// Belief-propagation peel assuming *all* coded blocks are present.
+PeelResult peelAll(std::uint32_t k, std::uint32_t n,
+                   const std::vector<std::uint64_t>& offsets,
+                   const std::vector<std::uint32_t>& edges) {
+  PeelResult r;
+  r.recovered.assign(k, false);
+  r.useful.assign(n, false);
+
+  // Reverse adjacency: original -> coded blocks referencing it.
+  std::vector<std::uint32_t> rev_count(k, 0);
+  for (const auto o : edges) ++rev_count[o];
+  std::vector<std::uint64_t> rev_off(k + 1, 0);
+  for (std::uint32_t i = 0; i < k; ++i) rev_off[i + 1] = rev_off[i] + rev_count[i];
+  std::vector<std::uint32_t> rev(edges.size());
+  {
+    std::vector<std::uint64_t> cursor(rev_off.begin(), rev_off.end() - 1);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      for (std::uint64_t e = offsets[c]; e < offsets[c + 1]; ++e) {
+        rev[cursor[edges[e]]++] = c;
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> remaining(n);
+  std::vector<std::uint32_t> ripple;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    remaining[c] = static_cast<std::uint32_t>(offsets[c + 1] - offsets[c]);
+    if (remaining[c] == 1) ripple.push_back(c);
+  }
+
+  while (!ripple.empty()) {
+    const std::uint32_t c = ripple.back();
+    ripple.pop_back();
+    if (remaining[c] != 1) continue;  // stale entry
+    // Find the single unrecovered neighbor.
+    std::uint32_t target = k;
+    for (std::uint64_t e = offsets[c]; e < offsets[c + 1]; ++e) {
+      if (!r.recovered[edges[e]]) {
+        target = edges[e];
+        break;
+      }
+    }
+    if (target == k) {  // already resolved by another block
+      remaining[c] = 0;
+      continue;
+    }
+    r.recovered[target] = true;
+    r.useful[c] = true;
+    remaining[c] = 0;
+    ++r.recovered_count;
+    for (std::uint64_t e = rev_off[target]; e < rev_off[target + 1]; ++e) {
+      const std::uint32_t c2 = rev[e];
+      if (remaining[c2] == 0) continue;
+      if (--remaining[c2] == 1) ripple.push_back(c2);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::uint32_t PermutationStream::next() {
+  if (pos_ >= perm_.size()) {
+    perm_ = rng_->permutation(k_);
+    pos_ = 0;
+  }
+  return perm_[pos_++];
+}
+
+LtGraph LtGraph::generateOnce(std::uint32_t k, std::uint32_t n,
+                              const LtParams& params, Rng& rng) {
+  LtGraph g;
+  g.k_ = k;
+  g.n_ = n;
+  g.offsets_.reserve(n + 1);
+  g.offsets_.push_back(0);
+
+  const RobustSoliton dist(k, params.c, params.delta);
+  PermutationStream stream(k, rng);
+  // Scratch dedup bitmap, reused across coded blocks; generation stamps
+  // avoid clearing it n times.
+  std::vector<std::uint32_t> stamp(k, 0);
+  std::uint32_t gen = 0;
+
+  for (std::uint32_t c = 0; c < n; ++c) {
+    const std::uint32_t d = std::min(dist.sample(rng), k);
+    ++gen;
+    std::uint32_t chosen = 0;
+    while (chosen < d) {
+      const std::uint32_t o =
+          params.uniform_coverage
+              ? stream.next()
+              : static_cast<std::uint32_t>(rng.below(k));
+      if (stamp[o] == gen) continue;  // duplicate within this coded block
+      stamp[o] = gen;
+      g.edges_.push_back(o);
+      ++chosen;
+    }
+    g.offsets_.push_back(g.edges_.size());
+  }
+  return g;
+}
+
+LtGraph LtGraph::fromAdjacency(
+    std::uint32_t k,
+    const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  LtGraph g;
+  g.k_ = k;
+  g.n_ = static_cast<std::uint32_t>(adjacency.size());
+  g.offsets_.reserve(adjacency.size() + 1);
+  g.offsets_.push_back(0);
+  for (const auto& neighbors : adjacency) {
+    ROBUSTORE_EXPECTS(!neighbors.empty(), "coded block with no neighbors");
+    for (const auto o : neighbors) {
+      ROBUSTORE_EXPECTS(o < k, "neighbor index out of range");
+      g.edges_.push_back(o);
+    }
+    g.offsets_.push_back(g.edges_.size());
+  }
+  return g;
+}
+
+LtGraph LtGraph::generate(std::uint32_t k, std::uint32_t n,
+                          const LtParams& params, Rng& rng) {
+  ROBUSTORE_EXPECTS(k >= 1 && n >= k, "LT graph requires n >= k >= 1");
+  LtGraph g = generateOnce(k, n, params, rng);
+  if (!params.guarantee_decodable) return g;
+
+  for (std::uint32_t attempt = 0;
+       attempt < params.max_regenerations && !g.decodableWithAll();
+       ++attempt) {
+    g = generateOnce(k, n, params, rng);
+  }
+  if (!g.decodableWithAll()) {
+    g.repairDecodability();
+    ROBUSTORE_EXPECTS(g.decodableWithAll(), "repair must yield decodability");
+  }
+  return g;
+}
+
+void LtGraph::repairDecodability() {
+  const PeelResult peel = peelAll(k_, n_, offsets_, edges_);
+  std::vector<std::uint32_t> missing;
+  for (std::uint32_t o = 0; o < k_; ++o) {
+    if (!peel.recovered[o]) missing.push_back(o);
+  }
+  if (missing.empty()) return;
+
+  // Spare coded blocks (those the peel never consumed), highest degree
+  // first: sacrificing them costs the least read flexibility.
+  std::vector<std::uint32_t> spare;
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    if (!peel.useful[c]) spare.push_back(c);
+  }
+  ROBUSTORE_EXPECTS(spare.size() >= missing.size(),
+                    "n >= k guarantees enough spare blocks");
+  std::sort(spare.begin(), spare.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return degree(a) > degree(b);
+  });
+
+  // Rebuild adjacency with the substitutions.
+  std::vector<std::vector<std::uint32_t>> adj(n_);
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    const auto nb = neighbors(c);
+    adj[c].assign(nb.begin(), nb.end());
+  }
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    adj[spare[i]] = {missing[i]};
+  }
+  edges_.clear();
+  offsets_.assign(1, 0);
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    edges_.insert(edges_.end(), adj[c].begin(), adj[c].end());
+    offsets_.push_back(edges_.size());
+  }
+}
+
+std::span<const std::uint32_t> LtGraph::neighbors(std::uint32_t coded) const {
+  ROBUSTORE_EXPECTS(coded < n_, "coded block index out of range");
+  return {edges_.data() + offsets_[coded],
+          static_cast<std::size_t>(offsets_[coded + 1] - offsets_[coded])};
+}
+
+std::uint32_t LtGraph::degree(std::uint32_t coded) const {
+  return static_cast<std::uint32_t>(offsets_[coded + 1] - offsets_[coded]);
+}
+
+double LtGraph::meanDegree() const {
+  return n_ ? static_cast<double>(edges_.size()) / n_ : 0.0;
+}
+
+std::vector<std::uint32_t> LtGraph::inputDegrees() const {
+  std::vector<std::uint32_t> deg(k_, 0);
+  for (const auto o : edges_) ++deg[o];
+  return deg;
+}
+
+bool LtGraph::decodableWithAll() const {
+  return peelAll(k_, n_, offsets_, edges_).recovered_count == k_;
+}
+
+}  // namespace robustore::coding

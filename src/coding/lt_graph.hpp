@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/soliton.hpp"
+#include "common/rng.hpp"
+
+namespace robustore::coding {
+
+/// Degree-distribution / neighbor-selection options for graph generation.
+struct LtParams {
+  /// Robust-soliton C parameter (paper simulation default: 1.0).
+  double c = 1.0;
+  /// Robust-soliton delta parameter (paper simulation default: 0.5).
+  double delta = 0.5;
+  /// §5.2.3(2): cover input blocks uniformly via pseudo-random permutation
+  /// streams so input degrees differ by at most one.
+  bool uniform_coverage = true;
+  /// §5.2.3(1): guarantee that receiving all N coded blocks decodes. The
+  /// graph is regenerated up to `max_regenerations` times and then, if
+  /// still stuck, repaired by substituting degree-1 blocks for spare
+  /// (unused) coded blocks.
+  bool guarantee_decodable = true;
+  std::uint32_t max_regenerations = 3;
+};
+
+/// The bipartite LT coding graph: which original blocks each coded block
+/// XORs together. Immutable after generation; shared by encoder, decoder
+/// and the storage simulator (which runs the decoder in ID-only mode).
+class LtGraph {
+ public:
+  /// Empty graph (k = n = 0); assign from generate()/fromAdjacency().
+  LtGraph() = default;
+
+  /// Generates a graph with `n` coded blocks over `k` originals.
+  /// Deterministic given `rng` state.
+  static LtGraph generate(std::uint32_t k, std::uint32_t n,
+                          const LtParams& params, Rng& rng);
+
+  /// Builds a graph from an explicit adjacency list (coded block ->
+  /// original neighbors). Used by codes that compose LT with other
+  /// structures (Raptor pre-code constraints, hand-crafted tests).
+  static LtGraph fromAdjacency(
+      std::uint32_t k,
+      const std::vector<std::vector<std::uint32_t>>& adjacency);
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+
+  /// Original-block neighbors of coded block `c` (sorted not guaranteed).
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::uint32_t coded) const;
+
+  [[nodiscard]] std::uint32_t degree(std::uint32_t coded) const;
+  [[nodiscard]] std::uint64_t totalEdges() const { return edges_.size(); }
+
+  /// Mean coded-block degree (Fig 5-2 reports K * this for decode cost).
+  [[nodiscard]] double meanDegree() const;
+
+  /// Degree of each *original* block (used by the uniform-coverage tests
+  /// and by the update-access cost analysis in §4.3.4).
+  [[nodiscard]] std::vector<std::uint32_t> inputDegrees() const;
+
+  /// True when receiving every coded block recovers all originals.
+  [[nodiscard]] bool decodableWithAll() const;
+
+ private:
+  static LtGraph generateOnce(std::uint32_t k, std::uint32_t n,
+                              const LtParams& params, Rng& rng);
+  /// Replaces spare coded blocks with degree-1 copies of the blocks that a
+  /// full-reception peel failed to recover. See DESIGN.md §3.
+  void repairDecodability();
+
+  std::uint32_t k_ = 0;
+  std::uint32_t n_ = 0;
+  // CSR adjacency: coded block c's neighbors are
+  // edges_[offsets_[c] .. offsets_[c+1]).
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> edges_;
+};
+
+/// Draws values from successive random permutations of [0, k), so that any
+/// window of k consecutive draws covers every value exactly once — the
+/// pseudo-random selection technique of §5.2.3(2).
+class PermutationStream {
+ public:
+  PermutationStream(std::uint32_t k, Rng& rng) : k_(k), rng_(&rng) {}
+
+  [[nodiscard]] std::uint32_t next();
+
+ private:
+  std::uint32_t k_;
+  Rng* rng_;
+  std::vector<std::uint32_t> perm_;
+  std::uint32_t pos_ = 0;
+};
+
+}  // namespace robustore::coding

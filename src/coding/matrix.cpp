@@ -1,0 +1,84 @@
+#include "coding/matrix.hpp"
+
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace robustore::coding {
+
+GFMatrix GFMatrix::identity(std::size_t n) {
+  GFMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+GFMatrix GFMatrix::vandermonde(std::size_t rows, std::size_t cols) {
+  ROBUSTORE_EXPECTS(rows <= 256, "Vandermonde needs distinct field points");
+  GFMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto alpha = static_cast<GF256::Elem>(i);
+    GF256::Elem p = 1;
+    for (std::size_t j = 0; j < cols; ++j) {
+      m.at(i, j) = p;
+      p = GF256::mul(p, alpha);
+    }
+  }
+  // Row 0 is alpha=0: [1, 0, 0, ...]; still fine (it is e_0).
+  return m;
+}
+
+GFMatrix GFMatrix::multiply(const GFMatrix& rhs) const {
+  ROBUSTORE_EXPECTS(cols_ == rhs.rows_, "matrix multiply shape mismatch");
+  GFMatrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const GF256::Elem a = at(i, k);
+      if (a == 0) continue;
+      GF256::mulAddInto(out.row(i), rhs.row(k), a);
+    }
+  }
+  return out;
+}
+
+bool GFMatrix::invert() {
+  ROBUSTORE_EXPECTS(rows_ == cols_, "inverse of non-square matrix");
+  const std::size_t n = rows_;
+  GFMatrix aug(n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aug.at(i, j) = at(i, j);
+    aug.at(i, n + i) = 1;
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot search: any non-zero element works over a field.
+    std::size_t pivot = col;
+    while (pivot < n && aug.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < 2 * n; ++j) {
+        std::swap(aug.at(col, j), aug.at(pivot, j));
+      }
+    }
+    const GF256::Elem inv_p = GF256::inv(aug.at(col, col));
+    GF256::scaleInto(aug.row(col), inv_p);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const GF256::Elem f = aug.at(r, col);
+      if (f != 0) GF256::mulAddInto(aug.row(r), aug.row(col), f);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) at(i, j) = aug.at(i, n + j);
+  }
+  return true;
+}
+
+GFMatrix GFMatrix::selectRows(std::span<const std::uint32_t> idx) const {
+  GFMatrix out(idx.size(), cols_);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    ROBUSTORE_EXPECTS(idx[i] < rows_, "row selection out of range");
+    for (std::size_t j = 0; j < cols_; ++j) out.at(i, j) = at(idx[i], j);
+  }
+  return out;
+}
+
+}  // namespace robustore::coding

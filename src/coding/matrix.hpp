@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/gf256.hpp"
+
+namespace robustore::coding {
+
+/// Dense matrix over GF(256). Small (K <= a few hundred): Reed–Solomon code
+/// construction and decoding only; row-major storage.
+class GFMatrix {
+ public:
+  GFMatrix() = default;
+  GFMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  [[nodiscard]] static GFMatrix identity(std::size_t n);
+
+  /// Vandermonde matrix: entry (i, j) = alpha_i^j where alpha_i enumerates
+  /// distinct field elements. Any square submatrix formed by choosing rows
+  /// is invertible, which is exactly the MDS property RS relies on.
+  [[nodiscard]] static GFMatrix vandermonde(std::size_t rows,
+                                            std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] GF256::Elem& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] GF256::Elem at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::span<const GF256::Elem> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<GF256::Elem> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] GFMatrix multiply(const GFMatrix& rhs) const;
+
+  /// Gauss–Jordan inverse. Returns false (leaving *this unspecified) when
+  /// the matrix is singular.
+  [[nodiscard]] bool invert();
+
+  /// Extracts the listed rows into a new matrix.
+  [[nodiscard]] GFMatrix selectRows(std::span<const std::uint32_t> idx) const;
+
+  [[nodiscard]] bool operator==(const GFMatrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<GF256::Elem> data_;
+};
+
+}  // namespace robustore::coding

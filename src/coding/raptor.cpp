@@ -1,0 +1,152 @@
+#include "coding/raptor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coding/xor_kernel.hpp"
+#include "common/expects.hpp"
+
+namespace robustore::coding {
+namespace {
+
+/// Runs the combined peel assuming everything was received; returns the
+/// unrecovered *source* indices.
+std::vector<std::uint32_t> unrecoveredSources(const LtGraph& graph,
+                                              std::uint32_t k,
+                                              std::uint32_t n_lt) {
+  LtDecoder decoder(graph, 0, k);
+  // Pre-code checks are always available...
+  for (std::uint32_t c = n_lt; c < graph.n(); ++c) decoder.addSymbol(c);
+  // ...then every LT symbol arrives.
+  for (std::uint32_t c = 0; c < n_lt; ++c) decoder.addSymbol(c);
+  std::vector<std::uint32_t> missing;
+  for (std::uint32_t s = 0; s < k; ++s) {
+    if (!decoder.isRecovered(s)) missing.push_back(s);
+  }
+  return missing;
+}
+
+}  // namespace
+
+RaptorCode::RaptorCode(std::uint32_t k, std::uint32_t n,
+                       const RaptorParams& params, Rng& rng)
+    : k_(k), n_(n) {
+  ROBUSTORE_EXPECTS(k >= 1 && n >= k, "Raptor requires n >= k >= 1");
+  ROBUSTORE_EXPECTS(params.precode_degree >= 1, "pre-code degree >= 1");
+  const auto p = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::ceil(params.precode_overhead * static_cast<double>(k))));
+  m_ = k + p;
+
+  // Pre-code parities: uniform coverage of the sources.
+  parity_sources_.resize(p);
+  PermutationStream stream(k, rng);
+  std::vector<std::uint32_t> stamp(k, 0);
+  for (std::uint32_t i = 0; i < p; ++i) {
+    const std::uint32_t degree = std::min(params.precode_degree, k);
+    std::uint32_t chosen = 0;
+    while (chosen < degree) {
+      const std::uint32_t s = stream.next();
+      if (stamp[s] == i + 1) continue;
+      stamp[s] = i + 1;
+      parity_sources_[i].push_back(s);
+      ++chosen;
+    }
+  }
+
+  // Inner LT over the m intermediates; the pre-code itself supplies the
+  // full-recovery guarantee, so the raw Luby graph suffices per attempt.
+  LtParams inner = params.inner;
+  inner.guarantee_decodable = false;
+
+  std::vector<std::vector<std::uint32_t>> adjacency(n + p);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const LtGraph lt = LtGraph::generate(m_, n, inner, rng);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const auto nb = lt.neighbors(c);
+      adjacency[c].assign(nb.begin(), nb.end());
+    }
+    for (std::uint32_t i = 0; i < p; ++i) {
+      adjacency[n + i] = parity_sources_[i];
+      adjacency[n + i].push_back(k + i);  // the parity intermediate itself
+    }
+    graph_ = LtGraph::fromAdjacency(m_, adjacency);
+    if (unrecoveredSources(graph_, k_, n_).empty()) return;
+  }
+
+  // Deterministic repair (same spirit as §5.2.3(1)): overwrite tail LT
+  // rows with direct copies of whatever sources full reception cannot
+  // reach, iterating to a fixpoint. Each round consumes fresh rows so a
+  // later round never undoes an earlier repair.
+  std::uint32_t next_repair_row = n;
+  for (;;) {
+    const auto missing = unrecoveredSources(graph_, k_, n_);
+    if (missing.empty()) return;
+    ROBUSTORE_EXPECTS(missing.size() <= next_repair_row,
+                      "repair out of spare rows");
+    for (const auto source : missing) {
+      adjacency[--next_repair_row] = {source};
+    }
+    graph_ = LtGraph::fromAdjacency(m_, adjacency);
+  }
+}
+
+std::vector<std::uint8_t> RaptorCode::encodeAll(
+    std::span<const std::uint8_t> data, Bytes block_size) const {
+  ROBUSTORE_EXPECTS(data.size() == static_cast<std::size_t>(k_) * block_size,
+                    "data must be k blocks");
+  // Intermediates: sources verbatim, then parities.
+  std::vector<std::uint8_t> intermediates(
+      static_cast<std::size_t>(m_) * block_size, 0);
+  std::copy(data.begin(), data.end(), intermediates.begin());
+  for (std::uint32_t i = 0; i < parityCount(); ++i) {
+    auto dst = std::span(intermediates)
+                   .subspan(static_cast<std::size_t>(k_ + i) * block_size,
+                            block_size);
+    for (const auto s : parity_sources_[i]) {
+      xorInto(dst, data.subspan(static_cast<std::size_t>(s) * block_size,
+                                block_size));
+    }
+  }
+
+  const LtEncoder encoder(graph_, intermediates, block_size);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(n_) * block_size);
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    encoder.encodeBlock(c, std::span(out).subspan(
+                               static_cast<std::size_t>(c) * block_size,
+                               block_size));
+  }
+  return out;
+}
+
+RaptorCode::Decoder::Decoder(const RaptorCode& code, Bytes block_size)
+    : code_(&code),
+      block_size_(block_size),
+      inner_(code.graph_, block_size, code.k()) {
+  // Pre-code constraints hold unconditionally: inject them as received
+  // zero-valued check symbols (parity XOR its sources == 0).
+  const std::vector<std::uint8_t> zeros(block_size, 0);
+  for (std::uint32_t c = code.n(); c < code.combinedGraph().n(); ++c) {
+    if (block_size_ > 0) {
+      inner_.addSymbol(c, zeros);
+    } else {
+      inner_.addSymbol(c);
+    }
+  }
+}
+
+bool RaptorCode::Decoder::addSymbol(std::uint32_t id,
+                                    std::span<const std::uint8_t> payload) {
+  ROBUSTORE_EXPECTS(id < code_->n(), "coded id out of range");
+  if (complete()) return true;
+  const auto before = inner_.symbolsUsed();
+  inner_.addSymbol(id, payload);
+  if (inner_.symbolsUsed() > before) ++symbols_used_;
+  return complete();
+}
+
+std::vector<std::uint8_t> RaptorCode::Decoder::takeData() {
+  return inner_.takePrefixData();
+}
+
+}  // namespace robustore::coding

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coding/lt_codec.hpp"
+#include "coding/lt_graph.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace robustore::coding {
+
+/// Raptor code (§2.2.3, Shokrollahi): a high-rate pre-code concatenated
+/// with a *weakened* LT inner code.
+///
+/// The k source blocks are first expanded into m = k + p intermediate
+/// blocks by appending p parity blocks (each the XOR of `precode_degree`
+/// sources, covered uniformly). A sparse LT code then runs over the m
+/// intermediates. The inner LT only needs to recover *most* intermediates
+/// — any source still missing after the LT ripple stalls is recovered
+/// through the pre-code parity constraints, which the decoder treats as
+/// zero-valued check symbols available from the start. This keeps the
+/// inner degree distribution sparse (linear-time decoding) without
+/// losing full recovery.
+struct RaptorParams {
+  /// Parity fraction p/k of the pre-code.
+  double precode_overhead = 0.08;
+  /// Source blocks XOR-ed into each parity block.
+  std::uint32_t precode_degree = 8;
+  /// Inner LT distribution. Weakening means *sparser*: a small delta
+  /// concentrates the robust-soliton mass at low degrees (mean degree ~3
+  /// versus ~5 for the stand-alone code), which is exactly what the
+  /// pre-code buys — the LT layer no longer has to cover every straggler
+  /// by itself.
+  LtParams inner{1.0, 0.02, true, false, 0};
+};
+
+class RaptorCode {
+ public:
+  /// Builds a Raptor code producing `n` coded blocks over `k` sources.
+  RaptorCode(std::uint32_t k, std::uint32_t n, const RaptorParams& params,
+             Rng& rng);
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+  /// Intermediate block count m = k + p.
+  [[nodiscard]] std::uint32_t m() const { return m_; }
+  [[nodiscard]] std::uint32_t parityCount() const { return m_ - k_; }
+
+  /// The combined decoding graph: unknowns are the m intermediates;
+  /// constraint rows are the n LT symbols followed by the p pre-code
+  /// checks.
+  [[nodiscard]] const LtGraph& combinedGraph() const { return graph_; }
+
+  /// Encodes the k source blocks into n coded blocks (concatenated).
+  [[nodiscard]] std::vector<std::uint8_t> encodeAll(
+      std::span<const std::uint8_t> data, Bytes block_size) const;
+
+  /// Incremental Raptor decoder. ID mode (block_size == 0) drives storage
+  /// simulations; data mode reconstructs payloads.
+  class Decoder {
+   public:
+    explicit Decoder(const RaptorCode& code, Bytes block_size = 0);
+
+    /// Feeds received coded block `id` in [0, n). Returns complete().
+    bool addSymbol(std::uint32_t id,
+                   std::span<const std::uint8_t> payload = {});
+
+    /// Complete once every *source* block is recovered (intermediate
+    /// parities may remain unknown).
+    [[nodiscard]] bool complete() const { return inner_.prefixComplete(); }
+    [[nodiscard]] std::uint32_t symbolsUsed() const { return symbols_used_; }
+    [[nodiscard]] std::uint64_t edgesUsed() const { return inner_.edgesUsed(); }
+
+    /// Data mode: the k reconstructed source blocks, concatenated.
+    [[nodiscard]] std::vector<std::uint8_t> takeData();
+
+   private:
+    const RaptorCode* code_;
+    Bytes block_size_;
+    LtDecoder inner_;
+    std::uint32_t symbols_used_ = 0;
+  };
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t n_;
+  std::uint32_t m_;
+  std::vector<std::vector<std::uint32_t>> parity_sources_;
+  LtGraph graph_;
+};
+
+}  // namespace robustore::coding

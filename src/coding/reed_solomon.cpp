@@ -1,0 +1,72 @@
+#include "coding/reed_solomon.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace robustore::coding {
+
+ReedSolomon::ReedSolomon(std::uint32_t k, std::uint32_t n) : k_(k), n_(n) {
+  ROBUSTORE_EXPECTS(k >= 1 && k <= n && n <= 256,
+                    "RS requires 1 <= K <= N <= 256");
+  GFMatrix v = GFMatrix::vandermonde(n, k);
+  GFMatrix top(k, k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = 0; j < k; ++j) top.at(i, j) = v.at(i, j);
+  }
+  const bool ok = top.invert();
+  ROBUSTORE_EXPECTS(ok, "Vandermonde top block must be invertible");
+  generator_ = v.multiply(top);
+}
+
+void ReedSolomon::encodeBlock(std::uint32_t index,
+                              std::span<const std::uint8_t> data,
+                              Bytes block_size,
+                              std::span<std::uint8_t> out) const {
+  ROBUSTORE_EXPECTS(index < n_, "coded block index out of range");
+  ROBUSTORE_EXPECTS(data.size() == k_ * block_size, "bad data size");
+  ROBUSTORE_EXPECTS(out.size() == block_size, "bad output size");
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  for (std::uint32_t j = 0; j < k_; ++j) {
+    const GF256::Elem coeff = generator_.at(index, j);
+    if (coeff == 0) continue;
+    GF256::mulAddInto(out, data.subspan(j * block_size, block_size), coeff);
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(
+    std::span<const std::uint8_t> data, Bytes block_size) const {
+  std::vector<std::uint8_t> out(n_ * block_size);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    encodeBlock(i, data, block_size,
+                std::span(out).subspan(i * block_size, block_size));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ReedSolomon::decode(
+    std::span<const std::uint32_t> indices,
+    std::span<const std::uint8_t> blocks, Bytes block_size) const {
+  ROBUSTORE_EXPECTS(indices.size() >= k_, "RS decode needs at least K blocks");
+  ROBUSTORE_EXPECTS(blocks.size() == indices.size() * block_size,
+                    "blocks buffer size mismatch");
+  // Use exactly the first K blocks: any K suffice by the MDS property.
+  std::vector<std::uint32_t> rows(indices.begin(), indices.begin() + k_);
+  GFMatrix sub = generator_.selectRows(rows);
+  const bool ok = sub.invert();
+  ROBUSTORE_EXPECTS(ok, "any K distinct RS rows must be invertible");
+
+  std::vector<std::uint8_t> out(k_ * block_size, 0);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    auto dst = std::span(out).subspan(i * block_size, block_size);
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      const GF256::Elem coeff = sub.at(i, j);
+      if (coeff == 0) continue;
+      GF256::mulAddInto(dst, blocks.subspan(j * block_size, block_size),
+                        coeff);
+    }
+  }
+  return out;
+}
+
+}  // namespace robustore::coding

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/matrix.hpp"
+#include "common/units.hpp"
+
+namespace robustore::coding {
+
+/// Systematic Reed–Solomon erasure code over GF(2^8).
+///
+/// The *optimal* erasure code of §2.2.2 / Table 5-1: any K of the N coded
+/// blocks reconstruct the original K blocks, at the cost of O(K^2)-ish
+/// decode work — exactly the trade-off the paper measures to justify
+/// choosing LT codes instead.
+///
+/// Construction: G = V * V_top^-1, where V is an N x K Vandermonde matrix.
+/// Right-multiplying by an invertible matrix preserves "every K-row
+/// submatrix invertible", and makes the top K rows the identity, so blocks
+/// 0..K-1 are verbatim copies of the data.
+class ReedSolomon {
+ public:
+  /// N coded blocks from K original blocks; requires K <= N <= 256.
+  ReedSolomon(std::uint32_t k, std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+
+  /// Encodes `data` (k equal-size blocks, concatenated) into n blocks of
+  /// the same size, concatenated into the returned buffer.
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> data, Bytes block_size) const;
+
+  /// Encodes one coded block (row `index` of the generator) into `out`.
+  void encodeBlock(std::uint32_t index,
+                   std::span<const std::uint8_t> data, Bytes block_size,
+                   std::span<std::uint8_t> out) const;
+
+  /// Reconstructs the original k blocks from any k coded blocks.
+  /// `indices[i]` names which coded block `blocks[i]` is. Returns the
+  /// concatenated original data. Aborts when fewer than k blocks given.
+  [[nodiscard]] std::vector<std::uint8_t> decode(
+      std::span<const std::uint32_t> indices,
+      std::span<const std::uint8_t> blocks, Bytes block_size) const;
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t n_;
+  GFMatrix generator_;  // n x k, top k x k == identity
+};
+
+}  // namespace robustore::coding

@@ -1,0 +1,34 @@
+#include "coding/replication.hpp"
+
+#include "common/expects.hpp"
+
+namespace robustore::coding {
+
+ReplicationTracker::ReplicationTracker(std::uint32_t k) : k_(k) {
+  ROBUSTORE_EXPECTS(k >= 1, "tracker needs k >= 1");
+  have_.assign(k, false);
+}
+
+bool ReplicationTracker::addCopy(std::uint32_t block) {
+  ROBUSTORE_EXPECTS(block < k_, "block index out of range");
+  ++copies_;
+  if (!have_[block]) {
+    have_[block] = true;
+    ++covered_;
+  }
+  return complete();
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+RotatedReplicaLayout::onDisk(std::uint32_t disk) const {
+  ROBUSTORE_EXPECTS(disk < num_disks, "disk index out of range");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (std::uint32_t r = 0; r < num_replicas; ++r) {
+    for (std::uint32_t b = 0; b < num_blocks; ++b) {
+      if (diskOf(b, r) == disk) out.emplace_back(b, r);
+    }
+  }
+  return out;
+}
+
+}  // namespace robustore::coding

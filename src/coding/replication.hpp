@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace robustore::coding {
+
+/// Completion tracker for plain-text replicated reads (RAID-0 / RRAID-S /
+/// RRAID-A in §6.2.1): an access completes once at least one copy of every
+/// original block has arrived. This is the replication counterpart of
+/// LtDecoder — same interface shape so schemes can treat them uniformly.
+class ReplicationTracker {
+ public:
+  explicit ReplicationTracker(std::uint32_t k);
+
+  /// Feeds a received copy of original block `block`. Returns complete().
+  bool addCopy(std::uint32_t block);
+
+  [[nodiscard]] bool complete() const { return covered_ == k_; }
+  [[nodiscard]] std::uint32_t coveredCount() const { return covered_; }
+  [[nodiscard]] bool isCovered(std::uint32_t block) const {
+    return have_[block];
+  }
+  /// Copies accepted so far (duplicates included): the numerator of the
+  /// replicated-scheme reception overhead.
+  [[nodiscard]] std::uint32_t copiesReceived() const { return copies_; }
+  /// Duplicate copies received (wasted I/O under speculative access).
+  [[nodiscard]] std::uint32_t duplicates() const { return copies_ - covered_; }
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t covered_ = 0;
+  std::uint32_t copies_ = 0;
+  std::vector<bool> have_;
+};
+
+/// Rotated replica placement used by RRAID-S / RRAID-A (§6.2.1): copy `r`
+/// of block `i` lives on disk (i + r) mod num_disks. The per-disk stored
+/// order interleaves replicas in block order, matching Figure 6-1(d).
+struct RotatedReplicaLayout {
+  std::uint32_t num_blocks = 0;
+  std::uint32_t num_replicas = 0;  // total copies per block (>= 1)
+  std::uint32_t num_disks = 0;
+
+  [[nodiscard]] std::uint32_t diskOf(std::uint32_t block,
+                                     std::uint32_t replica) const {
+    return (block + replica) % num_disks;
+  }
+
+  /// All (block, replica) pairs stored on `disk`, in stored order:
+  /// replica-major ("each replica starting one disk rotated over",
+  /// Figure 6-1d) — the disk's replica-0 slice first, then replica 1, and
+  /// so on, each slice in ascending block order. A speculative reader
+  /// therefore streams the disk's unique share before its redundant
+  /// copies.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> onDisk(
+      std::uint32_t disk) const;
+};
+
+}  // namespace robustore::coding

@@ -1,0 +1,60 @@
+#include "coding/update.hpp"
+
+#include <algorithm>
+
+#include "coding/xor_kernel.hpp"
+#include "common/expects.hpp"
+
+namespace robustore::coding {
+
+LtUpdater::LtUpdater(const LtGraph& graph) : graph_(&graph) {
+  reverse_.resize(graph.k());
+  for (std::uint32_t c = 0; c < graph.n(); ++c) {
+    for (const auto o : graph.neighbors(c)) reverse_[o].push_back(c);
+  }
+}
+
+LtUpdater::Plan LtUpdater::plan(std::uint32_t original) const {
+  ROBUSTORE_EXPECTS(original < graph_->k(), "original index out of range");
+  Plan p;
+  p.original = original;
+  p.affected = reverse_[original];
+  p.fraction = static_cast<double>(p.affected.size()) / graph_->n();
+  return p;
+}
+
+LtUpdater::Plan LtUpdater::plan(
+    std::span<const std::uint32_t> originals) const {
+  Plan p;
+  p.original = originals.empty() ? 0 : originals.front();
+  for (const auto o : originals) {
+    ROBUSTORE_EXPECTS(o < graph_->k(), "original index out of range");
+    p.affected.insert(p.affected.end(), reverse_[o].begin(),
+                      reverse_[o].end());
+  }
+  std::sort(p.affected.begin(), p.affected.end());
+  p.affected.erase(std::unique(p.affected.begin(), p.affected.end()),
+                   p.affected.end());
+  p.fraction = static_cast<double>(p.affected.size()) / graph_->n();
+  return p;
+}
+
+void LtUpdater::applyDelta(std::span<std::uint8_t> coded_block,
+                           std::span<const std::uint8_t> old_block,
+                           std::span<const std::uint8_t> new_block) {
+  xorInto2(coded_block, old_block, new_block);
+}
+
+double LtUpdater::meanAffected() const {
+  // Sum of input degrees == total edges.
+  return graph_->k() ? static_cast<double>(graph_->totalEdges()) / graph_->k()
+                     : 0.0;
+}
+
+std::uint32_t LtUpdater::maxAffected() const {
+  std::size_t max_deg = 0;
+  for (const auto& list : reverse_) max_deg = std::max(max_deg, list.size());
+  return static_cast<std::uint32_t>(max_deg);
+}
+
+}  // namespace robustore::coding

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/lt_graph.hpp"
+#include "common/units.hpp"
+
+namespace robustore::coding {
+
+/// Update-access support (§4.3.4). With a near-optimal code, changing one
+/// original block only dirties the coded blocks adjacent to it in the
+/// coding graph — about input-degree many, i.e. ~20 of 4096 (≈0.5%) for
+/// the paper's K=1024 configuration. The client examines the graph,
+/// regenerates exactly those blocks, pushes them to (possibly new) disks,
+/// and retires the stale versions.
+class LtUpdater {
+ public:
+  /// Precomputes the original -> coded reverse adjacency.
+  explicit LtUpdater(const LtGraph& graph);
+
+  struct Plan {
+    std::uint32_t original = 0;
+    /// Coded blocks that must be rewritten, ascending.
+    std::vector<std::uint32_t> affected;
+    /// Fraction of total coded data touched.
+    double fraction = 0.0;
+  };
+
+  /// Coded blocks dirtied by rewriting `original`.
+  [[nodiscard]] Plan plan(std::uint32_t original) const;
+
+  /// Union plan for a multi-block update.
+  [[nodiscard]] Plan plan(std::span<const std::uint32_t> originals) const;
+
+  /// XOR-patches one affected coded block in place:
+  ///   coded' = coded XOR old_block XOR new_block.
+  /// Equivalent to re-encoding but touches only this block's bytes.
+  static void applyDelta(std::span<std::uint8_t> coded_block,
+                         std::span<const std::uint8_t> old_block,
+                         std::span<const std::uint8_t> new_block);
+
+  /// Mean/max number of coded blocks dirtied per single-block update —
+  /// the §4.3.4 cost statistic.
+  [[nodiscard]] double meanAffected() const;
+  [[nodiscard]] std::uint32_t maxAffected() const;
+
+ private:
+  const LtGraph* graph_;
+  std::vector<std::vector<std::uint32_t>> reverse_;
+};
+
+}  // namespace robustore::coding

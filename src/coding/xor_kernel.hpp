@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace robustore::coding {
+
+/// dst ^= src, element-wise. Sizes must match.
+///
+/// This is the inner loop of LT encoding and decoding; §5.2.3(4) of the
+/// paper calls for word-wide, register-frugal XOR. The implementation works
+/// on 64-bit lanes with an unrolled body (the compiler further vectorises
+/// it), falling back to bytes for unaligned tails.
+void xorInto(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src);
+
+/// dst ^= a ^ b in a single pass (saves one full traversal of dst when
+/// combining two sources, a common case in batched lazy decoding).
+void xorInto2(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
+              std::span<const std::uint8_t> b);
+
+}  // namespace robustore::coding

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Precondition / invariant checking that stays on in release builds.
+///
+/// The simulator is a scientific instrument: silently continuing past a
+/// violated invariant would corrupt results, so violations abort with a
+/// source location instead of invoking undefined behaviour.
+#define ROBUSTORE_EXPECTS(cond, msg)                                          \
+  do {                                                                        \
+    if (!(cond)) [[unlikely]] {                                               \
+      std::fprintf(stderr, "robustore: %s:%d: check failed: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,36 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace robustore {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  ROBUSTORE_EXPECTS(n > 0, "bounded draw from empty range");
+  // Rejection-free in the common case; rejects only in the biased tail.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    // 128-bit multiply-shift maps r uniformly onto [0, n).
+    const __uint128_t m = static_cast<__uint128_t>(r) * n;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::exponential(double mean) {
+  ROBUSTORE_EXPECTS(mean > 0, "exponential mean must be positive");
+  // 1 - uniform() is in (0, 1], so the log argument is never zero.
+  return -mean * std::log(1.0 - uniform());
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> p(n);
+  for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+  shuffle(p);
+  return p;
+}
+
+}  // namespace robustore

@@ -1,0 +1,68 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace robustore {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ += delta * n2 / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::add(double x) {
+  stats_.add(x);
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double SampleSet::percentile(double p) const {
+  ROBUSTORE_EXPECTS(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+}  // namespace robustore

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace robustore {
+
+/// Simulated time in seconds. Double precision gives sub-nanosecond
+/// resolution over the (< 1e4 s) horizons simulated here.
+using SimTime = double;
+
+/// Byte counts are always 64-bit: single accesses reach tens of GB.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Disk sector size used throughout the disk model (512 B, matching the
+/// IBM Deskstar 7K400 the paper calibrates against).
+inline constexpr Bytes kSectorBytes = 512;
+
+inline constexpr SimTime kMilliseconds = 1e-3;
+inline constexpr SimTime kMicroseconds = 1e-6;
+
+/// Converts a byte count and a duration into the paper's bandwidth unit
+/// (decimal megabytes per second, as used in all figures/tables).
+[[nodiscard]] constexpr double toMBps(Bytes bytes, SimTime seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e6 / seconds : 0.0;
+}
+
+/// Bandwidth in MB/s expressed as bytes per second.
+[[nodiscard]] constexpr double mbps(double megabytes_per_second) {
+  return megabytes_per_second * 1e6;
+}
+
+}  // namespace robustore

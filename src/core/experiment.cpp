@@ -1,0 +1,147 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "client/raid0.hpp"
+#include "client/robustore_scheme.hpp"
+#include "client/rraid.hpp"
+#include "common/expects.hpp"
+
+namespace robustore::core {
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config)) {
+  ROBUSTORE_EXPECTS(config_.trials >= 1, "experiment needs >= 1 trial");
+  ROBUSTORE_EXPECTS(
+      config_.disks_per_access <=
+          config_.num_servers * config_.disks_per_server,
+      "cannot access more disks than the cluster has");
+}
+
+std::unique_ptr<client::Scheme> ExperimentRunner::makeScheme(
+    client::SchemeKind kind, client::Cluster& cluster,
+    const coding::LtParams& lt) {
+  return client::makeScheme(kind, cluster, lt);
+}
+
+std::uint32_t ExperimentRunner::trialsFromEnv(std::uint32_t fallback) {
+  const char* env = std::getenv("ROBUSTORE_TRIALS");
+  if (env == nullptr) return fallback;
+  const long v = std::strtol(env, nullptr, 10);
+  return v >= 1 ? static_cast<std::uint32_t>(v) : fallback;
+}
+
+metrics::AccessAggregate ExperimentRunner::run(client::SchemeKind kind) {
+  sim::Engine engine;
+  client::ClusterConfig cc;
+  cc.num_servers = config_.num_servers;
+  cc.server.disks_per_server = config_.disks_per_server;
+  cc.server.disk_params = config_.disk_params;
+  cc.server.cache = config_.cache;
+  cc.server.round_trip = config_.round_trip;
+  cc.server.nic_bandwidth = config_.nic_bandwidth;
+  cc.client_bandwidth = config_.client_bandwidth;
+  client::Cluster cluster(engine, cc, Rng(config_.seed ^ 0xc1u));
+
+  if (config_.background == ExperimentConfig::Background::kHomogeneous) {
+    workload::BackgroundConfig bg;
+    bg.mean_interval = config_.bg_interval;
+    cluster.setUniformBackground(bg);
+  } else if (config_.background ==
+             ExperimentConfig::Background::kHeterogeneousStatic) {
+    Rng bg_rng(config_.seed ^ 0xb6u);
+    cluster.randomizeBackground(config_.bg_interval_min,
+                                config_.bg_interval_max, bg_rng);
+  }
+
+  auto scheme = client::makeScheme(kind, cluster, config_.lt, config_.codec);
+  metrics::AccessAggregate agg;
+  std::optional<client::StoredFile> reused;
+  std::vector<SimTime> bg_busy_before(cluster.numDisks(), 0.0);
+
+  for (std::uint32_t t = 0; t < config_.trials; ++t) {
+    // Identical per-trial streams across schemes: disk selection and
+    // layout draws come from the same sequence regardless of `kind`.
+    Rng trial_rng(config_.seed * 0x9e3779b97f4a7c15ULL + t + 1);
+    if (config_.background == ExperimentConfig::Background::kHeterogeneous) {
+      cluster.randomizeBackground(config_.bg_interval_min,
+                                  config_.bg_interval_max, trial_rng);
+    }
+    const auto disks =
+        config_.metadata_disk_selection
+            ? cluster.metadata().selectDisks(config_.disks_per_access,
+                                             meta::QosOptions{}, trial_rng)
+            : cluster.selectDisks(config_.disks_per_access, trial_rng);
+    for (const auto d : disks) {
+      bg_busy_before[d] =
+          cluster.disk(d).busyTime(disk::Priority::kBackground);
+    }
+    const SimTime access_start = cluster.engine().now();
+
+    metrics::AccessMetrics m;
+    switch (config_.op) {
+      case ExperimentConfig::Op::kRead: {
+        if (config_.reuse_file) {
+          if (!reused) {
+            reused = scheme->planFile(config_.access, disks, config_.layout,
+                                      trial_rng);
+          }
+          m = scheme->read(*reused, config_.access);
+        } else {
+          client::StoredFile file = scheme->planFile(
+              config_.access, disks, config_.layout, trial_rng);
+          m = scheme->read(file, config_.access);
+        }
+        break;
+      }
+      case ExperimentConfig::Op::kWrite: {
+        m = scheme->write(config_.access, disks, config_.layout, trial_rng);
+        break;
+      }
+      case ExperimentConfig::Op::kReadAfterWrite: {
+        client::StoredFile file;
+        const metrics::AccessMetrics wm = scheme->write(
+            config_.access, disks, config_.layout, trial_rng, &file);
+        if (!wm.complete) {
+          agg.add(wm);
+          continue;
+        }
+        if (config_.redraw_layout_after_write) {
+          file.redrawLayouts(config_.layout, trial_rng);
+        }
+        m = scheme->read(file, config_.access);
+        break;
+      }
+    }
+    agg.add(m);
+
+    // §4.2: clients report what they observed of each disk back to the
+    // metadata server, here the fraction of the access window the disk
+    // spent on competing work.
+    const SimTime window = cluster.engine().now() - access_start;
+    if (window > 0) {
+      for (const auto d : disks) {
+        const SimTime busy =
+            cluster.disk(d).busyTime(disk::Priority::kBackground) -
+            bg_busy_before[d];
+        cluster.metadata().reportLoad(d, busy / window,
+                                      cluster.engine().now());
+      }
+    }
+  }
+  return agg;
+}
+
+std::vector<ExperimentRunner::SchemeResult> ExperimentRunner::runAll() {
+  std::vector<SchemeResult> results;
+  for (const auto kind :
+       {client::SchemeKind::kRaid0, client::SchemeKind::kRRaidS,
+        client::SchemeKind::kRRaidA, client::SchemeKind::kRobuStore}) {
+    results.push_back(SchemeResult{kind, run(kind)});
+  }
+  return results;
+}
+
+}  // namespace robustore::core

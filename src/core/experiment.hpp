@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "client/cluster.hpp"
+#include "client/scheme.hpp"
+#include "client/stored_file.hpp"
+#include "coding/lt_graph.hpp"
+#include "metrics/metrics.hpp"
+
+namespace robustore::core {
+
+/// Full description of one evaluation experiment: the simulated testbed
+/// (§6.2.5 baseline unless overridden) plus the access pattern and the
+/// source of performance variation under study.
+struct ExperimentConfig {
+  // --- testbed -----------------------------------------------------------
+  std::uint32_t num_servers = 16;
+  std::uint32_t disks_per_server = 8;
+  SimTime round_trip = 1.0 * kMilliseconds;
+  double nic_bandwidth = mbps(250.0);
+  /// Client downlink cap in bytes/s; 0 = plentiful (paper assumption).
+  double client_bandwidth = 0.0;
+  disk::DiskParams disk_params;
+  server::FilerCacheConfig cache;  // disabled unless the experiment says so
+
+  // --- access ------------------------------------------------------------
+  client::AccessConfig access;  // 1 GB = 1024 x 1 MB, 3x redundancy
+  std::uint32_t disks_per_access = 64;
+  coding::LtParams lt;  // C=1, delta=0.5 per §6.2.5
+  /// Rateless codec backing RobuSTore (LT per the paper; Raptor per the
+  /// §7.3 future-work extension).
+  client::CodecKind codec = client::CodecKind::kLt;
+
+  // --- variation sources -------------------------------------------------
+  client::LayoutPolicy layout;  // heterogeneous by default (§6.3.1)
+  /// kHeterogeneous redraws per-disk intervals before every access
+  /// (§6.3.2); kHeterogeneousStatic draws them once for the whole
+  /// experiment — a stable hot/cold split that metadata-guided disk
+  /// selection (§5.3.1) can learn and avoid.
+  enum class Background : std::uint8_t {
+    kNone,
+    kHomogeneous,
+    kHeterogeneous,
+    kHeterogeneousStatic,
+  };
+  Background background = Background::kNone;
+  /// Homogeneous: every disk uses this mean interval.
+  SimTime bg_interval = 6.0 * kMilliseconds;
+  /// Heterogeneous: per-disk mean interval re-drawn uniformly in
+  /// [bg_interval_min, bg_interval_max] before every access (§6.3.2).
+  SimTime bg_interval_min = 6.0 * kMilliseconds;
+  SimTime bg_interval_max = 200.0 * kMilliseconds;
+
+  // --- operation ---------------------------------------------------------
+  enum class Op : std::uint8_t { kRead, kWrite, kReadAfterWrite };
+  Op op = Op::kRead;
+  /// Read-after-write: redraw in-disk layouts between the write and the
+  /// read, per the paper's assumption that read-time disk performance is
+  /// statistically independent of write-time performance (§6.3.1).
+  bool redraw_layout_after_write = true;
+  /// Reuse one file across all trials (the §6.3.3 cache experiments rely
+  /// on earlier trials having warmed the filer caches).
+  bool reuse_file = false;
+
+  /// Select disks through the metadata server's §5.3.1 policy (load,
+  /// free space, site diversity, availability mixing) instead of the
+  /// paper's uniform random choice.
+  bool metadata_disk_selection = false;
+
+  // --- trials ------------------------------------------------------------
+  std::uint32_t trials = 20;
+  std::uint64_t seed = 42;
+};
+
+/// Runs one experiment configuration for one or all schemes. Each scheme
+/// gets a fresh simulated cluster but identical per-trial random streams,
+/// so disk selections and layout draws are comparable across schemes.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentConfig config);
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+
+  /// Runs all trials for one scheme and aggregates the three paper
+  /// metrics.
+  [[nodiscard]] metrics::AccessAggregate run(client::SchemeKind kind);
+
+  struct SchemeResult {
+    client::SchemeKind kind;
+    metrics::AccessAggregate aggregate;
+  };
+  /// Runs the four §6.2.1 schemes in order.
+  [[nodiscard]] std::vector<SchemeResult> runAll();
+
+  /// Builds a scheme instance of the given kind against `cluster`.
+  [[nodiscard]] static std::unique_ptr<client::Scheme> makeScheme(
+      client::SchemeKind kind, client::Cluster& cluster,
+      const coding::LtParams& lt);
+
+  /// Trial-count override from the ROBUSTORE_TRIALS environment variable
+  /// (bench binaries default low for wall-clock sanity; CI can raise it).
+  [[nodiscard]] static std::uint32_t trialsFromEnv(std::uint32_t fallback);
+
+ private:
+  ExperimentConfig config_;
+};
+
+}  // namespace robustore::core

@@ -1,0 +1,139 @@
+#include "core/multi_client.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/expects.hpp"
+#include "core/experiment.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::core {
+namespace {
+
+/// State of one simulated client for the lifetime of the experiment.
+struct ClientState {
+  std::unique_ptr<client::Scheme> scheme;
+  client::Scheme::Session session;
+  client::StoredFile file;
+  std::vector<std::uint32_t> disks;
+  Rng rng{0};
+  std::uint32_t retries = 0;
+  bool started = false;
+};
+
+}  // namespace
+
+MultiClientExperiment::MultiClientExperiment(MultiClientConfig config)
+    : config_(std::move(config)) {
+  ROBUSTORE_EXPECTS(config_.num_clients >= 1, "need at least one client");
+  ROBUSTORE_EXPECTS(
+      config_.disks_per_access <=
+          config_.num_servers * config_.disks_per_server,
+      "cannot access more disks than the cluster has");
+}
+
+MultiClientResult MultiClientExperiment::run() {
+  sim::Engine engine;
+  client::ClusterConfig cc;
+  cc.num_servers = config_.num_servers;
+  cc.server.disks_per_server = config_.disks_per_server;
+  cc.server.disk_params = config_.disk_params;
+  cc.server.round_trip = config_.round_trip;
+  cc.server.nic_bandwidth = config_.nic_bandwidth;
+  cc.server.admission = config_.admission;
+  client::Cluster cluster(engine, cc, Rng(config_.seed ^ 0x5eedu));
+
+  std::vector<ClientState> clients(config_.num_clients);
+  std::uint32_t completed = 0;
+  bool experiment_over = false;
+  SimTime first_start = -1.0;
+  SimTime last_finish = 0.0;
+
+  // Admission-aware disk selection: walk a fresh random permutation and
+  // keep disks whose server grants the stream, up to the target count.
+  const auto selectAdmitted = [&](ClientState& c) {
+    c.disks.clear();
+    auto order = c.rng.permutation(cluster.numDisks());
+    for (const auto d : order) {
+      if (c.disks.size() >= config_.disks_per_access) break;
+      auto& srv = cluster.serverOfDisk(d);
+      if (srv.admission().admit(cluster.localDiskIndex(d),
+                                c.session.stream)) {
+        c.disks.push_back(d);
+      }
+    }
+    if (c.disks.size() < config_.disks_per_access) {
+      // Partial grant: keep what we have only if it is a usable majority;
+      // otherwise release and retry later (first come, first admitted).
+      if (c.disks.size() * 2 < config_.disks_per_access) {
+        for (const auto d : c.disks) {
+          cluster.serverOfDisk(d).admission().release(
+              cluster.localDiskIndex(d), c.session.stream);
+        }
+        c.disks.clear();
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::function<void(std::uint32_t)> startClient =
+      [&](std::uint32_t index) {
+        if (experiment_over) return;  // drained: stop the retry loop
+        ClientState& c = clients[index];
+        if (!selectAdmitted(c)) {
+          ++c.retries;
+          engine.schedule(config_.retry_interval,
+                          [&, index] { startClient(index); });
+          return;
+        }
+        c.started = true;
+        if (first_start < 0) first_start = engine.now();
+        c.file = c.scheme->planFile(config_.access, c.disks, config_.layout,
+                                    c.rng);
+        c.session.on_complete = [&, index] {
+          ClientState& done = clients[index];
+          done.scheme->cancelOutstanding(done.session);
+          for (const auto d : done.disks) {
+            cluster.serverOfDisk(d).admission().release(
+                cluster.localDiskIndex(d), done.session.stream);
+          }
+          last_finish = engine.now();
+          if (++completed == config_.num_clients) engine.stop();
+        };
+        c.scheme->beginRead(c.session, c.file, config_.access);
+      };
+
+  for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
+    ClientState& c = clients[i];
+    c.scheme = ExperimentRunner::makeScheme(config_.scheme, cluster,
+                                            coding::LtParams{});
+    c.rng = Rng(config_.seed * 0x9e3779b97f4a7c15ULL + i + 1);
+    c.session.stream = cluster.nextStream();
+    engine.scheduleAt(config_.stagger * i, [&, i] { startClient(i); });
+  }
+
+  engine.runUntil(config_.access.timeout);
+  experiment_over = true;
+  engine.run();  // drain in-flight work for final byte accounting
+
+  MultiClientResult result;
+  result.clients_completed = completed;
+  for (auto& c : clients) {
+    result.accesses.add(c.scheme->collect(
+        c.session, config_.access.dataBytes(), config_.access.k));
+  }
+  result.makespan =
+      completed > 0 && first_start >= 0 ? last_finish - first_start : 0.0;
+  if (result.makespan > 0) {
+    result.system_throughput_mbps = toMBps(
+        static_cast<Bytes>(completed) * config_.access.dataBytes(),
+        result.makespan);
+  }
+  for (std::uint32_t s = 0; s < cluster.numServers(); ++s) {
+    result.admission_refusals += cluster.server(s).admission().refused();
+  }
+  return result;
+}
+
+}  // namespace robustore::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "client/cluster.hpp"
+#include "client/scheme.hpp"
+#include "metrics/metrics.hpp"
+#include "server/admission.hpp"
+
+namespace robustore::core {
+
+/// Multi-user workload experiment (§5.4): several clients read large
+/// files from the same cluster concurrently. Without admission control,
+/// their streams interleave on shared disks and the extra seeks collapse
+/// every disk's throughput; with per-disk admission budgets the clients
+/// spread over disjoint disks and the system sustains far higher total
+/// throughput.
+struct MultiClientConfig {
+  std::uint32_t num_servers = 16;
+  std::uint32_t disks_per_server = 8;
+  SimTime round_trip = 1.0 * kMilliseconds;
+  double nic_bandwidth = mbps(250.0);
+  disk::DiskParams disk_params;
+  server::AdmissionConfig admission;
+
+  client::SchemeKind scheme = client::SchemeKind::kRobuStore;
+  client::AccessConfig access;  // per client
+  client::LayoutPolicy layout;  // homogeneous isolates the sharing effect
+  std::uint32_t num_clients = 8;
+  std::uint32_t disks_per_access = 16;
+  /// Arrival spacing between successive clients.
+  SimTime stagger = 50 * kMilliseconds;
+  /// Rejected clients retry their disk selection after this long.
+  SimTime retry_interval = 250 * kMilliseconds;
+  std::uint64_t seed = 42;
+};
+
+struct MultiClientResult {
+  /// Per-access metrics over the client population.
+  metrics::AccessAggregate accesses;
+  /// Total useful bytes over the makespan (first arrival to last
+  /// completion) — the system-throughput view of §5.4.
+  double system_throughput_mbps = 0.0;
+  SimTime makespan = 0.0;
+  std::uint64_t admission_refusals = 0;
+  std::uint32_t clients_completed = 0;
+};
+
+class MultiClientExperiment {
+ public:
+  explicit MultiClientExperiment(MultiClientConfig config);
+
+  [[nodiscard]] MultiClientResult run();
+
+ private:
+  MultiClientConfig config_;
+};
+
+}  // namespace robustore::core

@@ -1,0 +1,178 @@
+#include "disk/disk.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace robustore::disk {
+
+Disk::Disk(sim::Engine& engine, const DiskParams& params, Rng rng,
+           std::uint32_t id)
+    : engine_(&engine), params_(params), rng_(rng), id_(id) {}
+
+double Disk::mediaRate(double zone) const {
+  return params_.media_rate_min +
+         zone * (params_.media_rate_max - params_.media_rate_min);
+}
+
+RequestId Disk::submit(DiskRequestSpec spec, CompletionFn done) {
+  ROBUSTORE_EXPECTS(!spec.extents.empty(), "request without extents");
+  ROBUSTORE_EXPECTS(spec.media_rate > 0, "request needs a media rate");
+  Bytes bytes = 0;
+  for (const auto& e : spec.extents) bytes += e.bytes;
+
+  const RequestId id = requests_.size();
+  requests_.push_back(
+      Request{std::move(spec), std::move(done), bytes, false, false});
+  const Request& r = requests_.back();
+  if (r.spec.priority == Priority::kBackground) {
+    bg_queue_.push_back(id);
+  } else {
+    auto& q = fg_queues_[r.spec.stream];
+    if (q.empty()) fg_rotation_.push_back(r.spec.stream);
+    q.push_back(id);
+  }
+  if (!busy() && !failed_) serveNext();
+  return id;
+}
+
+void Disk::failStop() {
+  if (failed_) return;
+  failed_ = true;
+  if (completion_event_.valid()) {
+    engine_->cancel(completion_event_);
+    completion_event_ = {};
+  }
+  in_service_ = kNoRequest;
+}
+
+bool Disk::cancel(RequestId id) {
+  if (id >= requests_.size()) return false;
+  Request& r = requests_[id];
+  if (r.cancelled || r.completed || in_service_ == id) return false;
+  r.cancelled = true;  // lazily skipped when popped
+  return true;
+}
+
+std::size_t Disk::cancelStream(StreamId stream) {
+  std::size_t n = 0;
+  for (RequestId id = 0; id < requests_.size(); ++id) {
+    Request& r = requests_[id];
+    if (r.spec.stream == stream && !r.cancelled && !r.completed &&
+        in_service_ != id) {
+      r.cancelled = true;
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Disk::queueDepth() const {
+  std::size_t n = 0;
+  for (const RequestId id : bg_queue_) {
+    if (!requests_[id].cancelled) ++n;
+  }
+  for (const auto& [stream, q] : fg_queues_) {
+    for (const RequestId id : q) {
+      if (!requests_[id].cancelled) ++n;
+    }
+  }
+  return n;
+}
+
+Bytes Disk::inServiceBytes(StreamId stream) const {
+  if (in_service_ == kNoRequest) return 0;
+  const Request& r = requests_[in_service_];
+  return r.spec.stream == stream ? r.bytes : 0;
+}
+
+void Disk::reset() {
+  ROBUSTORE_EXPECTS(!busy(), "reset of a busy disk");
+  ROBUSTORE_EXPECTS(failed_ || queueDepth() == 0,
+                    "reset with queued requests");
+  requests_.clear();
+  bg_queue_.clear();
+  fg_queues_.clear();
+  fg_rotation_.clear();
+}
+
+RequestId Disk::popLive(std::deque<RequestId>& queue) {
+  while (!queue.empty()) {
+    const RequestId id = queue.front();
+    queue.pop_front();
+    if (!requests_[id].cancelled) return id;
+  }
+  return kNoRequest;
+}
+
+void Disk::serveNext() {
+  // Background first (see Priority docs)...
+  if (const RequestId id = popLive(bg_queue_); id != kNoRequest) {
+    startService(id);
+    return;
+  }
+  // ...then round-robin across foreground streams.
+  while (!fg_rotation_.empty()) {
+    const StreamId stream = fg_rotation_.front();
+    fg_rotation_.pop_front();
+    auto it = fg_queues_.find(stream);
+    if (it == fg_queues_.end()) continue;
+    const RequestId id = popLive(it->second);
+    if (it->second.empty()) {
+      fg_queues_.erase(it);
+    } else {
+      fg_rotation_.push_back(stream);
+    }
+    if (id != kNoRequest) {
+      startService(id);
+      return;
+    }
+  }
+}
+
+void Disk::startService(RequestId id) {
+  in_service_ = id;
+  Request& r = requests_[id];
+  const SimTime service = serviceTime(r);
+  busy_time_[static_cast<std::size_t>(r.spec.priority)] += service;
+  completion_event_ = engine_->schedule(service, [this, id] {
+    completion_event_ = {};
+    Request& req = requests_[id];
+    req.completed = true;
+    in_service_ = kNoRequest;
+    bytes_served_[static_cast<std::size_t>(req.spec.priority)] += req.bytes;
+    last_stream_ = req.spec.stream;
+    has_served_ = true;
+    if (req.done) {
+      // Move out: completion handlers may re-enter submit().
+      CompletionFn done = std::move(req.done);
+      done(id);
+    }
+    if (!busy()) serveNext();
+  });
+}
+
+SimTime Disk::serviceTime(const Request& r) {
+  SimTime t = 0.0;
+  const SimTime rev = params_.revolution();
+  bool prior_is_same_stream = has_served_ && last_stream_ == r.spec.stream;
+  for (const auto& e : r.spec.extents) {
+    t += params_.command_overhead;
+    const bool sequential = e.continues_previous && prior_is_same_stream;
+    if (sequential) {
+      if (rng_.bernoulli(params_.seq_miss_prob)) t += rng_.uniform() * rev;
+    } else {
+      t += r.spec.seek_scale *
+               rng_.uniform(params_.seek_min, params_.seek_max) +
+           rng_.uniform() * rev;
+    }
+    t += static_cast<double>(e.bytes) / r.spec.media_rate;
+    t += static_cast<double>(e.bytes) /
+         static_cast<double>(params_.track_bytes) * params_.track_switch;
+    prior_is_same_stream = true;  // later extents follow our own head state
+  }
+  return t;
+}
+
+}  // namespace robustore::disk

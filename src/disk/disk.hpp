@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "disk/layout.hpp"
+#include "disk/params.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::disk {
+
+using RequestId = std::uint64_t;
+using StreamId = std::uint64_t;
+
+/// Service classes. Background (competitive) requests are served ahead of
+/// queued foreground blocks: this models the paper's measured sharing
+/// behaviour (Figure 6-5: foreground bandwidth scales with the disk time
+/// the background load leaves free) without simulating the OS scheduler.
+enum class Priority : std::uint8_t { kForeground = 0, kBackground = 1 };
+
+/// One block-granular disk request: the extents of a stored block plus the
+/// stream identity the sequentiality bookkeeping needs.
+struct DiskRequestSpec {
+  StreamId stream = 0;
+  Priority priority = Priority::kForeground;
+  /// Physical runs to touch, in stored order.
+  std::vector<Extent> extents;
+  /// Media transfer rate for this request's zone, bytes/second.
+  double media_rate = 0.0;
+  /// Scales the seek component of positioning; background generators use
+  /// 0 to model locality-friendly mid-size requests (§6.2.5 calibration:
+  /// a 50-sector background request occupies ~5.5 ms).
+  double seek_scale = 1.0;
+  bool is_write = false;
+};
+
+/// Block-level hard-drive model (DiskSim-lite).
+///
+/// Serves one request at a time; service time is the sum over extents of
+/// command overhead, positioning (unless the extent physically continues
+/// the previously served extent *and* no other stream intervened),
+/// transfer at the zoned media rate, and track-switch costs. Queued
+/// requests can be cancelled — the mechanism RobuSTore's speculative
+/// access relies on (§5.3.3).
+///
+/// Scheduling discipline: background requests first (see Priority), then
+/// round-robin across foreground *streams* at request granularity —
+/// modelling OS-level fair I/O scheduling between competing clients. With
+/// one foreground stream this degenerates to FCFS; with several it
+/// produces exactly the interleaving-induced seek storms that §5.4's
+/// admission control exists to prevent.
+class Disk {
+ public:
+  using CompletionFn = std::function<void(RequestId)>;
+
+  Disk(sim::Engine& engine, const DiskParams& params, Rng rng,
+       std::uint32_t id = 0);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Enqueues a request; `done` fires at its service completion. The
+  /// returned id is unique per disk.
+  RequestId submit(DiskRequestSpec spec, CompletionFn done);
+
+  /// Cancels a queued request. Returns false when the request already
+  /// started service (it will complete), finished, or never existed.
+  bool cancel(RequestId id);
+
+  /// Cancels every queued request of the given stream; returns the count.
+  std::size_t cancelStream(StreamId stream);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] bool busy() const { return in_service_ != kNoRequest; }
+  [[nodiscard]] std::size_t queueDepth() const;
+
+  /// Total bytes whose service completed, by priority class.
+  [[nodiscard]] Bytes bytesServed(Priority p) const {
+    return bytes_served_[static_cast<std::size_t>(p)];
+  }
+  /// Accumulated service time, by priority class (drives the utilisation
+  /// metric of Figure 6-5).
+  [[nodiscard]] SimTime busyTime(Priority p) const {
+    return busy_time_[static_cast<std::size_t>(p)];
+  }
+
+  /// Media rate for a zone position in [0, 1] under this disk's params.
+  [[nodiscard]] double mediaRate(double zone) const;
+
+  /// Bytes of the currently in-service request if it belongs to `stream`
+  /// (the "in-flight at cancellation" I/O-overhead term), else 0.
+  [[nodiscard]] Bytes inServiceBytes(StreamId stream) const;
+
+  /// Releases all finished request bookkeeping. Must only be called when
+  /// the disk is idle with an empty queue (i.e. between trials, after the
+  /// engine drained); keeps memory proportional to one trial.
+  void reset();
+
+  /// Fail-stop: the disk stops serving. Queued and future requests never
+  /// complete (and never fire callbacks); the in-service request's
+  /// completion is cancelled. Models the single-site failures the
+  /// architecture is meant to tolerate (§1.1, §5.3.1).
+  void failStop();
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  struct Request {
+    DiskRequestSpec spec;
+    CompletionFn done;
+    Bytes bytes = 0;
+    bool cancelled = false;
+    bool completed = false;
+  };
+
+  static constexpr RequestId kNoRequest = ~RequestId{0};
+
+  void serveNext();
+  /// Pops the next live request id from `queue`, discarding cancelled
+  /// entries; returns kNoRequest when the queue empties.
+  RequestId popLive(std::deque<RequestId>& queue);
+  void startService(RequestId id);
+  [[nodiscard]] SimTime serviceTime(const Request& r);
+
+  sim::Engine* engine_;
+  DiskParams params_;
+  Rng rng_;
+  std::uint32_t id_;
+  std::vector<Request> requests_;
+  bool failed_ = false;
+  sim::EventId completion_event_{};
+  std::deque<RequestId> bg_queue_;
+  std::unordered_map<StreamId, std::deque<RequestId>> fg_queues_;
+  std::deque<StreamId> fg_rotation_;  // streams with queued work, RR order
+  RequestId in_service_ = kNoRequest;
+  StreamId last_stream_ = ~StreamId{0};
+  bool has_served_ = false;
+  Bytes bytes_served_[2] = {0, 0};
+  SimTime busy_time_[2] = {0.0, 0.0};
+};
+
+}  // namespace robustore::disk

@@ -1,0 +1,47 @@
+#include "disk/layout.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace robustore::disk {
+
+FileDiskLayout FileDiskLayout::generate(std::uint32_t num_blocks,
+                                        Bytes block_bytes,
+                                        const LayoutConfig& config, Rng& rng) {
+  ROBUSTORE_EXPECTS(block_bytes > 0, "layout needs a positive block size");
+  ROBUSTORE_EXPECTS(config.blocking_factor >= 1, "blocking factor >= 1");
+  ROBUSTORE_EXPECTS(config.p_seq >= 0.0 && config.p_seq <= 1.0,
+                    "p_seq must be a probability");
+
+  FileDiskLayout layout;
+  layout.config_ = config;
+  layout.block_bytes_ = block_bytes;
+  layout.zone_ = rng.uniform();
+  layout.extendTo(num_blocks, rng);
+  return layout;
+}
+
+void FileDiskLayout::extendTo(std::uint32_t num_blocks, Rng& rng) {
+  const Bytes run_bytes =
+      static_cast<Bytes>(config_.blocking_factor) * kSectorBytes;
+  while (block_extents_.size() < num_blocks) {
+    Bytes remaining = block_bytes_;
+    auto& extents = block_extents_.emplace_back();
+    while (remaining > 0) {
+      const Bytes len = std::min(remaining, run_bytes);
+      const bool continues = started_ && rng.bernoulli(config_.p_seq);
+      extents.push_back(Extent{len, continues});
+      started_ = true;
+      remaining -= len;
+    }
+  }
+}
+
+const std::vector<Extent>& FileDiskLayout::blockExtents(
+    std::uint32_t b) const {
+  ROBUSTORE_EXPECTS(b < block_extents_.size(), "block index out of range");
+  return block_extents_[b];
+}
+
+}  // namespace robustore::disk

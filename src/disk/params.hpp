@@ -1,0 +1,45 @@
+#pragma once
+
+#include "common/units.hpp"
+
+namespace robustore::disk {
+
+/// Mechanical / interface parameters of the simulated drive.
+///
+/// Defaults are calibrated against the paper's reference drive (IBM
+/// Deskstar 7K400, ATA-100, 7200 rpm) so that the Table 6-1 bandwidth grid
+/// is reproduced in shape and magnitude: ~0.5 MBps for small scattered
+/// requests up to ~50 MBps for large sequential ones (a ~100x spread).
+struct DiskParams {
+  double rpm = 7200.0;
+
+  /// Fixed per-command cost: controller processing, bus arbitration,
+  /// head settling. Charged once per extent (each fragment of a scattered
+  /// file needs its own disk command).
+  SimTime command_overhead = 0.7 * kMilliseconds;
+
+  /// Random seek drawn uniformly in [seek_min, seek_max] for positioned
+  /// (non-sequential) extents.
+  SimTime seek_min = 0.5 * kMilliseconds;
+  SimTime seek_max = 8.0 * kMilliseconds;
+
+  /// Zoned recording: per-layout media rate drawn uniformly in
+  /// [media_rate_min, media_rate_max] bytes/second. The 2x span matches
+  /// §6.3.2's observation that zone placement alone varies performance by
+  /// up to a factor of two.
+  double media_rate_min = mbps(33.0);
+  double media_rate_max = mbps(66.0);
+
+  /// Head/track switch cost, charged per track boundary crossed.
+  Bytes track_bytes = 350 * kKiB;
+  SimTime track_switch = 0.4 * kMilliseconds;
+
+  /// Probability that a logically sequential continuation still misses the
+  /// rotational window (costing a partial revolution).
+  double seq_miss_prob = 0.15;
+
+  /// Full revolution time; average rotational latency is half of this.
+  [[nodiscard]] SimTime revolution() const { return 60.0 / rpm; }
+};
+
+}  // namespace robustore::disk

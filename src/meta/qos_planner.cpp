@@ -1,0 +1,50 @@
+#include "meta/qos_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace robustore::meta {
+
+FleetEstimate estimateFleet(const MetadataServer& metadata) {
+  FleetEstimate fleet;
+  for (const auto& [id, d] : metadata.disks()) {
+    const double effective = d.peak_bandwidth * (1.0 - d.recent_load);
+    fleet.average_bandwidth += effective;
+    fleet.peak_bandwidth = std::max(fleet.peak_bandwidth, effective);
+    ++fleet.num_disks;
+  }
+  if (fleet.num_disks > 0) fleet.average_bandwidth /= fleet.num_disks;
+  return fleet;
+}
+
+AccessPlan planAccess(const QosOptions& qos, const FleetEstimate& fleet,
+                      double reception_overhead) {
+  ROBUSTORE_EXPECTS(reception_overhead >= 0, "negative reception overhead");
+  AccessPlan plan;
+
+  // Disk count: enough aggregate bandwidth to meet the requirement while
+  // moving (1 + eps)x the useful bytes.
+  if (qos.min_bandwidth > 0 && fleet.average_bandwidth > 0) {
+    const double needed = qos.min_bandwidth * (1.0 + reception_overhead) /
+                          fleet.average_bandwidth;
+    plan.num_disks = static_cast<std::uint32_t>(std::ceil(needed));
+  }
+  plan.num_disks =
+      std::clamp<std::uint32_t>(plan.num_disks, 1,
+                                std::max<std::uint32_t>(1, fleet.num_disks));
+
+  // Redundancy: D = (1+eps) * peak/avg - 1 (§5.3.2), floored by what the
+  // application asked for.
+  double d = 0.0;
+  if (fleet.average_bandwidth > 0 && fleet.peak_bandwidth > 0) {
+    d = (1.0 + reception_overhead) *
+            (fleet.peak_bandwidth / fleet.average_bandwidth) -
+        1.0;
+  }
+  plan.redundancy = std::max({d, qos.redundancy, 0.0});
+  return plan;
+}
+
+}  // namespace robustore::meta

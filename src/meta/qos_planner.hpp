@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "meta/metadata_server.hpp"
+
+namespace robustore::meta {
+
+/// Access plan derived from QoS requirements (Appendix B open(): "plans
+/// an access schedule based on these information and the application QoS
+/// requirements").
+struct AccessPlan {
+  std::uint32_t num_disks = 1;
+  double redundancy = 0.0;
+};
+
+/// Capability summary of the registered disks, as the planner sees them:
+/// effective bandwidth = registered peak x (1 - recent load).
+struct FleetEstimate {
+  double average_bandwidth = 0.0;  // bytes/s
+  double peak_bandwidth = 0.0;     // bytes/s
+  std::uint32_t num_disks = 0;
+};
+
+/// Summarises the registry for planning.
+[[nodiscard]] FleetEstimate estimateFleet(const MetadataServer& metadata);
+
+/// The paper's two sizing rules, §5.3.1/§5.3.2:
+///
+///  * number of disks >= expected total access bandwidth / average disk
+///    bandwidth (scaled by the reception overhead: coded reads move
+///    (1+eps)x the data);
+///  * degree of redundancy D = (1+eps) * (peak disk bandwidth / average
+///    disk bandwidth) - 1 — just enough blocks everywhere that the
+///    fastest disk never runs dry during a read.
+///
+/// `qos.redundancy`, when set, acts as a floor (the application may want
+/// more for reliability).
+[[nodiscard]] AccessPlan planAccess(const QosOptions& qos,
+                                    const FleetEstimate& fleet,
+                                    double reception_overhead = 0.5);
+
+}  // namespace robustore::meta

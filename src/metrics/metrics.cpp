@@ -1,0 +1,17 @@
+#include "metrics/metrics.hpp"
+
+namespace robustore::metrics {
+
+void AccessAggregate::add(const AccessMetrics& m) {
+  if (!m.complete) {
+    ++incomplete_;
+    return;
+  }
+  bandwidth_.add(m.bandwidthMBps());
+  latency_.add(m.latency);
+  latency_samples_.add(m.latency);
+  io_overhead_.add(m.ioOverhead());
+  reception_.add(m.receptionOverhead());
+}
+
+}  // namespace robustore::metrics

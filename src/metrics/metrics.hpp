@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace robustore::metrics {
+
+/// Raw measurements of one access (read or write), §6.2.3.
+struct AccessMetrics {
+  SimTime latency = 0.0;
+  /// Original (useful) data size.
+  Bytes data_bytes = 0;
+  /// Payload bytes that crossed the network, including blocks in flight at
+  /// cancellation time.
+  Bytes network_bytes = 0;
+  /// Blocks accepted by the client before completion (coded blocks for
+  /// RobuSTore, copies for replicated schemes, K for RAID-0).
+  std::uint32_t blocks_received = 0;
+  /// Original block count K.
+  std::uint32_t blocks_original = 0;
+  std::uint32_t cache_hits = 0;
+  bool complete = false;
+
+  /// Delivered bandwidth: original data size over access latency (MB/s).
+  [[nodiscard]] double bandwidthMBps() const {
+    return toMBps(data_bytes, latency);
+  }
+  /// (bytes over network - data size) / data size.
+  [[nodiscard]] double ioOverhead() const {
+    return data_bytes == 0
+               ? 0.0
+               : (static_cast<double>(network_bytes) -
+                  static_cast<double>(data_bytes)) /
+                     static_cast<double>(data_bytes);
+  }
+  /// blocks received / K - 1 (the erasure-code reception overhead, or the
+  /// duplicate-copy overhead for replicated schemes).
+  [[nodiscard]] double receptionOverhead() const {
+    return blocks_original == 0
+               ? 0.0
+               : static_cast<double>(blocks_received) / blocks_original - 1.0;
+  }
+};
+
+/// Aggregates a set of accesses into the three figures-of-merit every
+/// experiment reports: mean bandwidth, the standard deviation of access
+/// latency (the robustness metric), and mean I/O overhead.
+class AccessAggregate {
+ public:
+  void add(const AccessMetrics& m);
+
+  [[nodiscard]] std::size_t trials() const { return latency_.count(); }
+  [[nodiscard]] double meanBandwidthMBps() const { return bandwidth_.mean(); }
+  [[nodiscard]] double meanLatency() const { return latency_.mean(); }
+  [[nodiscard]] double latencyStdDev() const { return latency_.stddev(); }
+  [[nodiscard]] double meanIoOverhead() const { return io_overhead_.mean(); }
+  [[nodiscard]] double meanReceptionOverhead() const {
+    return reception_.mean();
+  }
+  [[nodiscard]] const RunningStats& bandwidth() const { return bandwidth_; }
+  [[nodiscard]] const RunningStats& latency() const { return latency_; }
+  [[nodiscard]] const RunningStats& ioOverhead() const { return io_overhead_; }
+  [[nodiscard]] std::size_t incompleteCount() const { return incomplete_; }
+
+  /// Latency distribution view: percentile of per-access latency. The
+  /// robustness story is really about the latency *tail*, which the
+  /// standard deviation only summarises.
+  [[nodiscard]] double latencyPercentile(double p) const {
+    return latency_samples_.percentile(p);
+  }
+
+ private:
+  RunningStats bandwidth_;
+  RunningStats latency_;
+  SampleSet latency_samples_;
+  RunningStats io_overhead_;
+  RunningStats reception_;
+  std::size_t incomplete_ = 0;
+};
+
+}  // namespace robustore::metrics

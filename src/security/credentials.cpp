@@ -1,0 +1,144 @@
+#include "security/credentials.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace robustore::security {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t value) {
+  return mix(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6)));
+}
+
+std::uint64_t hashString(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* toString(ChainStatus status) {
+  switch (status) {
+    case ChainStatus::kOk: return "ok";
+    case ChainStatus::kEmpty: return "empty chain";
+    case ChainStatus::kBadSignature: return "bad signature";
+    case ChainStatus::kBrokenDelegation: return "broken delegation";
+    case ChainStatus::kWrongRoot: return "wrong root authorizer";
+    case ChainStatus::kWrongRequester: return "wrong requester";
+    case ChainStatus::kDomainMismatch: return "domain mismatch";
+    case ChainStatus::kHandleMismatch: return "handle mismatch";
+    case ChainStatus::kExpired: return "outside validity window";
+    case ChainStatus::kInsufficientRights: return "insufficient rights";
+    case ChainStatus::kEscalatedRights: return "rights escalation";
+  }
+  return "?";
+}
+
+KeyRegistry::KeyRegistry(std::uint64_t seed) : rng_(seed) {}
+
+KeyPair KeyRegistry::generate() {
+  KeyPair pair;
+  pair.private_key = rng_();
+  pair.public_key = mix(pair.private_key);
+  private_of_[pair.public_key] = pair.private_key;
+  return pair;
+}
+
+std::uint64_t KeyRegistry::digest(const Credential& credential) {
+  std::uint64_t h = hashCombine(credential.authorizer, credential.licensee);
+  h = hashCombine(h, hashString(credential.conditions.app_domain));
+  h = hashCombine(h, credential.conditions.handle);
+  h = hashCombine(h, static_cast<std::uint64_t>(
+                         credential.conditions.not_before * 1e6));
+  const double after = credential.conditions.not_after;
+  h = hashCombine(h, std::isfinite(after)
+                         ? static_cast<std::uint64_t>(after * 1e6)
+                         : ~std::uint64_t{0});
+  h = hashCombine(h, credential.conditions.rights);
+  return h;
+}
+
+void KeyRegistry::sign(Credential& credential, const KeyPair& pair) const {
+  ROBUSTORE_EXPECTS(credential.authorizer == pair.public_key,
+                    "signing key does not match the authorizer");
+  credential.signature = hashCombine(digest(credential), pair.private_key);
+}
+
+bool KeyRegistry::verify(const Credential& credential) const {
+  const auto it = private_of_.find(credential.authorizer);
+  if (it == private_of_.end()) return false;
+  return credential.signature == hashCombine(digest(credential), it->second);
+}
+
+ChainStatus KeyRegistry::validateChain(std::span<const Credential> chain,
+                                       KeyId resource_owner, KeyId requester,
+                                       const AccessRequest& request) const {
+  if (chain.empty()) return ChainStatus::kEmpty;
+  if (chain.front().authorizer != resource_owner) {
+    return ChainStatus::kWrongRoot;
+  }
+  if (chain.back().licensee != requester) {
+    return ChainStatus::kWrongRequester;
+  }
+
+  std::uint8_t effective_rights = kAll;
+  SimTime not_before = 0.0;
+  SimTime not_after = std::numeric_limits<SimTime>::infinity();
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Credential& link = chain[i];
+    if (!verify(link)) return ChainStatus::kBadSignature;
+    if (i > 0 && link.authorizer != chain[i - 1].licensee) {
+      return ChainStatus::kBrokenDelegation;
+    }
+    if (link.conditions.app_domain != request.app_domain) {
+      return ChainStatus::kDomainMismatch;
+    }
+    if (link.conditions.handle != request.handle) {
+      return ChainStatus::kHandleMismatch;
+    }
+    // A delegate cannot grant more than it holds.
+    if ((link.conditions.rights & ~effective_rights) != 0) {
+      return ChainStatus::kEscalatedRights;
+    }
+    effective_rights &= link.conditions.rights;
+    not_before = std::max(not_before, link.conditions.not_before);
+    not_after = std::min(not_after, link.conditions.not_after);
+  }
+
+  if (request.time < not_before || request.time > not_after) {
+    return ChainStatus::kExpired;
+  }
+  if ((request.needed_rights & ~effective_rights) != 0) {
+    return ChainStatus::kInsufficientRights;
+  }
+  return ChainStatus::kOk;
+}
+
+Credential makeCredential(const KeyRegistry& registry,
+                          const KeyPair& authorizer, KeyId licensee,
+                          const Conditions& conditions) {
+  Credential credential;
+  credential.authorizer = authorizer.public_key;
+  credential.licensee = licensee;
+  credential.conditions = conditions;
+  registry.sign(credential, authorizer);
+  return credential;
+}
+
+}  // namespace robustore::security

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace robustore::security {
+
+/// Capability-based access control via credential chains (Appendix C).
+///
+/// The paper argues centralized ACLs do not fit a federated multi-domain
+/// store and sketches a chain scheme: the resource owner signs a
+/// credential for Alice; Alice signs a narrower one for Bob; a storage
+/// server validates the whole chain without contacting any third party.
+///
+/// This module implements the *logic* of that scheme — delegation,
+/// per-link condition narrowing, rights intersection, expiry — with a
+/// simulated signature primitive (a keyed 64-bit MAC checked through a
+/// key registry). Swapping in real public-key signatures only changes
+/// sign()/verify(), not the chain rules.
+
+/// Access rights bitmask ("RWX" in the Appendix C credentials).
+enum Rights : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kExecute = 4,
+  kAll = kRead | kWrite | kExecute,
+};
+
+using KeyId = std::uint64_t;
+
+struct KeyPair {
+  KeyId public_key = 0;
+  KeyId private_key = 0;
+};
+
+/// Conditions attached to one credential. A request satisfies them when
+/// the domain and handle match exactly, the time lies in the validity
+/// window, and the needed rights are a subset of `rights`.
+struct Conditions {
+  std::string app_domain = "RobuSTore";
+  std::uint64_t handle = 0;
+  SimTime not_before = 0.0;
+  SimTime not_after = std::numeric_limits<SimTime>::infinity();
+  std::uint8_t rights = kAll;
+};
+
+/// One link of a credential chain: `authorizer` grants `licensee` the
+/// rights in `conditions`, attested by `signature`.
+struct Credential {
+  KeyId authorizer = 0;  // public key of the grantor
+  KeyId licensee = 0;    // public key of the grantee
+  Conditions conditions;
+  std::uint64_t signature = 0;
+};
+
+/// A concrete access attempt to validate a chain against.
+struct AccessRequest {
+  std::string app_domain = "RobuSTore";
+  std::uint64_t handle = 0;
+  SimTime time = 0.0;
+  std::uint8_t needed_rights = kRead;
+};
+
+enum class ChainStatus : std::uint8_t {
+  kOk,
+  kEmpty,
+  kBadSignature,
+  kBrokenDelegation,  // link i's authorizer is not link i-1's licensee
+  kWrongRoot,         // first authorizer is not the resource owner
+  kWrongRequester,    // last licensee is not the requesting principal
+  kDomainMismatch,
+  kHandleMismatch,
+  kExpired,
+  kInsufficientRights,
+  kEscalatedRights,   // a link grants more than its parent held
+};
+
+[[nodiscard]] const char* toString(ChainStatus status);
+
+/// Stand-in for a PKI: generates key pairs, signs credentials, and
+/// verifies signatures. Verification consults the registry (the moral
+/// equivalent of the signature math a real scheme would run).
+class KeyRegistry {
+ public:
+  explicit KeyRegistry(std::uint64_t seed = 0xC0FFEE);
+
+  /// Mints a fresh key pair and records it.
+  [[nodiscard]] KeyPair generate();
+
+  /// Signs `credential` in place with the authorizer's private key; the
+  /// authorizer's public key must match `pair.public_key`.
+  void sign(Credential& credential, const KeyPair& pair) const;
+
+  /// Checks that the credential's signature was produced by the private
+  /// key matching its `authorizer` public key.
+  [[nodiscard]] bool verify(const Credential& credential) const;
+
+  /// Full Appendix C chain validation: signatures, delegation linkage,
+  /// root/requester identity, per-link narrowing, and the request's
+  /// conditions against the *effective* (intersected) grant.
+  [[nodiscard]] ChainStatus validateChain(std::span<const Credential> chain,
+                                          KeyId resource_owner,
+                                          KeyId requester,
+                                          const AccessRequest& request) const;
+
+ private:
+  [[nodiscard]] static std::uint64_t digest(const Credential& credential);
+
+  Rng rng_;
+  std::unordered_map<KeyId, KeyId> private_of_;  // public -> private
+};
+
+/// Convenience: builds a signed delegation credential.
+[[nodiscard]] Credential makeCredential(const KeyRegistry& registry,
+                                        const KeyPair& authorizer,
+                                        KeyId licensee,
+                                        const Conditions& conditions);
+
+}  // namespace robustore::security

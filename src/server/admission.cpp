@@ -1,0 +1,45 @@
+#include "server/admission.hpp"
+
+#include "common/expects.hpp"
+
+namespace robustore::server {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         std::uint32_t num_disks)
+    : config_(config), grants_(num_disks) {
+  ROBUSTORE_EXPECTS(!config.enabled || config.max_streams_per_disk >= 1,
+                    "admission budget must be at least one stream");
+}
+
+bool AdmissionController::admit(std::uint32_t disk_index,
+                                disk::StreamId stream) {
+  ROBUSTORE_EXPECTS(disk_index < grants_.size(), "disk index out of range");
+  if (!config_.enabled) return true;
+  auto& set = grants_[disk_index];
+  if (set.contains(stream)) return true;  // idempotent
+  if (set.size() >= config_.max_streams_per_disk) {
+    ++refused_;
+    return false;
+  }
+  set.insert(stream);
+  ++admitted_;
+  return true;
+}
+
+void AdmissionController::release(std::uint32_t disk_index,
+                                  disk::StreamId stream) {
+  ROBUSTORE_EXPECTS(disk_index < grants_.size(), "disk index out of range");
+  grants_[disk_index].erase(stream);
+}
+
+void AdmissionController::releaseStream(disk::StreamId stream) {
+  for (auto& set : grants_) set.erase(stream);
+}
+
+std::uint32_t AdmissionController::activeStreams(
+    std::uint32_t disk_index) const {
+  ROBUSTORE_EXPECTS(disk_index < grants_.size(), "disk index out of range");
+  return static_cast<std::uint32_t>(grants_[disk_index].size());
+}
+
+}  // namespace robustore::server

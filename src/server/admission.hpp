@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "disk/disk.hpp"
+
+namespace robustore::server {
+
+/// Admission-control policy knobs (§5.4).
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Concurrent large foreground accesses a single disk will accept.
+  /// The paper's rationale for 1: "sharing [the] same disk by multiple
+  /// concurrent large accesses usually damages the disk throughput
+  /// dramatically due to the rotating character of hard disks".
+  std::uint32_t max_streams_per_disk = 1;
+};
+
+/// Capacity-based admission controller (CAC, §5.4): first come, first
+/// admitted; new accesses are refused once a disk's concurrency budget is
+/// exhausted, and admitted ones hold their grant until released.
+///
+/// One controller guards one storage server's disks — matching the
+/// paper's placement of admission control at the storage servers so it
+/// scales with the federation.
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionConfig& config, std::uint32_t num_disks);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+  /// Requests admission of `stream` to `disk_index`. Always grants when
+  /// disabled. Granting twice for the same (disk, stream) is idempotent.
+  bool admit(std::uint32_t disk_index, disk::StreamId stream);
+
+  /// Releases one grant; unknown grants are ignored.
+  void release(std::uint32_t disk_index, disk::StreamId stream);
+
+  /// Releases every grant the stream holds on this server.
+  void releaseStream(disk::StreamId stream);
+
+  [[nodiscard]] std::uint32_t activeStreams(std::uint32_t disk_index) const;
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t refused() const { return refused_; }
+
+ private:
+  AdmissionConfig config_;
+  std::vector<std::unordered_set<disk::StreamId>> grants_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t refused_ = 0;
+};
+
+}  // namespace robustore::server

@@ -1,0 +1,93 @@
+#include "server/filer_cache.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace robustore::server {
+
+FilerCache::FilerCache(const FilerCacheConfig& config) : config_(config) {
+  if (!config_.enabled) return;
+  ROBUSTORE_EXPECTS(config_.line_bytes > 0, "cache line size must be > 0");
+  ROBUSTORE_EXPECTS(config_.associativity >= 1, "associativity must be >= 1");
+  const std::uint64_t lines = config_.capacity / config_.line_bytes;
+  num_sets_ = std::max<std::uint64_t>(1, lines / config_.associativity);
+  entries_.assign(num_sets_ * config_.associativity, Entry{});
+}
+
+std::uint32_t FilerCache::linesPerBlock(Bytes bytes) const {
+  const Bytes line = config_.line_bytes;
+  return static_cast<std::uint32_t>((bytes + line - 1) / line);
+}
+
+std::size_t FilerCache::setOf(std::uint64_t key) const {
+  // Fibonacci hashing spreads the sequential line keys across sets.
+  return (key * 0x9e3779b97f4a7c15ULL >> 17) % num_sets_;
+}
+
+bool FilerCache::containsLine(std::uint64_t key, bool touch) {
+  Entry* set = &entries_[setOf(key) * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (set[w].key == key) {
+      if (touch) set[w].stamp = ++clock_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FilerCache::insertLine(std::uint64_t key) {
+  Entry* set = &entries_[setOf(key) * config_.associativity];
+  Entry* victim = set;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (set[w].key == key) {  // refresh
+      set[w].stamp = ++clock_;
+      return;
+    }
+    if (set[w].key == kEmpty) {  // free way wins outright
+      victim = &set[w];
+      break;
+    }
+    if (set[w].stamp < victim->stamp) victim = &set[w];
+  }
+  victim->key = key;
+  victim->stamp = ++clock_;
+}
+
+bool FilerCache::containsBlock(std::uint64_t block_key,
+                               std::uint32_t num_lines) {
+  if (!config_.enabled) return false;
+  for (std::uint32_t i = 0; i < num_lines; ++i) {
+    if (!containsLine(block_key + i, /*touch=*/false)) {
+      ++misses_;
+      return false;
+    }
+  }
+  // Full hit: touch every line so LRU sees the access.
+  for (std::uint32_t i = 0; i < num_lines; ++i) {
+    containsLine(block_key + i, /*touch=*/true);
+  }
+  ++hits_;
+  return true;
+}
+
+void FilerCache::insertBlock(std::uint64_t block_key,
+                             std::uint32_t num_lines) {
+  if (!config_.enabled) return;
+  for (std::uint32_t i = 0; i < num_lines; ++i) insertLine(block_key + i);
+}
+
+std::uint64_t FilerCache::lineCount() const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.key != kEmpty) ++n;
+  }
+  return n;
+}
+
+void FilerCache::clear() {
+  std::fill(entries_.begin(), entries_.end(), Entry{});
+  clock_ = hits_ = misses_ = 0;
+}
+
+}  // namespace robustore::server

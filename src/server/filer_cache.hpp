@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace robustore::server {
+
+/// Filesystem cache configuration (§6.2.5: 2 GB per filer, LRU, 4-way
+/// set-associative, 4 KB lines, shared by the filer's eight disks).
+/// Disabled by default: the paper enables it only for the §6.3.3
+/// experiments.
+struct FilerCacheConfig {
+  bool enabled = false;
+  Bytes capacity = 2 * kGiB;
+  Bytes line_bytes = 4 * kKiB;
+  std::uint32_t associativity = 4;
+};
+
+/// Set-associative LRU cache over abstract 64-bit line keys.
+///
+/// Keys name (file, disk, block, line) tuples; the filer checks whole
+/// blocks and falls back to the disk when any line is missing ("not in
+/// cache or only partly in cache", §6.2.2).
+class FilerCache {
+ public:
+  explicit FilerCache(const FilerCacheConfig& config);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const FilerCacheConfig& config() const { return config_; }
+
+  /// True when every line of the block is cached; touches all lines (LRU
+  /// update) on a full hit. `block_key` must be unique per stored block
+  /// and leave room for `num_lines` line sub-keys.
+  bool containsBlock(std::uint64_t block_key, std::uint32_t num_lines);
+
+  /// Inserts (or refreshes) every line of the block.
+  void insertBlock(std::uint64_t block_key, std::uint32_t num_lines);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t lineCount() const;
+
+  /// Number of lines a block of `bytes` occupies.
+  [[nodiscard]] std::uint32_t linesPerBlock(Bytes bytes) const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t key = kEmpty;
+    std::uint64_t stamp = 0;
+  };
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  [[nodiscard]] std::size_t setOf(std::uint64_t key) const;
+  bool containsLine(std::uint64_t key, bool touch);
+  void insertLine(std::uint64_t key);
+
+  FilerCacheConfig config_;
+  std::size_t num_sets_ = 0;
+  std::vector<Entry> entries_;  // num_sets * associativity
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace robustore::server

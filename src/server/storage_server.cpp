@@ -1,0 +1,135 @@
+#include "server/storage_server.hpp"
+
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace robustore::server {
+
+StorageServer::StorageServer(sim::Engine& engine, const ServerConfig& config,
+                             Rng rng, std::uint32_t server_id)
+    : engine_(&engine),
+      config_(config),
+      id_(server_id),
+      link_(engine, config.round_trip, config.nic_bandwidth),
+      cache_(config.cache),
+      admission_(config.admission, config.disks_per_server) {
+  ROBUSTORE_EXPECTS(config.disks_per_server >= 1, "server needs >= 1 disk");
+  disks_.reserve(config.disks_per_server);
+  for (std::uint32_t d = 0; d < config.disks_per_server; ++d) {
+    disks_.push_back(std::make_unique<disk::Disk>(
+        engine, config.disk_params, rng.fork(d),
+        server_id * config.disks_per_server + d));
+  }
+}
+
+void StorageServer::dispatchToClient(disk::StreamId stream, Bytes bytes,
+                                     bool cache_hit,
+                                     const DeliveryFn& on_delivered) {
+  network_bytes_[stream] += bytes;
+  SimTime arrival = link_.reserveSend(bytes);
+  if (client_link_ != nullptr) {
+    arrival = client_link_->reserveSendFrom(arrival, bytes);
+  }
+  engine_->scheduleAt(arrival, [on_delivered, cache_hit] {
+    on_delivered(cache_hit);
+  });
+}
+
+StorageServer::ReadHandle StorageServer::readBlock(const BlockRead& req,
+                                                   DeliveryFn on_delivered) {
+  ROBUSTORE_EXPECTS(req.layout != nullptr, "read without a layout");
+  ROBUSTORE_EXPECTS(req.disk_index < disks_.size(), "disk index out of range");
+  const Bytes block_bytes = req.layout->blockBytes();
+  const std::uint32_t lines =
+      cache_.enabled() ? cache_.linesPerBlock(block_bytes) : 0;
+  auto handle = std::make_shared<ReadTicket>();
+  handle->disk_index = req.disk_index;
+
+  // Request control message travels to the filer first.
+  engine_->schedule(link_.oneWayLatency(),
+                    [this, req, block_bytes, lines, handle,
+                     cb = std::move(on_delivered)]() mutable {
+    if (handle->cancelled) return;
+    if (cache_.enabled() && cache_.containsBlock(req.cache_key, lines)) {
+      handle->dispatched = true;
+      dispatchToClient(req.stream, block_bytes, /*cache_hit=*/true, cb);
+      return;
+    }
+    serveFromDisk(req, block_bytes, lines, handle, std::move(cb));
+  });
+  return handle;
+}
+
+bool StorageServer::cancelRead(const ReadHandle& handle) {
+  ROBUSTORE_EXPECTS(handle != nullptr, "cancel of a null read handle");
+  if (handle->cancelled || handle->dispatched) return handle->cancelled;
+  handle->cancelled = true;
+  if (handle->disk_submitted) {
+    disks_[handle->disk_index]->cancel(handle->disk_request);
+  }
+  return true;
+}
+
+void StorageServer::serveFromDisk(const BlockRead& req, Bytes block_bytes,
+                                  std::uint32_t lines,
+                                  const ReadHandle& handle,
+                                  DeliveryFn on_delivered) {
+  disk::Disk& d = *disks_[req.disk_index];
+  disk::DiskRequestSpec spec;
+  spec.stream = req.stream;
+  spec.priority = disk::Priority::kForeground;
+  spec.extents = req.layout->blockExtents(req.layout_block);
+  if (req.force_position_first && !spec.extents.empty()) {
+    spec.extents.front().continues_previous = false;
+  }
+  spec.media_rate = d.mediaRate(req.layout->zone());
+  handle->disk_request = d.submit(
+      std::move(spec),
+      [this, stream = req.stream, key = req.cache_key, block_bytes, lines,
+       handle, cb = std::move(on_delivered)](disk::RequestId) {
+        handle->dispatched = true;
+        if (cache_.enabled()) cache_.insertBlock(key, lines);
+        dispatchToClient(stream, block_bytes, /*cache_hit=*/false, cb);
+      });
+  handle->disk_submitted = true;
+}
+
+void StorageServer::writeBlock(const BlockWrite& req, AckFn on_ack) {
+  ROBUSTORE_EXPECTS(req.layout != nullptr, "write without a layout");
+  ROBUSTORE_EXPECTS(req.disk_index < disks_.size(), "disk index out of range");
+  const Bytes block_bytes = req.layout->blockBytes();
+  // The payload must cross the network in full regardless of outcome.
+  network_bytes_[req.stream] += block_bytes;
+
+  engine_->schedule(link_.oneWayLatency(), [this, req,
+                                            cb = std::move(on_ack)]() mutable {
+    disk::Disk& d = *disks_[req.disk_index];
+    disk::DiskRequestSpec spec;
+    spec.stream = req.stream;
+    spec.priority = disk::Priority::kForeground;
+    spec.extents = req.layout->blockExtents(req.layout_block);
+    spec.media_rate = d.mediaRate(req.layout->zone());
+    spec.is_write = true;
+    d.submit(std::move(spec), [this, cb = std::move(cb)](disk::RequestId) {
+      // Commit ack travels back to the client (write-through: no caching).
+      engine_->schedule(link_.oneWayLatency(), cb);
+    });
+  });
+}
+
+Bytes StorageServer::cancelStream(disk::StreamId stream) {
+  Bytes in_flight = 0;
+  for (auto& d : disks_) {
+    d->cancelStream(stream);
+    in_flight += d->inServiceBytes(stream);
+  }
+  return in_flight;
+}
+
+Bytes StorageServer::networkBytes(disk::StreamId stream) const {
+  const auto it = network_bytes_.find(stream);
+  return it == network_bytes_.end() ? 0 : it->second;
+}
+
+}  // namespace robustore::server

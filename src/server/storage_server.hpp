@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "disk/disk.hpp"
+#include "net/link.hpp"
+#include "server/admission.hpp"
+#include "server/filer_cache.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::server {
+
+/// Configuration of one storage server (filer + attached disks), §6.2.5.
+struct ServerConfig {
+  std::uint32_t disks_per_server = 8;
+  disk::DiskParams disk_params;
+  FilerCacheConfig cache;
+  AdmissionConfig admission;  // disabled unless the experiment enables it
+  /// Client <-> server round-trip latency (1 ms baseline; up to 100 ms in
+  /// the WAN sweep).
+  SimTime round_trip = 1.0 * kMilliseconds;
+  /// Filer NIC rate in bytes/second: cache hits and disk responses
+  /// serialise through it. 0 = unlimited.
+  double nic_bandwidth = mbps(250.0);
+};
+
+/// A virtual storage server: one filer (network endpoint + filesystem
+/// cache) fronting several virtual disks, per Figure 6-3.
+///
+/// Read path: request travels one-way latency -> filer checks the cache ->
+/// full hit is sent back straight from memory; otherwise the disk serves
+/// the block, the filer (optionally) caches it, then sends it. Write path:
+/// data travels to the filer and is written through to the disk; the ack
+/// returns after disk commit (write-through, §6.2.5).
+class StorageServer {
+ public:
+  /// Fired when a block fully arrives at the client (reads) or when the
+  /// commit ack arrives at the client (writes).
+  using DeliveryFn = std::function<void(bool cache_hit)>;
+  using AckFn = std::function<void()>;
+
+  struct BlockRead {
+    disk::StreamId stream = 0;
+    /// Globally unique key of this stored block with room for one sub-key
+    /// per cache line (see FilerCache::linesPerBlock).
+    std::uint64_t cache_key = 0;
+    std::uint32_t disk_index = 0;
+    const disk::FileDiskLayout* layout = nullptr;
+    std::uint32_t layout_block = 0;
+    /// Set when the stored predecessor of this block is not part of the
+    /// same request sequence (e.g. RRAID-A reads every c-th stored block):
+    /// the first extent then re-positions even if physically contiguous.
+    bool force_position_first = false;
+  };
+
+  struct BlockWrite {
+    disk::StreamId stream = 0;
+    std::uint64_t cache_key = 0;
+    std::uint32_t disk_index = 0;
+    const disk::FileDiskLayout* layout = nullptr;
+    std::uint32_t layout_block = 0;
+  };
+
+  /// Handle to an issued read: lets the client cancel the block while it
+  /// is still queued (RRAID-A re-targets individual blocks when stealing
+  /// work from a slow disk).
+  struct ReadTicket {
+    bool cancelled = false;
+    bool disk_submitted = false;
+    bool dispatched = false;
+    std::uint32_t disk_index = 0;
+    disk::RequestId disk_request = 0;
+  };
+  using ReadHandle = std::shared_ptr<ReadTicket>;
+
+  StorageServer(sim::Engine& engine, const ServerConfig& config, Rng rng,
+                std::uint32_t server_id = 0);
+
+  StorageServer(const StorageServer&) = delete;
+  StorageServer& operator=(const StorageServer&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] std::uint32_t numDisks() const {
+    return static_cast<std::uint32_t>(disks_.size());
+  }
+  [[nodiscard]] disk::Disk& disk(std::uint32_t i) { return *disks_[i]; }
+  [[nodiscard]] FilerCache& cache() { return cache_; }
+  [[nodiscard]] net::Link& link() { return link_; }
+  [[nodiscard]] AdmissionController& admission() { return admission_; }
+
+  /// Wires the shared client downlink: every response serialises through
+  /// it after the server NIC. Null (default) = plentiful client
+  /// bandwidth, the paper's assumption.
+  void setClientLink(net::Link* link) { client_link_ = link; }
+
+  /// Issues a block read from the client side, now.
+  ReadHandle readBlock(const BlockRead& req, DeliveryFn on_delivered);
+
+  /// Cancels one issued read if it has not yet been served. Returns true
+  /// when the block will no longer be delivered.
+  bool cancelRead(const ReadHandle& handle);
+
+  /// Issues a block write from the client side, now. Write payload bytes
+  /// are charged to the network immediately (they must cross it in full).
+  void writeBlock(const BlockWrite& req, AckFn on_ack);
+
+  /// Cancels all queued disk work of `stream` across this server's disks;
+  /// returns the bytes still in service for the stream (they will finish
+  /// and count as in-flight I/O overhead, §4.1.2).
+  Bytes cancelStream(disk::StreamId stream);
+
+  /// Payload bytes this server moved over the network on behalf of
+  /// `stream` (read responses dispatched + write payloads received). The
+  /// numerator of the paper's I/O-overhead metric.
+  [[nodiscard]] Bytes networkBytes(disk::StreamId stream) const;
+
+ private:
+  void serveFromDisk(const BlockRead& req, Bytes block_bytes,
+                     std::uint32_t lines, const ReadHandle& handle,
+                     DeliveryFn on_delivered);
+  void dispatchToClient(disk::StreamId stream, Bytes bytes, bool cache_hit,
+                        const DeliveryFn& on_delivered);
+
+  sim::Engine* engine_;
+  ServerConfig config_;
+  std::uint32_t id_;
+  net::Link link_;
+  net::Link* client_link_ = nullptr;
+  FilerCache cache_;
+  AdmissionController admission_;
+  std::vector<std::unique_ptr<disk::Disk>> disks_;
+  std::unordered_map<disk::StreamId, Bytes> network_bytes_;
+};
+
+}  // namespace robustore::server

@@ -1,0 +1,83 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace robustore::sim {
+
+EventId Engine::schedule(SimTime delay, Callback cb) {
+  return scheduleAt(now_ + (delay > 0 ? delay : 0), std::move(cb));
+}
+
+EventId Engine::scheduleAt(SimTime when, Callback cb) {
+  ROBUSTORE_EXPECTS(when >= now_, "event scheduled in the past");
+  ROBUSTORE_EXPECTS(static_cast<bool>(cb), "event with empty callback");
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.cb = std::move(cb);
+  const std::uint64_t handle = makeHandle(index, slot.generation);
+  queue_.push(Event{when, next_seq_++, handle});
+  ++live_events_;
+  return EventId{handle};
+}
+
+Engine::Slot* Engine::resolve(std::uint64_t handle) {
+  const std::uint32_t index = slotOf(handle);
+  if (index == 0 || index >= slots_.size()) return nullptr;
+  Slot& slot = slots_[index];
+  if (slot.generation != genOf(handle) || !slot.cb) return nullptr;
+  return &slot;
+}
+
+void Engine::release(std::uint32_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  slot.cb = nullptr;
+  ++slot.generation;
+  free_slots_.push_back(slot_index);
+  --live_events_;
+}
+
+bool Engine::cancel(EventId id) {
+  Slot* slot = resolve(id.value);
+  if (slot == nullptr) return false;
+  release(slotOf(id.value));
+  return true;
+}
+
+std::size_t Engine::run() {
+  return runLoop(std::numeric_limits<SimTime>::infinity());
+}
+
+std::size_t Engine::runUntil(SimTime deadline) { return runLoop(deadline); }
+
+std::size_t Engine::runLoop(SimTime deadline) {
+  stopped_ = false;
+  std::size_t fired = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event ev = queue_.top();
+    Slot* slot = resolve(ev.handle);
+    if (slot == nullptr) {  // cancelled: discard lazily
+      queue_.pop();
+      continue;
+    }
+    if (ev.time > deadline) break;
+    queue_.pop();
+    now_ = ev.time;
+    Callback cb = std::move(slot->cb);
+    release(slotOf(ev.handle));
+    cb();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace robustore::sim

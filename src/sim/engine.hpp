@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace robustore::sim {
+
+/// Handle to a scheduled event; lets the owner cancel it before it fires.
+/// Cancellation is the heart of RobuSTore's speculative access, so it is a
+/// first-class engine operation rather than a bolt-on.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+};
+
+/// Deterministic discrete-event engine.
+///
+/// Events at equal timestamps fire in scheduling order (a monotonically
+/// increasing sequence number breaks ties), so a simulation driven by a
+/// seeded Rng replays bit-identically. Callback slots are recycled through
+/// a free list — multi-trial experiments schedule tens of millions of
+/// events, and storage must stay proportional to *pending* events only.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run `delay` seconds from now. Negative delays clamp
+  /// to "now" (they arise from zero-length transfers rounding down).
+  EventId schedule(SimTime delay, Callback cb);
+
+  /// Schedules at an absolute simulated time (must not be in the past).
+  EventId scheduleAt(SimTime when, Callback cb);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled. Cancelled events are lazily discarded when popped.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains or stop() is called. Returns events fired.
+  std::size_t run();
+
+  /// Runs until simulated time exceeds `deadline` (events at exactly
+  /// `deadline` still fire). Returns events fired.
+  std::size_t runUntil(SimTime deadline);
+
+  /// Stops the run loop after the current event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pendingEvents() const { return live_events_; }
+
+ private:
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 0;
+  };
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t handle;  // slot index << 32 | generation
+    [[nodiscard]] bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  static constexpr std::uint64_t makeHandle(std::uint32_t slot,
+                                            std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(slot) << 32) | gen;
+  }
+  static constexpr std::uint32_t slotOf(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h >> 32);
+  }
+  static constexpr std::uint32_t genOf(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h);
+  }
+
+  /// Returns the live slot for a handle, or nullptr if stale/cancelled.
+  Slot* resolve(std::uint64_t handle);
+  void release(std::uint32_t slot_index);
+
+  std::size_t runLoop(SimTime deadline);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Slot> slots_{1};  // slot 0 reserved so EventId{0} is invalid
+  std::vector<std::uint32_t> free_slots_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_events_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace robustore::sim

@@ -1,0 +1,68 @@
+#include "server/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace robustore::server {
+namespace {
+
+TEST(AdmissionController, DisabledAlwaysGrants) {
+  AdmissionController ac(AdmissionConfig{}, 4);
+  for (int s = 0; s < 100; ++s) EXPECT_TRUE(ac.admit(0, s));
+  EXPECT_EQ(ac.refused(), 0u);
+}
+
+TEST(AdmissionController, EnforcesPerDiskBudget) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.max_streams_per_disk = 2;
+  AdmissionController ac(cfg, 4);
+  EXPECT_TRUE(ac.admit(0, 1));
+  EXPECT_TRUE(ac.admit(0, 2));
+  EXPECT_FALSE(ac.admit(0, 3));
+  EXPECT_EQ(ac.activeStreams(0), 2u);
+  EXPECT_EQ(ac.refused(), 1u);
+  // Other disks are unaffected.
+  EXPECT_TRUE(ac.admit(1, 3));
+}
+
+TEST(AdmissionController, AdmitIsIdempotentPerStream) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.max_streams_per_disk = 1;
+  AdmissionController ac(cfg, 2);
+  EXPECT_TRUE(ac.admit(0, 7));
+  EXPECT_TRUE(ac.admit(0, 7));  // same stream re-asks: still granted
+  EXPECT_EQ(ac.activeStreams(0), 1u);
+  EXPECT_EQ(ac.admitted(), 1u);
+}
+
+TEST(AdmissionController, ReleaseFreesTheSlot) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.max_streams_per_disk = 1;
+  AdmissionController ac(cfg, 2);
+  EXPECT_TRUE(ac.admit(0, 1));
+  EXPECT_FALSE(ac.admit(0, 2));
+  ac.release(0, 1);
+  EXPECT_TRUE(ac.admit(0, 2));
+}
+
+TEST(AdmissionController, ReleaseStreamCoversAllDisks) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.max_streams_per_disk = 1;
+  AdmissionController ac(cfg, 3);
+  for (std::uint32_t d = 0; d < 3; ++d) EXPECT_TRUE(ac.admit(d, 9));
+  ac.releaseStream(9);
+  for (std::uint32_t d = 0; d < 3; ++d) EXPECT_EQ(ac.activeStreams(d), 0u);
+}
+
+TEST(AdmissionController, ReleaseOfUnknownGrantIsIgnored) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  AdmissionController ac(cfg, 2);
+  EXPECT_NO_FATAL_FAILURE(ac.release(1, 42));
+}
+
+}  // namespace
+}  // namespace robustore::server

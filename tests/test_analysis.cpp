@@ -1,0 +1,156 @@
+#include "analysis/reassembly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace robustore::analysis {
+namespace {
+
+TEST(LogBinomial, KnownValues) {
+  EXPECT_NEAR(logBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(logBinomial(10, 0), 0.0, 1e-9);
+  EXPECT_NEAR(logBinomial(10, 10), 0.0, 1e-9);
+  EXPECT_TRUE(std::isinf(logBinomial(3, 5)));
+  EXPECT_TRUE(std::isinf(logBinomial(3, -1)));
+}
+
+TEST(ReplicationCoverage, BoundaryCases) {
+  // Fewer than k blocks can never cover; all blocks always cover.
+  EXPECT_EQ(replicationCoverageProbability(8, 4, 7), 0.0);
+  EXPECT_EQ(replicationCoverageProbability(8, 4, 32), 1.0);
+  // Single copy: must draw everything.
+  EXPECT_EQ(replicationCoverageProbability(8, 1, 7), 0.0);
+  EXPECT_EQ(replicationCoverageProbability(8, 1, 8), 1.0);
+}
+
+TEST(ReplicationCoverage, MonotonicInM) {
+  double prev = 0.0;
+  for (std::uint32_t m = 8; m <= 32; ++m) {
+    const double p = replicationCoverageProbability(8, 4, m);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ReplicationCoverage, MatchesExhaustiveTinyCase) {
+  // k=2, copies=2, m=2: choose 2 of 4 balls; covering picks are the
+  // 2*2 = 4 cross pairs out of C(4,2)=6 -> 2/3.
+  EXPECT_NEAR(replicationCoverageProbability(2, 2, 2), 2.0 / 3.0, 1e-12);
+  // m=3: any 3 of 4 balls always include both colors -> 1.
+  EXPECT_NEAR(replicationCoverageProbability(2, 2, 3), 1.0, 1e-12);
+}
+
+class ReplicationMcTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(ReplicationMcTest, ClosedFormMatchesMonteCarlo) {
+  const auto [k, copies] = GetParam();
+  Rng rng(k * 13 + copies);
+  // Probe the transition region around the expected requirement.
+  const double expected = expectedReplicationBlocksNeeded(k, copies);
+  for (const double frac : {0.8, 1.0, 1.2}) {
+    const auto m = static_cast<std::uint32_t>(expected * frac);
+    if (m < k || m > k * copies) continue;
+    const double exact = replicationCoverageProbability(k, copies, m);
+    const double mc = replicationCoverageMonteCarlo(k, copies, m, 4000, rng);
+    EXPECT_NEAR(exact, mc, 0.04) << "k=" << k << " copies=" << copies
+                                 << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ReplicationMcTest,
+                         ::testing::Values(std::tuple{8u, 4u},
+                                           std::tuple{16u, 2u},
+                                           std::tuple{32u, 4u},
+                                           std::tuple{64u, 3u}));
+
+TEST(CodedCoverage, BoundaryAndMonotonic) {
+  EXPECT_EQ(codedCoverageProbability(16, 5.0, 0), 0.0);
+  double prev = 0.0;
+  for (std::uint32_t m = 1; m <= 64; ++m) {
+    const double p = codedCoverageProbability(16, 5.0, m);
+    EXPECT_GE(p, prev - 1e-12);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.99);
+}
+
+TEST(CodedCoverage, HigherDegreeCoversFaster) {
+  const double low = codedCoverageProbability(64, 3.0, 40);
+  const double high = codedCoverageProbability(64, 8.0, 40);
+  EXPECT_GT(high, low);
+}
+
+TEST(CodedCoverage, Figure41Shape) {
+  // Figure 4-1 (K=1024, 4x space): coded reassembly transitions around
+  // ~1.5K blocks while replication needs ~3K.
+  const std::uint32_t k = 1024;
+  EXPECT_LT(codedCoverageProbability(k, 5.0, static_cast<std::uint32_t>(1.1 * k)),
+            0.5);
+  EXPECT_GT(codedCoverageProbability(k, 5.0, static_cast<std::uint32_t>(1.9 * k)),
+            0.9);
+  EXPECT_LT(replicationCoverageProbability(k, 4, 2 * k), 0.5);
+  EXPECT_GT(replicationCoverageProbability(k, 4, static_cast<std::uint32_t>(3.6 * k)),
+            0.9);
+}
+
+TEST(ReplicationCoverage, LargeKTransitionMatchesMonteCarlo) {
+  // K=1024 with 4 copies: the Figure 4-1 transition sits near 3.3K. The
+  // closed form must stay numerically sane through the deep tail (where
+  // naive inclusion-exclusion explodes) and match sampling in the
+  // transition band.
+  Rng rng(77);
+  const std::uint32_t k = 1024;
+  double prev = 0.0;
+  for (std::uint32_t m = k; m <= 4 * k; m += 64) {
+    const double p = replicationCoverageProbability(k, 4, m);
+    ASSERT_GE(p, prev - 1e-6) << "m=" << m;  // monotone, no sign chaos
+    prev = p;
+  }
+  for (const std::uint32_t m : {3200u, 3456u, 3712u}) {
+    const double exact = replicationCoverageProbability(k, 4, m);
+    const double mc = replicationCoverageMonteCarlo(k, 4, m, 1500, rng);
+    EXPECT_NEAR(exact, mc, 0.06) << "m=" << m;
+  }
+  // Deep tail is exactly zero to double precision.
+  EXPECT_EQ(replicationCoverageProbability(k, 4, 2 * k), 0.0);
+}
+
+TEST(ExpectedReplicationBlocks, MatchesSampledMean) {
+  Rng rng(7);
+  const std::uint32_t k = 16;
+  const std::uint32_t copies = 4;
+  const double analytic = expectedReplicationBlocksNeeded(k, copies);
+  double sum = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    sum += sampleReplicationBlocksNeeded(k, copies, rng);
+  }
+  EXPECT_NEAR(analytic, sum / trials, 0.4);
+}
+
+TEST(ExpectedReplicationBlocks, CouponCollectorScale) {
+  // Single copy: classic coupon collector needs ~k (sampling without
+  // replacement needs all k). With c copies the need drops well below c*k.
+  EXPECT_NEAR(expectedReplicationBlocksNeeded(8, 1), 8.0, 1e-6);
+  const double e4 = expectedReplicationBlocksNeeded(64, 4);
+  EXPECT_GT(e4, 64.0);
+  EXPECT_LT(e4, 4 * 64.0);
+}
+
+TEST(SampleReplicationBlocksNeeded, AlwaysAtLeastK) {
+  Rng rng(9);
+  for (int t = 0; t < 100; ++t) {
+    const auto need = sampleReplicationBlocksNeeded(8, 4, rng);
+    EXPECT_GE(need, 8u);
+    EXPECT_LE(need, 32u);
+  }
+}
+
+}  // namespace
+}  // namespace robustore::analysis

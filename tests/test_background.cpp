@@ -1,0 +1,100 @@
+#include "workload/background.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::workload {
+namespace {
+
+class BackgroundFixture : public ::testing::Test {
+ protected:
+  sim::Engine engine;
+  disk::DiskParams params;
+  Rng rng{1};
+};
+
+TEST_F(BackgroundFixture, DisabledConfigNeverEmits) {
+  disk::Disk d(engine, params, rng.fork(1));
+  BackgroundGenerator gen(engine, d, BackgroundConfig{}, rng.fork(2));
+  gen.start();
+  EXPECT_FALSE(gen.active());
+  engine.runUntil(1.0);
+  EXPECT_EQ(gen.requestsIssued(), 0u);
+}
+
+TEST_F(BackgroundFixture, EmitsAtConfiguredRate) {
+  disk::Disk d(engine, params, rng.fork(3));
+  BackgroundConfig cfg;
+  cfg.mean_interval = 10 * kMilliseconds;
+  BackgroundGenerator gen(engine, d, cfg, rng.fork(4));
+  gen.start();
+  engine.runUntil(10.0);
+  gen.stop();
+  // ~1000 arrivals expected over 10 s at 10 ms mean interval.
+  EXPECT_GT(gen.requestsIssued(), 700u);
+  EXPECT_LT(gen.requestsIssued(), 1300u);
+}
+
+TEST_F(BackgroundFixture, StopHaltsEmission) {
+  disk::Disk d(engine, params, rng.fork(5));
+  BackgroundConfig cfg;
+  cfg.mean_interval = 5 * kMilliseconds;
+  BackgroundGenerator gen(engine, d, cfg, rng.fork(6));
+  gen.start();
+  engine.runUntil(0.5);
+  gen.stop();
+  const auto issued = gen.requestsIssued();
+  engine.run();  // drain whatever is queued
+  EXPECT_EQ(gen.requestsIssued(), issued);
+}
+
+TEST_F(BackgroundFixture, StartIsIdempotent) {
+  disk::Disk d(engine, params, rng.fork(7));
+  BackgroundConfig cfg;
+  cfg.mean_interval = 10 * kMilliseconds;
+  BackgroundGenerator gen(engine, d, cfg, rng.fork(8));
+  gen.start();
+  gen.start();
+  engine.runUntil(1.0);
+  gen.stop();
+  engine.run();
+  // Double-start must not double the arrival rate (~100 expected).
+  EXPECT_LT(gen.requestsIssued(), 160u);
+}
+
+TEST_F(BackgroundFixture, UtilizationMatchesFigure65Calibration) {
+  // §6.2.5: at 6 ms intervals the background load keeps the disk ~93%
+  // busy; at 200 ms it is nearly idle.
+  const auto utilization = [&](SimTime interval) {
+    sim::Engine e;
+    Rng r(99);
+    disk::Disk d(e, params, r.fork(1));
+    BackgroundConfig cfg;
+    cfg.mean_interval = interval;
+    BackgroundGenerator gen(e, d, cfg, r.fork(2));
+    gen.start();
+    const SimTime horizon = 60.0;
+    e.runUntil(horizon);
+    gen.stop();
+    return d.busyTime(disk::Priority::kBackground) / horizon;
+  };
+  const double busy_heavy = utilization(6 * kMilliseconds);
+  const double busy_light = utilization(200 * kMilliseconds);
+  EXPECT_GT(busy_heavy, 0.75);
+  EXPECT_LE(busy_heavy, 1.0);
+  EXPECT_LT(busy_light, 0.06);
+}
+
+TEST_F(BackgroundFixture, StreamIdIsMarkedBackground) {
+  disk::Disk d(engine, params, rng.fork(9), /*id=*/17);
+  BackgroundConfig cfg;
+  cfg.mean_interval = kMilliseconds;
+  BackgroundGenerator gen(engine, d, cfg, rng.fork(10));
+  EXPECT_NE(gen.stream() & (disk::StreamId{1} << 63), 0u);
+  EXPECT_EQ(gen.stream() & 0xffff, 17u);
+}
+
+}  // namespace
+}  // namespace robustore::workload

@@ -1,0 +1,65 @@
+// The optional shared client downlink (ClusterConfig::client_bandwidth):
+// with plenty of disk parallelism, the access becomes NIC-bound and
+// bandwidth must clamp to the configured cap.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace robustore::core {
+namespace {
+
+ExperimentConfig fastClusterConfig() {
+  ExperimentConfig cfg;
+  cfg.num_servers = 4;
+  cfg.disks_per_server = 4;
+  cfg.disks_per_access = 16;
+  cfg.access.k = 128;
+  cfg.access.block_bytes = 512 * kKiB;  // 64 MB
+  cfg.access.redundancy = 3.0;
+  cfg.layout.heterogeneous = false;  // every disk streams fast
+  cfg.trials = 3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(ClientBandwidth, UnlimitedByDefault) {
+  ExperimentRunner runner(fastClusterConfig());
+  const auto agg = runner.run(client::SchemeKind::kRobuStore);
+  // 16 fast sequential disks: aggregate far above any single-disk rate.
+  EXPECT_GT(agg.meanBandwidthMBps(), 200.0);
+}
+
+TEST(ClientBandwidth, CapBindsWhenDisksOutrunTheNic) {
+  auto cfg = fastClusterConfig();
+  cfg.client_bandwidth = mbps(100.0);
+  ExperimentRunner runner(cfg);
+  const auto agg = runner.run(client::SchemeKind::kRobuStore);
+  // Useful bandwidth cannot exceed the downlink (reception overhead makes
+  // it strictly lower), but the pipeline should still come close.
+  EXPECT_LT(agg.meanBandwidthMBps(), 100.0);
+  EXPECT_GT(agg.meanBandwidthMBps(), 40.0);
+}
+
+TEST(ClientBandwidth, LooseCapChangesNothing) {
+  auto cfg = fastClusterConfig();
+  ExperimentRunner unlimited(cfg);
+  cfg.client_bandwidth = mbps(100000.0);
+  ExperimentRunner capped(cfg);
+  const auto a = unlimited.run(client::SchemeKind::kRaid0);
+  const auto b = capped.run(client::SchemeKind::kRaid0);
+  EXPECT_NEAR(a.meanBandwidthMBps(), b.meanBandwidthMBps(),
+              0.02 * a.meanBandwidthMBps());
+}
+
+TEST(ClientBandwidth, RunnerThreadsCodecChoice) {
+  auto cfg = fastClusterConfig();
+  cfg.codec = client::CodecKind::kRaptor;
+  ExperimentRunner runner(cfg);
+  const auto agg = runner.run(client::SchemeKind::kRobuStore);
+  EXPECT_EQ(agg.incompleteCount(), 0u);
+  EXPECT_GT(agg.meanBandwidthMBps(), 0.0);
+}
+
+}  // namespace
+}  // namespace robustore::core

@@ -1,0 +1,104 @@
+#include "client/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::client {
+namespace {
+
+class ClusterFixture : public ::testing::Test {
+ protected:
+  ClusterFixture() {
+    config.num_servers = 4;
+    config.server.disks_per_server = 3;
+  }
+  sim::Engine engine;
+  ClusterConfig config;
+  Rng rng{1};
+};
+
+TEST_F(ClusterFixture, DiskIndexing) {
+  Cluster cluster(engine, config, rng.fork(1));
+  EXPECT_EQ(cluster.numDisks(), 12u);
+  EXPECT_EQ(cluster.numServers(), 4u);
+  EXPECT_EQ(&cluster.serverOfDisk(0), &cluster.server(0));
+  EXPECT_EQ(&cluster.serverOfDisk(5), &cluster.server(1));
+  EXPECT_EQ(&cluster.serverOfDisk(11), &cluster.server(3));
+  EXPECT_EQ(cluster.localDiskIndex(5), 2u);
+  EXPECT_EQ(cluster.disk(7).id(), 7u);
+}
+
+TEST_F(ClusterFixture, SelectDisksAreDistinctAndInRange) {
+  Cluster cluster(engine, config, rng.fork(2));
+  Rng r(9);
+  const auto disks = cluster.selectDisks(8, r);
+  EXPECT_EQ(disks.size(), 8u);
+  std::set<std::uint32_t> distinct(disks.begin(), disks.end());
+  EXPECT_EQ(distinct.size(), 8u);
+  for (const auto d : disks) EXPECT_LT(d, 12u);
+}
+
+TEST_F(ClusterFixture, UniformBackgroundRuns) {
+  Cluster cluster(engine, config, rng.fork(3));
+  workload::BackgroundConfig bg;
+  bg.mean_interval = 10 * kMilliseconds;
+  cluster.setUniformBackground(bg);
+  EXPECT_TRUE(cluster.backgroundConfigured());
+  cluster.startBackground();
+  engine.runUntil(1.0);
+  cluster.stopBackground();
+  engine.run();
+  Bytes served = 0;
+  for (std::uint32_t d = 0; d < cluster.numDisks(); ++d) {
+    served += cluster.disk(d).bytesServed(disk::Priority::kBackground);
+  }
+  EXPECT_GT(served, 0u);
+}
+
+TEST_F(ClusterFixture, RandomizedBackgroundVariesPerDisk) {
+  Cluster cluster(engine, config, rng.fork(4));
+  Rng r(5);
+  cluster.randomizeBackground(6 * kMilliseconds, 200 * kMilliseconds, r);
+  cluster.startBackground();
+  engine.runUntil(3.0);
+  cluster.stopBackground();
+  engine.run();
+  // Different intervals -> visibly different per-disk load.
+  SimTime lo = 1e9;
+  SimTime hi = 0;
+  for (std::uint32_t d = 0; d < cluster.numDisks(); ++d) {
+    const SimTime busy = cluster.disk(d).busyTime(disk::Priority::kBackground);
+    lo = std::min(lo, busy);
+    hi = std::max(hi, busy);
+  }
+  EXPECT_GT(hi, 2.0 * lo);
+}
+
+TEST_F(ClusterFixture, StreamAndFileIdsAreUnique) {
+  Cluster cluster(engine, config, rng.fork(5));
+  const auto s1 = cluster.nextStream();
+  const auto s2 = cluster.nextStream();
+  EXPECT_NE(s1, s2);
+  const auto f1 = cluster.nextFileId();
+  const auto f2 = cluster.nextFileId();
+  EXPECT_NE(f1, f2);
+}
+
+TEST_F(ClusterFixture, ResetDisksAfterDrain) {
+  Cluster cluster(engine, config, rng.fork(6));
+  workload::BackgroundConfig bg;
+  bg.mean_interval = 10 * kMilliseconds;
+  cluster.setUniformBackground(bg);
+  cluster.startBackground();
+  engine.runUntil(0.2);
+  cluster.stopBackground();
+  engine.run();
+  EXPECT_NO_FATAL_FAILURE(cluster.resetDisks());
+}
+
+}  // namespace
+}  // namespace robustore::client

@@ -1,0 +1,182 @@
+#include "security/credentials.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace robustore::security {
+namespace {
+
+class CredentialFixture : public ::testing::Test {
+ protected:
+  CredentialFixture() {
+    admin = registry.generate();
+    alice = registry.generate();
+    bob = registry.generate();
+    conditions.handle = 666240;
+  }
+
+  /// Admin -> Alice -> Bob, as in the Appendix C two-level example.
+  std::vector<Credential> twoLevelChain(const Conditions& alice_grant,
+                                        const Conditions& bob_grant) {
+    return {makeCredential(registry, admin, alice.public_key, alice_grant),
+            makeCredential(registry, alice, bob.public_key, bob_grant)};
+  }
+
+  KeyRegistry registry;
+  KeyPair admin;
+  KeyPair alice;
+  KeyPair bob;
+  Conditions conditions;
+};
+
+TEST_F(CredentialFixture, SignAndVerify) {
+  const auto cred =
+      makeCredential(registry, admin, alice.public_key, conditions);
+  EXPECT_TRUE(registry.verify(cred));
+}
+
+TEST_F(CredentialFixture, TamperedCredentialFailsVerification) {
+  auto cred = makeCredential(registry, admin, alice.public_key, conditions);
+  cred.conditions.rights = kAll;  // was already kAll; change the handle
+  cred.conditions.handle ^= 1;
+  EXPECT_FALSE(registry.verify(cred));
+}
+
+TEST_F(CredentialFixture, ForeignKeyCannotSign) {
+  KeyRegistry other_registry(99);
+  const auto outsider = other_registry.generate();
+  Credential cred;
+  cred.authorizer = outsider.public_key;
+  cred.licensee = alice.public_key;
+  cred.conditions = conditions;
+  other_registry.sign(cred, outsider);
+  // Our registry has never seen the outsider's key.
+  EXPECT_FALSE(registry.verify(cred));
+}
+
+TEST_F(CredentialFixture, SingleLevelGrantValidates) {
+  const std::vector<Credential> chain{
+      makeCredential(registry, admin, alice.public_key, conditions)};
+  AccessRequest request;
+  request.handle = conditions.handle;
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, alice.public_key,
+                                   request),
+            ChainStatus::kOk);
+}
+
+TEST_F(CredentialFixture, TwoLevelDelegationValidates) {
+  Conditions bob_grant = conditions;
+  bob_grant.not_before = 10.0;
+  bob_grant.not_after = 20.0;
+  const auto chain = twoLevelChain(conditions, bob_grant);
+  AccessRequest request;
+  request.handle = conditions.handle;
+  request.time = 15.0;
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, bob.public_key,
+                                   request),
+            ChainStatus::kOk);
+}
+
+TEST_F(CredentialFixture, ExpiredDelegationRejected) {
+  Conditions bob_grant = conditions;
+  bob_grant.not_after = 20.0;
+  const auto chain = twoLevelChain(conditions, bob_grant);
+  AccessRequest request;
+  request.handle = conditions.handle;
+  request.time = 25.0;  // past Bob's window, inside Alice's
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, bob.public_key,
+                                   request),
+            ChainStatus::kExpired);
+}
+
+TEST_F(CredentialFixture, DelegateCannotEscalateRights) {
+  Conditions alice_grant = conditions;
+  alice_grant.rights = kRead;  // Alice only holds read
+  Conditions bob_grant = conditions;
+  bob_grant.rights = kRead | kWrite;  // ...but grants Bob write
+  const auto chain = twoLevelChain(alice_grant, bob_grant);
+  AccessRequest request;
+  request.handle = conditions.handle;
+  request.needed_rights = kRead;
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, bob.public_key,
+                                   request),
+            ChainStatus::kEscalatedRights);
+}
+
+TEST_F(CredentialFixture, InsufficientRightsRejected) {
+  Conditions alice_grant = conditions;
+  alice_grant.rights = kRead;
+  const std::vector<Credential> chain{
+      makeCredential(registry, admin, alice.public_key, alice_grant)};
+  AccessRequest request;
+  request.handle = conditions.handle;
+  request.needed_rights = kWrite;
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, alice.public_key,
+                                   request),
+            ChainStatus::kInsufficientRights);
+}
+
+TEST_F(CredentialFixture, BrokenDelegationRejected) {
+  // Bob's credential signed by admin instead of Alice: linkage broken.
+  const std::vector<Credential> chain{
+      makeCredential(registry, admin, alice.public_key, conditions),
+      makeCredential(registry, admin, bob.public_key, conditions)};
+  AccessRequest request;
+  request.handle = conditions.handle;
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, bob.public_key,
+                                   request),
+            ChainStatus::kBrokenDelegation);
+}
+
+TEST_F(CredentialFixture, WrongRootRejected) {
+  const std::vector<Credential> chain{
+      makeCredential(registry, alice, bob.public_key, conditions)};
+  AccessRequest request;
+  request.handle = conditions.handle;
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, bob.public_key,
+                                   request),
+            ChainStatus::kWrongRoot);
+}
+
+TEST_F(CredentialFixture, WrongRequesterRejected) {
+  const std::vector<Credential> chain{
+      makeCredential(registry, admin, alice.public_key, conditions)};
+  AccessRequest request;
+  request.handle = conditions.handle;
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, bob.public_key,
+                                   request),
+            ChainStatus::kWrongRequester);
+}
+
+TEST_F(CredentialFixture, DomainAndHandleMismatchRejected) {
+  const std::vector<Credential> chain{
+      makeCredential(registry, admin, alice.public_key, conditions)};
+  AccessRequest request;
+  request.handle = conditions.handle;
+  request.app_domain = "OtherSystem";
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, alice.public_key,
+                                   request),
+            ChainStatus::kDomainMismatch);
+  request.app_domain = conditions.app_domain;
+  request.handle = conditions.handle + 1;
+  EXPECT_EQ(registry.validateChain(chain, admin.public_key, alice.public_key,
+                                   request),
+            ChainStatus::kHandleMismatch);
+}
+
+TEST_F(CredentialFixture, EmptyChainRejected) {
+  AccessRequest request;
+  EXPECT_EQ(registry.validateChain({}, admin.public_key, alice.public_key,
+                                   request),
+            ChainStatus::kEmpty);
+}
+
+TEST_F(CredentialFixture, StatusStringsAreDistinct) {
+  EXPECT_STRNE(toString(ChainStatus::kOk), toString(ChainStatus::kExpired));
+  EXPECT_STRNE(toString(ChainStatus::kBadSignature),
+               toString(ChainStatus::kBrokenDelegation));
+}
+
+}  // namespace
+}  // namespace robustore::security

@@ -1,0 +1,136 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace robustore::core {
+namespace {
+
+ExperimentConfig smallConfig() {
+  ExperimentConfig cfg;
+  cfg.num_servers = 2;
+  cfg.disks_per_server = 4;
+  cfg.disks_per_access = 8;
+  cfg.access.k = 32;
+  cfg.access.block_bytes = 256 * kKiB;
+  cfg.access.redundancy = 2.0;
+  cfg.trials = 3;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(ExperimentRunner, ReadExperimentProducesAllTrials) {
+  ExperimentRunner runner(smallConfig());
+  const auto agg = runner.run(client::SchemeKind::kRobuStore);
+  EXPECT_EQ(agg.trials(), 3u);
+  EXPECT_EQ(agg.incompleteCount(), 0u);
+  EXPECT_GT(agg.meanBandwidthMBps(), 0.0);
+}
+
+TEST(ExperimentRunner, WriteExperiment) {
+  auto cfg = smallConfig();
+  cfg.op = ExperimentConfig::Op::kWrite;
+  ExperimentRunner runner(cfg);
+  for (const auto kind :
+       {client::SchemeKind::kRaid0, client::SchemeKind::kRobuStore}) {
+    const auto agg = runner.run(kind);
+    EXPECT_EQ(agg.trials(), 3u) << client::schemeName(kind);
+    EXPECT_GT(agg.meanBandwidthMBps(), 0.0);
+  }
+}
+
+TEST(ExperimentRunner, ReadAfterWriteExperiment) {
+  auto cfg = smallConfig();
+  cfg.op = ExperimentConfig::Op::kReadAfterWrite;
+  ExperimentRunner runner(cfg);
+  const auto agg = runner.run(client::SchemeKind::kRobuStore);
+  EXPECT_EQ(agg.trials(), 3u);
+}
+
+TEST(ExperimentRunner, RunAllCoversFourSchemes) {
+  auto cfg = smallConfig();
+  cfg.trials = 2;
+  ExperimentRunner runner(cfg);
+  const auto results = runner.runAll();
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.aggregate.trials(), 2u) << client::schemeName(r.kind);
+  }
+}
+
+TEST(ExperimentRunner, DeterministicForSameSeed) {
+  ExperimentRunner a(smallConfig());
+  ExperimentRunner b(smallConfig());
+  const auto ra = a.run(client::SchemeKind::kRRaidS);
+  const auto rb = b.run(client::SchemeKind::kRRaidS);
+  EXPECT_DOUBLE_EQ(ra.meanLatency(), rb.meanLatency());
+  EXPECT_DOUBLE_EQ(ra.meanBandwidthMBps(), rb.meanBandwidthMBps());
+  EXPECT_DOUBLE_EQ(ra.meanIoOverhead(), rb.meanIoOverhead());
+}
+
+TEST(ExperimentRunner, DifferentSeedsDiffer) {
+  auto cfg = smallConfig();
+  ExperimentRunner a(cfg);
+  cfg.seed = 8;
+  ExperimentRunner b(cfg);
+  const auto ra = a.run(client::SchemeKind::kRobuStore);
+  const auto rb = b.run(client::SchemeKind::kRobuStore);
+  EXPECT_NE(ra.meanLatency(), rb.meanLatency());
+}
+
+TEST(ExperimentRunner, HomogeneousBackgroundRuns) {
+  auto cfg = smallConfig();
+  cfg.background = ExperimentConfig::Background::kHomogeneous;
+  cfg.bg_interval = 50 * kMilliseconds;
+  cfg.trials = 2;
+  ExperimentRunner runner(cfg);
+  const auto agg = runner.run(client::SchemeKind::kRobuStore);
+  EXPECT_EQ(agg.trials(), 2u);
+}
+
+TEST(ExperimentRunner, HeterogeneousBackgroundRuns) {
+  auto cfg = smallConfig();
+  cfg.background = ExperimentConfig::Background::kHeterogeneous;
+  cfg.trials = 2;
+  ExperimentRunner runner(cfg);
+  const auto agg = runner.run(client::SchemeKind::kRRaidA);
+  EXPECT_EQ(agg.trials(), 2u);
+}
+
+TEST(ExperimentRunner, BackgroundLoadReducesBandwidth) {
+  auto cfg = smallConfig();
+  cfg.layout.heterogeneous = false;  // isolate the workload effect
+  ExperimentRunner quiet(cfg);
+  cfg.background = ExperimentConfig::Background::kHomogeneous;
+  cfg.bg_interval = 6 * kMilliseconds;
+  ExperimentRunner busy(cfg);
+  const auto q = quiet.run(client::SchemeKind::kRaid0);
+  const auto b = busy.run(client::SchemeKind::kRaid0);
+  EXPECT_LT(b.meanBandwidthMBps(), q.meanBandwidthMBps());
+}
+
+TEST(ExperimentRunner, CachedRereadsAreFaster) {
+  auto cfg = smallConfig();
+  cfg.reuse_file = true;
+  cfg.trials = 4;
+  ExperimentRunner uncached(cfg);
+  cfg.cache.enabled = true;
+  ExperimentRunner cached(cfg);
+  const auto u = uncached.run(client::SchemeKind::kRobuStore);
+  const auto c = cached.run(client::SchemeKind::kRobuStore);
+  EXPECT_GT(c.meanBandwidthMBps(), u.meanBandwidthMBps());
+}
+
+TEST(ExperimentRunner, TrialsFromEnvFallsBack) {
+  unsetenv("ROBUSTORE_TRIALS");
+  EXPECT_EQ(ExperimentRunner::trialsFromEnv(13), 13u);
+  setenv("ROBUSTORE_TRIALS", "5", 1);
+  EXPECT_EQ(ExperimentRunner::trialsFromEnv(13), 5u);
+  setenv("ROBUSTORE_TRIALS", "bogus", 1);
+  EXPECT_EQ(ExperimentRunner::trialsFromEnv(13), 13u);
+  unsetenv("ROBUSTORE_TRIALS");
+}
+
+}  // namespace
+}  // namespace robustore::core

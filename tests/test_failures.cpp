@@ -1,0 +1,138 @@
+// Fail-stop disk failures: the availability motivation of §1.1/§5.3.1.
+// A failed disk never responds; RobuSTore's symmetric redundancy routes
+// around it inside a single speculative round, while RAID-0 stalls.
+
+#include <gtest/gtest.h>
+
+#include "client/raid0.hpp"
+#include "client/robustore_scheme.hpp"
+#include "client/rraid.hpp"
+#include "common/rng.hpp"
+#include "disk/disk.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore {
+namespace {
+
+TEST(DiskFailure, FailStopNeverCompletesRequests) {
+  sim::Engine engine;
+  Rng rng(1);
+  disk::Disk d(engine, disk::DiskParams{}, rng.fork(1));
+  const auto layout = disk::FileDiskLayout::generate(
+      2, 64 * kKiB, disk::LayoutConfig{128, 0.0}, rng);
+  int completions = 0;
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    disk::DiskRequestSpec spec;
+    spec.stream = 1;
+    spec.extents = layout.blockExtents(b);
+    spec.media_rate = d.mediaRate(0.5);
+    d.submit(std::move(spec), [&](disk::RequestId) { ++completions; });
+  }
+  d.failStop();
+  EXPECT_TRUE(d.failed());
+  engine.run();
+  EXPECT_EQ(completions, 0);
+  // Requests submitted after the failure also vanish.
+  disk::DiskRequestSpec spec;
+  spec.stream = 2;
+  spec.extents = layout.blockExtents(0);
+  spec.media_rate = d.mediaRate(0.5);
+  d.submit(std::move(spec), [&](disk::RequestId) { ++completions; });
+  engine.run();
+  EXPECT_EQ(completions, 0);
+}
+
+TEST(DiskFailure, FailStopIsIdempotentAndResettable) {
+  sim::Engine engine;
+  Rng rng(2);
+  disk::Disk d(engine, disk::DiskParams{}, rng.fork(1));
+  d.failStop();
+  EXPECT_NO_FATAL_FAILURE(d.failStop());
+  EXPECT_NO_FATAL_FAILURE(d.reset());  // allowed despite dead queue entries
+}
+
+class FailureToleranceFixture : public ::testing::Test {
+ protected:
+  FailureToleranceFixture() {
+    config.num_servers = 2;
+    config.server.disks_per_server = 4;
+    access.k = 32;
+    access.block_bytes = 128 * kKiB;
+    access.redundancy = 3.0;
+    access.timeout = 60.0;
+    policy.heterogeneous = false;
+  }
+
+  std::vector<std::uint32_t> allDisks() {
+    std::vector<std::uint32_t> v(8);
+    for (std::uint32_t i = 0; i < 8; ++i) v[i] = i;
+    return v;
+  }
+
+  client::ClusterConfig config;
+  client::AccessConfig access;
+  client::LayoutPolicy policy;
+};
+
+TEST_F(FailureToleranceFixture, RobuStoreReadsThroughFailures) {
+  for (const std::uint32_t failures : {1u, 2u, 3u}) {
+    sim::Engine engine;
+    client::Cluster cluster(engine, config, Rng(10 + failures));
+    client::RobuStoreScheme scheme(cluster);
+    Rng trial(failures);
+    auto file = scheme.planFile(access, allDisks(), policy, trial);
+    for (std::uint32_t f = 0; f < failures; ++f) cluster.disk(f).failStop();
+    const auto m = scheme.read(file, access);
+    EXPECT_TRUE(m.complete) << failures << " failed disks";
+  }
+}
+
+TEST_F(FailureToleranceFixture, Raid0StallsOnAnyFailure) {
+  sim::Engine engine;
+  client::Cluster cluster(engine, config, Rng(20));
+  client::Raid0Scheme scheme(cluster);
+  Rng trial(3);
+  auto file = scheme.planFile(access, allDisks(), policy, trial);
+  cluster.disk(0).failStop();
+  const auto m = scheme.read(file, access);
+  EXPECT_FALSE(m.complete);  // every block is unique: no way around
+}
+
+TEST_F(FailureToleranceFixture, SymmetricRedundancyBeatsPositionalCopies) {
+  // Same 3x redundancy, same four consecutive disk failures. Rotated
+  // replication places block b's four copies on disks b..b+3, so block 0
+  // loses every copy; RobuSTore's coded blocks are interchangeable, so
+  // the surviving half of the store still decodes.
+  sim::Engine engine;
+  client::Cluster cluster(engine, config, Rng(30));
+  client::RRaidScheme scheme(cluster, /*adaptive=*/false);
+  Rng trial(4);
+  auto file = scheme.planFile(access, allDisks(), policy, trial);
+  for (std::uint32_t d = 0; d < 4; ++d) cluster.disk(d).failStop();
+  const auto m = scheme.read(file, access);
+  EXPECT_FALSE(m.complete);
+
+  sim::Engine engine2;
+  client::Cluster cluster2(engine2, config, Rng(31));
+  client::RobuStoreScheme robust(cluster2);
+  Rng trial2(5);
+  auto coded = robust.planFile(access, allDisks(), policy, trial2);
+  for (std::uint32_t d = 0; d < 4; ++d) cluster2.disk(d).failStop();
+  const auto m2 = robust.read(coded, access);
+  EXPECT_TRUE(m2.complete);
+}
+
+TEST_F(FailureToleranceFixture, FailureDuringTheAccessIsTolerated) {
+  sim::Engine engine;
+  client::Cluster cluster(engine, config, Rng(40));
+  client::RobuStoreScheme scheme(cluster);
+  Rng trial(6);
+  auto file = scheme.planFile(access, allDisks(), policy, trial);
+  // Kill a disk shortly after the access starts (mid-flight failure).
+  engine.schedule(0.05, [&] { cluster.disk(2).failStop(); });
+  const auto m = scheme.read(file, access);
+  EXPECT_TRUE(m.complete);
+}
+
+}  // namespace
+}  // namespace robustore

@@ -1,0 +1,106 @@
+#include "server/filer_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace robustore::server {
+namespace {
+
+FilerCacheConfig smallCache(Bytes capacity = 64 * kKiB) {
+  FilerCacheConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity = capacity;
+  cfg.line_bytes = 4 * kKiB;
+  cfg.associativity = 4;
+  return cfg;
+}
+
+TEST(FilerCache, DisabledCacheAlwaysMisses) {
+  FilerCache cache{FilerCacheConfig{}};
+  EXPECT_FALSE(cache.enabled());
+  cache.insertBlock(0, 4);
+  EXPECT_FALSE(cache.containsBlock(0, 4));
+}
+
+TEST(FilerCache, InsertThenHit) {
+  FilerCache cache(smallCache());
+  EXPECT_FALSE(cache.containsBlock(1 << 16, 4));
+  cache.insertBlock(1 << 16, 4);
+  EXPECT_TRUE(cache.containsBlock(1 << 16, 4));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FilerCache, PartialBlockCountsAsMiss) {
+  FilerCache cache(smallCache());
+  cache.insertBlock(0, 3);  // lines 0..2 of a 4-line block
+  EXPECT_FALSE(cache.containsBlock(0, 4));
+}
+
+TEST(FilerCache, LinesPerBlockRoundsUp) {
+  FilerCache cache(smallCache());
+  EXPECT_EQ(cache.linesPerBlock(4 * kKiB), 1u);
+  EXPECT_EQ(cache.linesPerBlock(4 * kKiB + 1), 2u);
+  EXPECT_EQ(cache.linesPerBlock(1 * kMiB), 256u);
+}
+
+TEST(FilerCache, EvictsLeastRecentlyUsed) {
+  // Capacity 16 lines total (4 sets x 4 ways). Insert far more than fits
+  // and confirm old entries are gone while recent ones remain.
+  FilerCache cache(smallCache(16 * 4 * kKiB));
+  for (std::uint64_t b = 0; b < 64; ++b) cache.insertBlock(b << 16, 1);
+  std::size_t old_present = 0;
+  std::size_t recent_present = 0;
+  for (std::uint64_t b = 0; b < 16; ++b) {
+    old_present += cache.containsBlock(b << 16, 1);
+  }
+  for (std::uint64_t b = 48; b < 64; ++b) {
+    recent_present += cache.containsBlock(b << 16, 1);
+  }
+  EXPECT_LT(old_present, 4u);
+  EXPECT_GT(recent_present, 12u);
+}
+
+TEST(FilerCache, TouchOnHitRefreshesLru) {
+  // One set scenario: capacity = associativity lines.
+  FilerCacheConfig cfg = smallCache(4 * 4 * kKiB);
+  cfg.associativity = 4;
+  FilerCache cache(cfg);
+  // All keys map into a single set when there is only one set.
+  for (std::uint64_t b = 0; b < 4; ++b) cache.insertBlock(b << 16, 1);
+  // Touch block 0 so block 1 becomes the LRU victim.
+  EXPECT_TRUE(cache.containsBlock(0, 1));
+  cache.insertBlock(99 << 16, 1);
+  EXPECT_TRUE(cache.containsBlock(0, 1));
+  EXPECT_FALSE(cache.containsBlock(1ull << 16, 1));
+}
+
+TEST(FilerCache, LineCountTracksOccupancy) {
+  FilerCache cache(smallCache());
+  EXPECT_EQ(cache.lineCount(), 0u);
+  cache.insertBlock(0, 4);
+  EXPECT_EQ(cache.lineCount(), 4u);
+  cache.insertBlock(0, 4);  // reinsert: no growth
+  EXPECT_EQ(cache.lineCount(), 4u);
+}
+
+TEST(FilerCache, ClearEmptiesEverything) {
+  FilerCache cache(smallCache());
+  cache.insertBlock(0, 4);
+  cache.clear();
+  EXPECT_EQ(cache.lineCount(), 0u);
+  EXPECT_FALSE(cache.containsBlock(0, 4));
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(FilerCache, PaperConfigurationSizes) {
+  // §6.2.5: 2 GB, 4 KB lines, 4-way -> 512 Ki lines, 128 Ki sets.
+  FilerCacheConfig cfg;
+  cfg.enabled = true;
+  FilerCache cache(cfg);
+  cache.insertBlock(0, 256);  // one 1 MB block
+  EXPECT_EQ(cache.lineCount(), 256u);
+  EXPECT_TRUE(cache.containsBlock(0, 256));
+}
+
+}  // namespace
+}  // namespace robustore::server

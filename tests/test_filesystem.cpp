@@ -1,0 +1,116 @@
+#include "client/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::client {
+namespace {
+
+class FsFixture : public ::testing::Test {
+ protected:
+  FsFixture() {
+    config.num_servers = 2;
+    config.server.disks_per_server = 4;
+    access.k = 32;
+    access.block_bytes = 128 * kKiB;
+    access.redundancy = 2.0;
+  }
+
+  sim::Engine engine;
+  ClusterConfig config;
+  AccessConfig access;
+};
+
+TEST_F(FsFixture, WriteThenReadRoundTrip) {
+  Cluster cluster(engine, config, Rng(1));
+  FileSystemClient fs(cluster);
+  const auto w = fs.writeFile("dataset.h5", access, {}, 8);
+  ASSERT_TRUE(w.ok()) << static_cast<int>(w.status);
+  EXPECT_TRUE(fs.exists("dataset.h5"));
+
+  const auto r = fs.readFile("dataset.h5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.metrics.data_bytes, access.dataBytes());
+  EXPECT_GT(r.metrics.bandwidthMBps(), 0.0);
+}
+
+TEST_F(FsFixture, ReadOfMissingFileFails) {
+  Cluster cluster(engine, config, Rng(2));
+  FileSystemClient fs(cluster);
+  const auto r = fs.readFile("nope");
+  EXPECT_EQ(r.status, meta::OpenStatus::kNotFound);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(FsFixture, RewriteReplacesAndStaysReadable) {
+  // Writing an existing (unlocked) file takes the exclusive lock and
+  // replaces the contents; a concurrent second writer would conflict
+  // (covered by the metadata tests). Afterwards the file reads fine.
+  Cluster cluster(engine, config, Rng(3));
+  FileSystemClient fs(cluster);
+  ASSERT_TRUE(fs.writeFile("f", access, {}, 8).ok());
+  const auto again = fs.writeFile("f", access, {}, 8);
+  EXPECT_TRUE(again.ok());
+  EXPECT_TRUE(fs.readFile("f").ok());
+}
+
+TEST_F(FsFixture, QosRedundancyOverridesAccessConfig) {
+  Cluster cluster(engine, config, Rng(4));
+  FileSystemClient fs(cluster);
+  meta::QosOptions qos;
+  qos.redundancy = 4.0;
+  const auto w = fs.writeFile("g", access, qos, 8);
+  ASSERT_TRUE(w.ok());
+  // 4x redundancy: (1+4) * 32 = 160 coded blocks must have committed.
+  EXPECT_GE(w.metrics.blocks_received, 160u);
+}
+
+TEST_F(FsFixture, MetadataTracksUsageAndRemoveFrees) {
+  Cluster cluster(engine, config, Rng(5));
+  FileSystemClient fs(cluster);
+  ASSERT_TRUE(fs.writeFile("h", access, {}, 8).ok());
+  Bytes used = 0;
+  for (const auto& [id, d] : cluster.metadata().disks()) used += d.used;
+  EXPECT_GE(used, access.dataBytes() * 3);  // 2x redundancy => 3x data
+  ASSERT_TRUE(fs.removeFile("h"));
+  used = 0;
+  for (const auto& [id, d] : cluster.metadata().disks()) used += d.used;
+  EXPECT_EQ(used, 0u);
+  EXPECT_FALSE(fs.exists("h"));
+  EXPECT_FALSE(fs.removeFile("h"));
+}
+
+TEST_F(FsFixture, RereadsAreRepeatable) {
+  Cluster cluster(engine, config, Rng(6));
+  FileSystemClient fs(cluster);
+  ASSERT_TRUE(fs.writeFile("i", access, {}, 8).ok());
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_TRUE(fs.readFile("i").ok()) << "read " << n;
+  }
+}
+
+TEST_F(FsFixture, WorksWithEveryScheme) {
+  for (const auto kind : {SchemeKind::kRaid0, SchemeKind::kRRaidS,
+                          SchemeKind::kRRaidA, SchemeKind::kRobuStore}) {
+    sim::Engine e;
+    Cluster cluster(e, config, Rng(7));
+    FileSystemClient fs(cluster, kind);
+    ASSERT_TRUE(fs.writeFile("j", access, {}, 8).ok()) << schemeName(kind);
+    EXPECT_TRUE(fs.readFile("j").ok()) << schemeName(kind);
+  }
+}
+
+TEST_F(FsFixture, CapacityReservationRefusedWhenFull) {
+  Cluster cluster(engine, config, Rng(8));
+  FileSystemClient fs(cluster);
+  meta::QosOptions qos;
+  qos.reserve_bytes = 9ull * 400 * kGiB;  // more than 8 disks hold
+  const auto w = fs.writeFile("big", access, qos, 8);
+  EXPECT_EQ(w.status, meta::OpenStatus::kNoCapacity);
+  EXPECT_FALSE(fs.exists("big"));
+}
+
+}  // namespace
+}  // namespace robustore::client

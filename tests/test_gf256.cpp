@@ -1,0 +1,127 @@
+#include "coding/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace robustore::coding {
+namespace {
+
+using Elem = GF256::Elem;
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(GF256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(GF256::sub(0x53, 0xCA), 0x53 ^ 0xCA);
+}
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<Elem>(a), 1), a);
+    EXPECT_EQ(GF256::mul(1, static_cast<Elem>(a)), a);
+    EXPECT_EQ(GF256::mul(static_cast<Elem>(a), 0), 0);
+  }
+}
+
+TEST(GF256, KnownAESProducts) {
+  // Classic worked examples for the 0x11b polynomial.
+  EXPECT_EQ(GF256::mul(0x53, 0xCA), 0x01);
+  EXPECT_EQ(GF256::mul(0x57, 0x83), 0xC1);
+  EXPECT_EQ(GF256::mul(0x02, 0x80), 0x1B);
+}
+
+TEST(GF256, MultiplicationCommutes) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<Elem>(rng.below(256));
+    const auto b = static_cast<Elem>(rng.below(256));
+    EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+  }
+}
+
+TEST(GF256, MultiplicationAssociates) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<Elem>(rng.below(256));
+    const auto b = static_cast<Elem>(rng.below(256));
+    const auto c = static_cast<Elem>(rng.below(256));
+    EXPECT_EQ(GF256::mul(GF256::mul(a, b), c), GF256::mul(a, GF256::mul(b, c)));
+  }
+}
+
+TEST(GF256, DistributesOverAddition) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<Elem>(rng.below(256));
+    const auto b = static_cast<Elem>(rng.below(256));
+    const auto c = static_cast<Elem>(rng.below(256));
+    EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+              GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+  }
+}
+
+TEST(GF256, EveryNonZeroHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const Elem inv = GF256::inv(static_cast<Elem>(a));
+    EXPECT_EQ(GF256::mul(static_cast<Elem>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<Elem>(rng.below(256));
+    const auto b = static_cast<Elem>(rng.below(255) + 1);
+    EXPECT_EQ(GF256::div(GF256::mul(a, b), b), a);
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMultiplication) {
+  for (unsigned a = 0; a < 256; ++a) {
+    Elem acc = 1;
+    for (unsigned n = 0; n < 10; ++n) {
+      EXPECT_EQ(GF256::pow(static_cast<Elem>(a), n), acc);
+      acc = GF256::mul(acc, static_cast<Elem>(a));
+    }
+  }
+}
+
+TEST(GF256, FermatLittleTheorem) {
+  for (unsigned a = 1; a < 256; ++a) {
+    EXPECT_EQ(GF256::pow(static_cast<Elem>(a), 255), 1);
+  }
+}
+
+TEST(GF256, MulAddIntoMatchesScalarLoop) {
+  Rng rng(5);
+  std::vector<Elem> dst(1000);
+  std::vector<Elem> src(1000);
+  for (auto& v : dst) v = static_cast<Elem>(rng.below(256));
+  for (auto& v : src) v = static_cast<Elem>(rng.below(256));
+  for (const Elem coeff : {Elem{0}, Elem{1}, Elem{2}, Elem{0x53}, Elem{255}}) {
+    auto expected = dst;
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      expected[i] = GF256::add(expected[i], GF256::mul(coeff, src[i]));
+    }
+    auto actual = dst;
+    GF256::mulAddInto(actual, src, coeff);
+    EXPECT_EQ(actual, expected) << "coeff=" << int(coeff);
+  }
+}
+
+TEST(GF256, ScaleIntoMatchesScalarLoop) {
+  Rng rng(6);
+  std::vector<Elem> buf(500);
+  for (auto& v : buf) v = static_cast<Elem>(rng.below(256));
+  for (const Elem coeff : {Elem{0}, Elem{1}, Elem{7}, Elem{255}}) {
+    auto expected = buf;
+    for (auto& v : expected) v = GF256::mul(v, coeff);
+    auto actual = buf;
+    GF256::scaleInto(actual, coeff);
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+}  // namespace
+}  // namespace robustore::coding

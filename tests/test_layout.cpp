@@ -1,0 +1,126 @@
+#include "disk/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace robustore::disk {
+namespace {
+
+TEST(FileDiskLayout, ExtentsCoverEveryBlockExactly) {
+  Rng rng(1);
+  const LayoutConfig cfg{64, 0.5};  // 32 KiB runs
+  const auto layout = FileDiskLayout::generate(10, 1 * kMiB, cfg, rng);
+  ASSERT_EQ(layout.numBlocks(), 10u);
+  for (std::uint32_t b = 0; b < 10; ++b) {
+    Bytes total = 0;
+    for (const auto& e : layout.blockExtents(b)) {
+      EXPECT_LE(e.bytes, 64 * kSectorBytes);
+      EXPECT_GT(e.bytes, 0u);
+      total += e.bytes;
+    }
+    EXPECT_EQ(total, 1 * kMiB);
+  }
+}
+
+TEST(FileDiskLayout, RunCountMatchesBlockingFactor) {
+  Rng rng(2);
+  const LayoutConfig cfg{128, 0.0};  // 64 KiB runs
+  const auto layout = FileDiskLayout::generate(1, 1 * kMiB, cfg, rng);
+  EXPECT_EQ(layout.blockExtents(0).size(), 16u);  // 1 MiB / 64 KiB
+}
+
+TEST(FileDiskLayout, FirstRunNeverContinues) {
+  Rng rng(3);
+  const LayoutConfig cfg{8, 1.0};
+  const auto layout = FileDiskLayout::generate(4, 64 * kKiB, cfg, rng);
+  EXPECT_FALSE(layout.blockExtents(0)[0].continues_previous);
+}
+
+TEST(FileDiskLayout, FullySequentialWhenPseqOne) {
+  Rng rng(4);
+  const LayoutConfig cfg{8, 1.0};
+  const auto layout = FileDiskLayout::generate(4, 64 * kKiB, cfg, rng);
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    for (std::size_t i = 0; i < layout.blockExtents(b).size(); ++i) {
+      if (b == 0 && i == 0) continue;
+      EXPECT_TRUE(layout.blockExtents(b)[i].continues_previous);
+    }
+  }
+}
+
+TEST(FileDiskLayout, NeverSequentialWhenPseqZero) {
+  Rng rng(5);
+  const LayoutConfig cfg{8, 0.0};
+  const auto layout = FileDiskLayout::generate(4, 64 * kKiB, cfg, rng);
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    for (const auto& e : layout.blockExtents(b)) {
+      EXPECT_FALSE(e.continues_previous);
+    }
+  }
+}
+
+TEST(FileDiskLayout, SequentialFractionTracksPseq) {
+  Rng rng(6);
+  const LayoutConfig cfg{8, 0.7};
+  const auto layout = FileDiskLayout::generate(64, 256 * kKiB, cfg, rng);
+  std::size_t sequential = 0;
+  std::size_t total = 0;
+  for (std::uint32_t b = 0; b < 64; ++b) {
+    for (const auto& e : layout.blockExtents(b)) {
+      sequential += e.continues_previous;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(sequential) / total, 0.7, 0.03);
+}
+
+TEST(FileDiskLayout, ZoneWithinUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto layout =
+        FileDiskLayout::generate(1, kMiB, LayoutConfig{128, 0.0}, rng);
+    EXPECT_GE(layout.zone(), 0.0);
+    EXPECT_LE(layout.zone(), 1.0);
+  }
+}
+
+TEST(FileDiskLayout, ExtendToAppendsBlocks) {
+  Rng rng(8);
+  auto layout = FileDiskLayout::generate(2, kMiB, LayoutConfig{128, 1.0}, rng);
+  layout.extendTo(5, rng);
+  EXPECT_EQ(layout.numBlocks(), 5u);
+  // The appended blocks continue the file: their first extents may be
+  // sequential (p_seq=1 makes them all sequential).
+  EXPECT_TRUE(layout.blockExtents(3)[0].continues_previous);
+  // Extending to fewer blocks is a no-op.
+  layout.extendTo(3, rng);
+  EXPECT_EQ(layout.numBlocks(), 5u);
+}
+
+TEST(FileDiskLayout, PartialTailRun) {
+  Rng rng(9);
+  // Block 100 KiB with 64 KiB runs -> 64 + 36.
+  const auto layout =
+      FileDiskLayout::generate(1, 100 * kKiB, LayoutConfig{128, 0.0}, rng);
+  const auto& extents = layout.blockExtents(0);
+  ASSERT_EQ(extents.size(), 2u);
+  EXPECT_EQ(extents[0].bytes, 64 * kKiB);
+  EXPECT_EQ(extents[1].bytes, 36 * kKiB);
+}
+
+TEST(LayoutConfigDefaults, TableGridValuesAreRepresentable) {
+  Rng rng(10);
+  for (const std::uint32_t bf : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    for (const double p : {0.0, 1.0}) {
+      const auto layout =
+          FileDiskLayout::generate(1, kMiB, LayoutConfig{bf, p}, rng);
+      EXPECT_GE(layout.blockExtents(0).size(),
+                kMiB / (static_cast<Bytes>(bf) * kSectorBytes));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace robustore::disk

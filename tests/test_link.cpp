@@ -1,0 +1,55 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace robustore::net {
+namespace {
+
+TEST(Link, ControlArrivalIsOneWayLatency) {
+  sim::Engine engine;
+  Link link(engine, 10 * kMilliseconds);
+  EXPECT_DOUBLE_EQ(link.oneWayLatency(), 5 * kMilliseconds);
+  EXPECT_DOUBLE_EQ(link.controlArrival(), 5 * kMilliseconds);
+}
+
+TEST(Link, UnlimitedBandwidthIsPureLatency) {
+  sim::Engine engine;
+  Link link(engine, 2 * kMilliseconds, /*bandwidth=*/0.0);
+  EXPECT_DOUBLE_EQ(link.reserveSend(1 * kGiB), 1 * kMilliseconds);
+  EXPECT_DOUBLE_EQ(link.reserveSend(1 * kGiB), 1 * kMilliseconds);
+}
+
+TEST(Link, FiniteBandwidthSerializes) {
+  sim::Engine engine;
+  Link link(engine, 0.0, mbps(100.0));  // 100 MB/s, no latency
+  const SimTime first = link.reserveSend(50'000'000);   // 0.5 s
+  const SimTime second = link.reserveSend(50'000'000);  // queues behind
+  EXPECT_NEAR(first, 0.5, 1e-9);
+  EXPECT_NEAR(second, 1.0, 1e-9);
+}
+
+TEST(Link, SerializationRespectsCurrentTime) {
+  sim::Engine engine;
+  Link link(engine, 0.0, mbps(100.0));
+  (void)link.reserveSend(10'000'000);  // busy until 0.1
+  bool checked = false;
+  engine.schedule(1.0, [&] {
+    // Link has been idle since 0.1; a new send starts now.
+    EXPECT_NEAR(link.reserveSend(10'000'000), 1.1, 1e-9);
+    checked = true;
+  });
+  engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Link, LatencyAddsOnTopOfSerialization) {
+  sim::Engine engine;
+  Link link(engine, 20 * kMilliseconds, mbps(100.0));
+  const SimTime arrival = link.reserveSend(100'000'000);  // 1 s transfer
+  EXPECT_NEAR(arrival, 1.0 + 0.010, 1e-9);
+}
+
+}  // namespace
+}  // namespace robustore::net

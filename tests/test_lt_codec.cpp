@@ -1,0 +1,187 @@
+#include "coding/lt_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "coding/xor_kernel.hpp"
+#include "common/rng.hpp"
+
+namespace robustore::coding {
+namespace {
+
+std::vector<std::uint8_t> randomData(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+struct CodecShape {
+  std::uint32_t k;
+  std::uint32_t n;
+  Bytes block;
+};
+
+class LtCodecTest : public ::testing::TestWithParam<CodecShape> {};
+
+TEST_P(LtCodecTest, RoundTripInRandomArrivalOrder) {
+  const auto [k, n, block] = GetParam();
+  Rng rng(k + n + block);
+  const LtGraph graph = LtGraph::generate(k, n, LtParams{}, rng);
+  const auto data = randomData(static_cast<std::size_t>(k) * block, rng);
+  const LtEncoder encoder(graph, data, block);
+  const auto coded = encoder.encodeAll();
+
+  LtDecoder decoder(graph, block);
+  const auto order = rng.permutation(n);
+  std::uint32_t used = 0;
+  for (const auto c : order) {
+    ++used;
+    if (decoder.addSymbol(
+            c, std::span(coded).subspan(c * block, block))) {
+      break;
+    }
+  }
+  ASSERT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.symbolsUsed(), used);
+  EXPECT_EQ(decoder.takeData(), data);
+}
+
+TEST_P(LtCodecTest, IdModeFollowsTheSameSchedule) {
+  const auto [k, n, block] = GetParam();
+  Rng rng(k * 3 + n);
+  const LtGraph graph = LtGraph::generate(k, n, LtParams{}, rng);
+  const auto data = randomData(static_cast<std::size_t>(k) * block, rng);
+  const LtEncoder encoder(graph, data, block);
+  const auto coded = encoder.encodeAll();
+
+  LtDecoder with_data(graph, block);
+  LtDecoder ids_only(graph);
+  const auto order = rng.permutation(n);
+  for (const auto c : order) {
+    const bool a =
+        with_data.addSymbol(c, std::span(coded).subspan(c * block, block));
+    const bool b = ids_only.addSymbol(c);
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(with_data.recoveredCount(), ids_only.recoveredCount());
+    if (a) break;
+  }
+  EXPECT_EQ(with_data.symbolsUsed(), ids_only.symbolsUsed());
+  EXPECT_EQ(with_data.edgesUsed(), ids_only.edgesUsed());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LtCodecTest,
+    ::testing::Values(CodecShape{8, 32, 16}, CodecShape{32, 128, 64},
+                      CodecShape{128, 512, 32}, CodecShape{256, 1024, 8},
+                      CodecShape{1024, 4096, 4}));
+
+TEST(LtDecoder, DuplicateSymbolsAreIgnored) {
+  Rng rng(1);
+  const LtGraph graph = LtGraph::generate(32, 128, LtParams{}, rng);
+  LtDecoder decoder(graph);
+  decoder.addSymbol(5);
+  const auto used = decoder.symbolsUsed();
+  decoder.addSymbol(5);
+  EXPECT_EQ(decoder.symbolsUsed(), used);
+}
+
+TEST(LtDecoder, EncoderBlockIsXorOfNeighbors) {
+  Rng rng(2);
+  const Bytes block = 64;
+  const LtGraph graph = LtGraph::generate(16, 64, LtParams{}, rng);
+  const auto data = randomData(16 * block, rng);
+  const LtEncoder encoder(graph, data, block);
+  for (std::uint32_t c = 0; c < 64; ++c) {
+    std::vector<std::uint8_t> expected(block, 0);
+    for (const auto o : graph.neighbors(c)) {
+      xorInto(expected,
+              std::span<const std::uint8_t>(data).subspan(o * block, block));
+    }
+    std::vector<std::uint8_t> actual(block);
+    encoder.encodeBlock(c, actual);
+    EXPECT_EQ(actual, expected) << "coded block " << c;
+  }
+}
+
+TEST(LtDecoder, ReceptionOverheadNearHalfAtPaperParams) {
+  // §6.2.5: C=1, delta=0.5 gives ~0.5 reception overhead for K=1024.
+  Rng rng(3);
+  double total = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const LtGraph graph = LtGraph::generate(1024, 8192, LtParams{}, rng);
+    LtDecoder decoder(graph);
+    const auto order = rng.permutation(8192);
+    for (const auto c : order) {
+      if (decoder.addSymbol(c)) break;
+    }
+    ASSERT_TRUE(decoder.complete());
+    total += static_cast<double>(decoder.symbolsUsed()) / 1024.0 - 1.0;
+  }
+  const double overhead = total / trials;
+  EXPECT_GT(overhead, 0.2);
+  EXPECT_LT(overhead, 0.9);
+}
+
+TEST(LtDecoder, LazyXorCostIsBounded) {
+  Rng rng(4);
+  const LtGraph graph = LtGraph::generate(256, 1024, LtParams{}, rng);
+  LtDecoder decoder(graph);
+  const auto order = rng.permutation(1024);
+  for (const auto c : order) {
+    if (decoder.addSymbol(c)) break;
+  }
+  ASSERT_TRUE(decoder.complete());
+  // Exactly one resolving block per original, each costing degree-1 XORs:
+  // xorOps = edgesUsed - K.
+  EXPECT_EQ(decoder.xorOps(), decoder.edgesUsed() - 256);
+  EXPECT_LT(decoder.edgesUsed(), graph.totalEdges());
+}
+
+TEST(LtDecoder, SupersetOfDecodableSetStillDecodes) {
+  Rng rng(5);
+  const LtGraph graph = LtGraph::generate(64, 256, LtParams{}, rng);
+  // Find a decodable prefix, then replay it interleaved with extras.
+  LtDecoder first(graph);
+  const auto order = rng.permutation(256);
+  std::vector<std::uint32_t> prefix;
+  for (const auto c : order) {
+    prefix.push_back(c);
+    if (first.addSymbol(c)) break;
+  }
+  ASSERT_TRUE(first.complete());
+
+  LtDecoder second(graph);
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    second.addSymbol(prefix[i]);
+    second.addSymbol(order[(i * 7 + 3) % order.size()]);  // noise
+  }
+  EXPECT_TRUE(second.complete());
+}
+
+TEST(LtDecoder, RecoveredFlagsAreConsistent) {
+  Rng rng(6);
+  const LtGraph graph = LtGraph::generate(32, 128, LtParams{}, rng);
+  LtDecoder decoder(graph);
+  for (std::uint32_t c = 0; c < 128; ++c) {
+    if (decoder.addSymbol(c)) break;
+  }
+  ASSERT_TRUE(decoder.complete());
+  for (std::uint32_t o = 0; o < 32; ++o) EXPECT_TRUE(decoder.isRecovered(o));
+}
+
+TEST(LtDecoder, AddAfterCompleteIsNoOp) {
+  Rng rng(7);
+  const LtGraph graph = LtGraph::generate(16, 64, LtParams{}, rng);
+  LtDecoder decoder(graph);
+  for (std::uint32_t c = 0; c < 64; ++c) decoder.addSymbol(c);
+  ASSERT_TRUE(decoder.complete());
+  const auto used = decoder.symbolsUsed();
+  decoder.addSymbol(63);
+  EXPECT_EQ(decoder.symbolsUsed(), used);
+}
+
+}  // namespace
+}  // namespace robustore::coding

@@ -1,0 +1,101 @@
+#include "coding/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace robustore::coding {
+namespace {
+
+GFMatrix randomMatrix(std::size_t n, Rng& rng) {
+  GFMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m.at(i, j) = static_cast<GF256::Elem>(rng.below(256));
+    }
+  }
+  return m;
+}
+
+TEST(GFMatrix, IdentityMultiplication) {
+  Rng rng(1);
+  const GFMatrix m = randomMatrix(8, rng);
+  const GFMatrix id = GFMatrix::identity(8);
+  EXPECT_EQ(m.multiply(id), m);
+  EXPECT_EQ(id.multiply(m), m);
+}
+
+TEST(GFMatrix, InverseTimesSelfIsIdentity) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    GFMatrix m = randomMatrix(12, rng);
+    GFMatrix inv = m;
+    if (!inv.invert()) continue;  // singular random matrices are rare but possible
+    EXPECT_EQ(m.multiply(inv), GFMatrix::identity(12));
+    EXPECT_EQ(inv.multiply(m), GFMatrix::identity(12));
+  }
+}
+
+TEST(GFMatrix, SingularDetection) {
+  GFMatrix m(3, 3);
+  // Two identical rows -> singular.
+  for (std::size_t j = 0; j < 3; ++j) {
+    m.at(0, j) = static_cast<GF256::Elem>(j + 1);
+    m.at(1, j) = static_cast<GF256::Elem>(j + 1);
+    m.at(2, j) = static_cast<GF256::Elem>(7 * j + 3);
+  }
+  EXPECT_FALSE(m.invert());
+}
+
+TEST(GFMatrix, ZeroMatrixIsSingular) {
+  GFMatrix m(4, 4);
+  EXPECT_FALSE(m.invert());
+}
+
+class VandermondeTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(VandermondeTest, EveryRowSelectionIsInvertible) {
+  const auto [rows, cols] = GetParam();
+  const GFMatrix v = GFMatrix::vandermonde(rows, cols);
+  Rng rng(rows * 100 + cols);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto perm = rng.permutation(static_cast<std::uint32_t>(rows));
+    perm.resize(cols);
+    GFMatrix sub = v.selectRows(perm);
+    EXPECT_TRUE(sub.invert()) << "rows=" << rows << " cols=" << cols;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, VandermondeTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{16, 8},
+                      std::pair<std::size_t, std::size_t>{64, 32},
+                      std::pair<std::size_t, std::size_t>{256, 16}));
+
+TEST(GFMatrix, SelectRowsExtracts) {
+  GFMatrix m(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    m.at(i, 0) = static_cast<GF256::Elem>(10 + i);
+    m.at(i, 1) = static_cast<GF256::Elem>(20 + i);
+  }
+  const std::vector<std::uint32_t> idx{3, 1};
+  const GFMatrix sub = m.selectRows(idx);
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.at(0, 0), 13);
+  EXPECT_EQ(sub.at(1, 1), 21);
+}
+
+TEST(GFMatrix, MultiplyShapes) {
+  const GFMatrix a = GFMatrix::vandermonde(6, 3);
+  const GFMatrix b = GFMatrix::vandermonde(3, 5);
+  const GFMatrix c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 6u);
+  EXPECT_EQ(c.cols(), 5u);
+}
+
+}  // namespace
+}  // namespace robustore::coding

@@ -1,0 +1,69 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace robustore::metrics {
+namespace {
+
+TEST(AccessMetrics, BandwidthFromLatency) {
+  AccessMetrics m;
+  m.data_bytes = 1'000'000'000;  // 1 GB decimal
+  m.latency = 2.0;
+  EXPECT_DOUBLE_EQ(m.bandwidthMBps(), 500.0);
+}
+
+TEST(AccessMetrics, ZeroLatencyGivesZeroBandwidth) {
+  AccessMetrics m;
+  m.data_bytes = 100;
+  m.latency = 0.0;
+  EXPECT_DOUBLE_EQ(m.bandwidthMBps(), 0.0);
+}
+
+TEST(AccessMetrics, IoOverheadDefinition) {
+  AccessMetrics m;
+  m.data_bytes = 1000;
+  m.network_bytes = 1500;
+  EXPECT_DOUBLE_EQ(m.ioOverhead(), 0.5);
+  m.network_bytes = 1000;
+  EXPECT_DOUBLE_EQ(m.ioOverhead(), 0.0);
+}
+
+TEST(AccessMetrics, ReceptionOverheadDefinition) {
+  AccessMetrics m;
+  m.blocks_original = 1024;
+  m.blocks_received = 1536;
+  EXPECT_DOUBLE_EQ(m.receptionOverhead(), 0.5);
+  m.blocks_received = 1024;
+  EXPECT_DOUBLE_EQ(m.receptionOverhead(), 0.0);
+}
+
+TEST(AccessAggregate, AggregatesCompleteAccessesOnly) {
+  AccessAggregate agg;
+  AccessMetrics ok;
+  ok.complete = true;
+  ok.latency = 2.0;
+  ok.data_bytes = 1'000'000;
+  ok.network_bytes = 1'500'000;
+  ok.blocks_original = 10;
+  ok.blocks_received = 15;
+  agg.add(ok);
+  ok.latency = 4.0;
+  agg.add(ok);
+
+  AccessMetrics bad;
+  bad.complete = false;
+  agg.add(bad);
+
+  EXPECT_EQ(agg.trials(), 2u);
+  EXPECT_EQ(agg.incompleteCount(), 1u);
+  EXPECT_DOUBLE_EQ(agg.meanLatency(), 3.0);
+  EXPECT_NEAR(agg.latencyStdDev(), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(agg.meanIoOverhead(), 0.5);
+  EXPECT_DOUBLE_EQ(agg.meanReceptionOverhead(), 0.5);
+  EXPECT_NEAR(agg.meanBandwidthMBps(), (0.5 + 0.25) / 2, 1e-12);
+}
+
+}  // namespace
+}  // namespace robustore::metrics

@@ -1,0 +1,118 @@
+// Cross-configuration property sweep: every (scheme x operation x layout
+// x background) combination must satisfy the universal access invariants.
+// This is the harness-level safety net: any change to the disk model,
+// schemes, or cancellation logic that breaks conservation laws fails
+// loudly here.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/experiment.hpp"
+#include "robustore.hpp"  // umbrella header must stay self-contained
+
+namespace robustore {
+namespace {
+
+using core::ExperimentConfig;
+
+struct SweepCase {
+  client::SchemeKind scheme;
+  ExperimentConfig::Op op;
+  bool heterogeneous_layout;
+  ExperimentConfig::Background background;
+};
+
+std::string caseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const auto& c = info.param;
+  std::string name;
+  switch (c.scheme) {
+    case client::SchemeKind::kRaid0: name += "Raid0"; break;
+    case client::SchemeKind::kRRaidS: name += "RRaidS"; break;
+    case client::SchemeKind::kRRaidA: name += "RRaidA"; break;
+    case client::SchemeKind::kRobuStore: name += "RobuStore"; break;
+  }
+  switch (c.op) {
+    case ExperimentConfig::Op::kRead: name += "Read"; break;
+    case ExperimentConfig::Op::kWrite: name += "Write"; break;
+    case ExperimentConfig::Op::kReadAfterWrite: name += "Raw"; break;
+  }
+  name += c.heterogeneous_layout ? "Het" : "Homo";
+  switch (c.background) {
+    case ExperimentConfig::Background::kNone: name += "Quiet"; break;
+    case ExperimentConfig::Background::kHomogeneous: name += "BgHomo"; break;
+    case ExperimentConfig::Background::kHeterogeneous: name += "BgHet"; break;
+    case ExperimentConfig::Background::kHeterogeneousStatic:
+      name += "BgStatic";
+      break;
+  }
+  return name;
+}
+
+class PropertySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PropertySweep, AccessInvariantsHold) {
+  const auto& c = GetParam();
+  ExperimentConfig cfg;
+  cfg.num_servers = 2;
+  cfg.disks_per_server = 4;
+  cfg.disks_per_access = 8;
+  cfg.access.k = 32;
+  cfg.access.block_bytes = 128 * kKiB;  // 4 MB accesses keep the grid fast
+  cfg.access.redundancy = 2.0;
+  cfg.layout.heterogeneous = c.heterogeneous_layout;
+  cfg.op = c.op;
+  cfg.background = c.background;
+  cfg.bg_interval = 40 * kMilliseconds;
+  cfg.trials = 2;
+  cfg.seed = 99;
+
+  core::ExperimentRunner runner(cfg);
+  const auto agg = runner.run(c.scheme);
+
+  // Universal invariants.
+  EXPECT_EQ(agg.trials() + agg.incompleteCount(), cfg.trials);
+  EXPECT_EQ(agg.incompleteCount(), 0u) << "accesses must complete";
+  EXPECT_GT(agg.meanBandwidthMBps(), 0.0);
+  EXPECT_GT(agg.meanLatency(), 0.0);
+  EXPECT_GE(agg.latencyStdDev(), 0.0);
+  // Conservation: at least the data itself crossed the network.
+  EXPECT_GE(agg.meanIoOverhead(), -1e-9);
+  // Plain striping never moves redundant bytes on reads.
+  if (c.scheme == client::SchemeKind::kRaid0 &&
+      c.op == ExperimentConfig::Op::kRead) {
+    EXPECT_NEAR(agg.meanIoOverhead(), 0.0, 1e-9);
+  }
+  // Writes of replicated schemes move exactly (1 + D) x data.
+  if ((c.scheme == client::SchemeKind::kRRaidS ||
+       c.scheme == client::SchemeKind::kRRaidA) &&
+      c.op == ExperimentConfig::Op::kWrite) {
+    EXPECT_NEAR(agg.meanIoOverhead(), cfg.access.redundancy, 1e-9);
+  }
+}
+
+std::vector<SweepCase> allCases() {
+  std::vector<SweepCase> cases;
+  for (const auto scheme :
+       {client::SchemeKind::kRaid0, client::SchemeKind::kRRaidS,
+        client::SchemeKind::kRRaidA, client::SchemeKind::kRobuStore}) {
+    for (const auto op :
+         {ExperimentConfig::Op::kRead, ExperimentConfig::Op::kWrite,
+          ExperimentConfig::Op::kReadAfterWrite}) {
+      for (const bool het : {false, true}) {
+        for (const auto bg : {ExperimentConfig::Background::kNone,
+                              ExperimentConfig::Background::kHeterogeneous}) {
+          cases.push_back(SweepCase{scheme, op, het, bg});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PropertySweep, ::testing::ValuesIn(allCases()),
+                         caseName);
+
+}  // namespace
+}  // namespace robustore

@@ -1,0 +1,97 @@
+#include "meta/qos_planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace robustore::meta {
+namespace {
+
+MetadataServer uniformFleet(std::uint32_t disks, double peak_mbps,
+                            double load = 0.0) {
+  MetadataServer metadata;
+  for (std::uint32_t d = 0; d < disks; ++d) {
+    DiskRecord record;
+    record.global_disk = d;
+    record.peak_bandwidth = mbps(peak_mbps);
+    record.recent_load = load;
+    metadata.registerDisk(record);
+  }
+  return metadata;
+}
+
+TEST(QosPlanner, FleetEstimateUniform) {
+  const auto metadata = uniformFleet(16, 50.0);
+  const auto fleet = estimateFleet(metadata);
+  EXPECT_EQ(fleet.num_disks, 16u);
+  EXPECT_DOUBLE_EQ(fleet.average_bandwidth, mbps(50.0));
+  EXPECT_DOUBLE_EQ(fleet.peak_bandwidth, mbps(50.0));
+}
+
+TEST(QosPlanner, LoadDiscountsEffectiveBandwidth) {
+  auto metadata = uniformFleet(4, 40.0);
+  for (int i = 0; i < 50; ++i) metadata.reportLoad(0, 1.0, i);
+  const auto fleet = estimateFleet(metadata);
+  EXPECT_LT(fleet.average_bandwidth, mbps(40.0));
+  EXPECT_DOUBLE_EQ(fleet.peak_bandwidth, mbps(40.0));
+}
+
+TEST(QosPlanner, DiskCountCoversRequestedBandwidth) {
+  // §5.2.2's worked example: ~20 MBps disks, a 10 Gbps (1.2 GBps) client
+  // needs about 64 disks; add the 1.5x reception factor and the planner
+  // should ask for ~90.
+  FleetEstimate fleet;
+  fleet.num_disks = 128;
+  fleet.average_bandwidth = mbps(20.0);
+  fleet.peak_bandwidth = mbps(20.0);
+  QosOptions qos;
+  qos.min_bandwidth = mbps(1200.0);
+  const auto plan = planAccess(qos, fleet, 0.5);
+  EXPECT_EQ(plan.num_disks, 90u);
+}
+
+TEST(QosPlanner, DiskCountClampsToFleetSize) {
+  FleetEstimate fleet;
+  fleet.num_disks = 8;
+  fleet.average_bandwidth = mbps(10.0);
+  fleet.peak_bandwidth = mbps(10.0);
+  QosOptions qos;
+  qos.min_bandwidth = mbps(10000.0);
+  EXPECT_EQ(planAccess(qos, fleet).num_disks, 8u);
+}
+
+TEST(QosPlanner, RedundancyFollowsPeakToAverageRatio) {
+  // §5.3.2: D = (1+eps) * peak/avg - 1. peak/avg = 3, eps = 0.5 -> 3.5.
+  FleetEstimate fleet;
+  fleet.num_disks = 64;
+  fleet.average_bandwidth = mbps(15.0);
+  fleet.peak_bandwidth = mbps(45.0);
+  const auto plan = planAccess(QosOptions{}, fleet, 0.5);
+  EXPECT_NEAR(plan.redundancy, 3.5, 1e-9);
+}
+
+TEST(QosPlanner, ApplicationRedundancyActsAsFloor) {
+  FleetEstimate fleet;
+  fleet.num_disks = 8;
+  fleet.average_bandwidth = mbps(40.0);
+  fleet.peak_bandwidth = mbps(44.0);  // ratio ~1.1 -> D ~0.65
+  QosOptions qos;
+  qos.redundancy = 3.0;
+  EXPECT_NEAR(planAccess(qos, fleet, 0.5).redundancy, 3.0, 1e-9);
+}
+
+TEST(QosPlanner, HomogeneousFleetStillPaysReceptionOverhead) {
+  FleetEstimate fleet;
+  fleet.num_disks = 8;
+  fleet.average_bandwidth = mbps(50.0);
+  fleet.peak_bandwidth = mbps(50.0);
+  // peak == avg: D = (1+eps) - 1 = eps.
+  EXPECT_NEAR(planAccess(QosOptions{}, fleet, 0.5).redundancy, 0.5, 1e-9);
+}
+
+TEST(QosPlanner, EmptyFleetDegradesGracefully) {
+  const auto plan = planAccess(QosOptions{}, FleetEstimate{});
+  EXPECT_EQ(plan.num_disks, 1u);
+  EXPECT_DOUBLE_EQ(plan.redundancy, 0.0);
+}
+
+}  // namespace
+}  // namespace robustore::meta

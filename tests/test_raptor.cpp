@@ -1,0 +1,148 @@
+#include "coding/raptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace robustore::coding {
+namespace {
+
+std::vector<std::uint8_t> randomData(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+struct RaptorShape {
+  std::uint32_t k;
+  std::uint32_t n;
+};
+
+class RaptorShapeTest : public ::testing::TestWithParam<RaptorShape> {};
+
+TEST_P(RaptorShapeTest, StructureIsSane) {
+  const auto [k, n] = GetParam();
+  Rng rng(k + n);
+  const RaptorCode code(k, n, RaptorParams{}, rng);
+  EXPECT_EQ(code.k(), k);
+  EXPECT_EQ(code.n(), n);
+  EXPECT_GT(code.m(), k);
+  EXPECT_EQ(code.combinedGraph().n(), n + code.parityCount());
+  EXPECT_EQ(code.combinedGraph().k(), code.m());
+}
+
+TEST_P(RaptorShapeTest, FullReceptionDecodesAllSources) {
+  const auto [k, n] = GetParam();
+  Rng rng(k * 3 + n);
+  const RaptorCode code(k, n, RaptorParams{}, rng);
+  RaptorCode::Decoder decoder(code);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    if (decoder.addSymbol(c)) break;
+  }
+  EXPECT_TRUE(decoder.complete());
+}
+
+TEST_P(RaptorShapeTest, DataRoundTripInRandomOrder) {
+  const auto [k, n] = GetParam();
+  Rng rng(k * 7 + n);
+  const Bytes block = 32;
+  const RaptorCode code(k, n, RaptorParams{}, rng);
+  const auto data = randomData(static_cast<std::size_t>(k) * block, rng);
+  const auto coded = code.encodeAll(data, block);
+  ASSERT_EQ(coded.size(), static_cast<std::size_t>(n) * block);
+
+  RaptorCode::Decoder decoder(code, block);
+  const auto order = rng.permutation(n);
+  for (const auto c : order) {
+    if (decoder.addSymbol(c, std::span(coded).subspan(
+                                 static_cast<std::size_t>(c) * block,
+                                 block))) {
+      break;
+    }
+  }
+  ASSERT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.takeData(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RaptorShapeTest,
+                         ::testing::Values(RaptorShape{16, 64},
+                                           RaptorShape{64, 256},
+                                           RaptorShape{128, 512},
+                                           RaptorShape{512, 2048},
+                                           RaptorShape{100, 150}));
+
+TEST(Raptor, SparserInnerGraphThanPlainLt) {
+  // The raison d'etre of Raptor (§2.2.3): linear-time decoding via a
+  // sparse inner code, with the pre-code covering the stragglers. The
+  // decoding work per source block should undercut a stand-alone LT at
+  // the same reception quality target.
+  Rng rng(5);
+  const std::uint32_t k = 1024;
+  const std::uint32_t n = 4096;
+  const RaptorCode raptor(k, n, RaptorParams{}, rng);
+  const LtGraph lt = LtGraph::generate(k, n, LtParams{}, rng);
+  // Inner rows only (exclude pre-code checks) vs the plain LT rows.
+  double raptor_edges = 0;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    raptor_edges += raptor.combinedGraph().degree(c);
+  }
+  double lt_edges = 0;
+  for (std::uint32_t c = 0; c < n; ++c) lt_edges += lt.degree(c);
+  EXPECT_LT(raptor_edges, lt_edges);
+}
+
+TEST(Raptor, ReceptionOverheadComparableToLt) {
+  Rng rng(6);
+  const std::uint32_t k = 256;
+  const std::uint32_t n = 1024;
+  double total = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const RaptorCode code(k, n, RaptorParams{}, rng);
+    RaptorCode::Decoder decoder(code);
+    const auto order = rng.permutation(n);
+    for (const auto c : order) {
+      if (decoder.addSymbol(c)) break;
+    }
+    ASSERT_TRUE(decoder.complete());
+    total += static_cast<double>(decoder.symbolsUsed()) / k - 1.0;
+  }
+  const double overhead = total / trials;
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 1.5);
+}
+
+TEST(Raptor, DuplicateSymbolsIgnored) {
+  Rng rng(7);
+  const RaptorCode code(32, 128, RaptorParams{}, rng);
+  RaptorCode::Decoder decoder(code);
+  decoder.addSymbol(3);
+  const auto used = decoder.symbolsUsed();
+  decoder.addSymbol(3);
+  EXPECT_EQ(decoder.symbolsUsed(), used);
+}
+
+TEST(Raptor, PrecodeParametersRespected) {
+  Rng rng(8);
+  RaptorParams params;
+  params.precode_overhead = 0.25;
+  params.precode_degree = 4;
+  const RaptorCode code(100, 400, params, rng);
+  EXPECT_EQ(code.parityCount(), 25u);
+  // Check rows have degree precode_degree + 1 (sources + the parity).
+  for (std::uint32_t c = code.n(); c < code.combinedGraph().n(); ++c) {
+    EXPECT_EQ(code.combinedGraph().degree(c), 5u);
+  }
+}
+
+TEST(Raptor, CheckSymbolsAloneDoNotDecode) {
+  Rng rng(9);
+  const RaptorCode code(64, 256, RaptorParams{}, rng);
+  const RaptorCode::Decoder decoder(code);  // only pre-code constraints
+  EXPECT_FALSE(decoder.complete());
+}
+
+}  // namespace
+}  // namespace robustore::coding

@@ -1,0 +1,154 @@
+#include "coding/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace robustore::coding {
+namespace {
+
+std::vector<std::uint8_t> randomData(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+TEST(ReedSolomon, SystematicPrefix) {
+  Rng rng(1);
+  const ReedSolomon rs(4, 8);
+  const Bytes bs = 64;
+  const auto data = randomData(4 * bs, rng);
+  const auto coded = rs.encode(data, bs);
+  ASSERT_EQ(coded.size(), 8 * bs);
+  // The first K coded blocks are verbatim copies of the data.
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), coded.begin()));
+}
+
+TEST(ReedSolomon, RoundTripWithDataBlocksOnly) {
+  Rng rng(2);
+  const ReedSolomon rs(4, 8);
+  const Bytes bs = 32;
+  const auto data = randomData(4 * bs, rng);
+  const auto coded = rs.encode(data, bs);
+  const std::vector<std::uint32_t> idx{0, 1, 2, 3};
+  std::vector<std::uint8_t> blocks(coded.begin(), coded.begin() + 4 * bs);
+  EXPECT_EQ(rs.decode(idx, blocks, bs), data);
+}
+
+TEST(ReedSolomon, RoundTripWithParityBlocksOnly) {
+  Rng rng(3);
+  const ReedSolomon rs(4, 8);
+  const Bytes bs = 32;
+  const auto data = randomData(4 * bs, rng);
+  const auto coded = rs.encode(data, bs);
+  const std::vector<std::uint32_t> idx{4, 5, 6, 7};
+  std::vector<std::uint8_t> blocks(coded.begin() + 4 * bs, coded.end());
+  EXPECT_EQ(rs.decode(idx, blocks, bs), data);
+}
+
+TEST(ReedSolomon, RoundTripEveryKSubsetSmall) {
+  // Exhaustive: every 3-of-6 subset reconstructs.
+  Rng rng(4);
+  const ReedSolomon rs(3, 6);
+  const Bytes bs = 16;
+  const auto data = randomData(3 * bs, rng);
+  const auto coded = rs.encode(data, bs);
+  for (std::uint32_t a = 0; a < 6; ++a) {
+    for (std::uint32_t b = a + 1; b < 6; ++b) {
+      for (std::uint32_t c = b + 1; c < 6; ++c) {
+        const std::vector<std::uint32_t> idx{a, b, c};
+        std::vector<std::uint8_t> blocks;
+        for (const auto i : idx) {
+          blocks.insert(blocks.end(), coded.begin() + i * bs,
+                        coded.begin() + (i + 1) * bs);
+        }
+        EXPECT_EQ(rs.decode(idx, blocks, bs), data)
+            << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+struct RsShape {
+  std::uint32_t k;
+  std::uint32_t n;
+};
+
+class RsShapeTest : public ::testing::TestWithParam<RsShape> {};
+
+TEST_P(RsShapeTest, RandomSubsetsRoundTrip) {
+  const auto [k, n] = GetParam();
+  Rng rng(k * 1000 + n);
+  const ReedSolomon rs(k, n);
+  const Bytes bs = 128;
+  const auto data = randomData(static_cast<std::size_t>(k) * bs, rng);
+  const auto coded = rs.encode(data, bs);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto perm = rng.permutation(n);
+    perm.resize(k);
+    std::vector<std::uint8_t> blocks;
+    for (const auto i : perm) {
+      blocks.insert(blocks.end(), coded.begin() + i * bs,
+                    coded.begin() + (i + 1) * bs);
+    }
+    EXPECT_EQ(rs.decode(perm, blocks, bs), data);
+  }
+}
+
+// The Table 5-1 configurations plus corner shapes.
+INSTANTIATE_TEST_SUITE_P(Shapes, RsShapeTest,
+                         ::testing::Values(RsShape{4, 8}, RsShape{8, 16},
+                                           RsShape{16, 32}, RsShape{32, 64},
+                                           RsShape{1, 4}, RsShape{5, 5},
+                                           RsShape{60, 200}, RsShape{100, 256}));
+
+TEST(ReedSolomon, ExtraBlocksAreIgnored) {
+  Rng rng(5);
+  const ReedSolomon rs(4, 10);
+  const Bytes bs = 8;
+  const auto data = randomData(4 * bs, rng);
+  const auto coded = rs.encode(data, bs);
+  const std::vector<std::uint32_t> idx{9, 2, 7, 0, 1, 3};
+  std::vector<std::uint8_t> blocks;
+  for (const auto i : idx) {
+    blocks.insert(blocks.end(), coded.begin() + i * bs,
+                  coded.begin() + (i + 1) * bs);
+  }
+  EXPECT_EQ(rs.decode(idx, blocks, bs), data);
+}
+
+TEST(ReedSolomon, EncodeBlockMatchesEncodeAll) {
+  Rng rng(6);
+  const ReedSolomon rs(8, 16);
+  const Bytes bs = 64;
+  const auto data = randomData(8 * bs, rng);
+  const auto coded = rs.encode(data, bs);
+  std::vector<std::uint8_t> one(bs);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    rs.encodeBlock(i, data, bs, one);
+    EXPECT_TRUE(std::equal(one.begin(), one.end(), coded.begin() + i * bs));
+  }
+}
+
+TEST(ReedSolomon, ParityDiffersFromData) {
+  Rng rng(7);
+  const ReedSolomon rs(4, 8);
+  const Bytes bs = 64;
+  const auto data = randomData(4 * bs, rng);
+  const auto coded = rs.encode(data, bs);
+  // Parity blocks should not equal any single data block (overwhelmingly).
+  const auto parity0 =
+      std::vector<std::uint8_t>(coded.begin() + 4 * bs, coded.begin() + 5 * bs);
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    const auto dj = std::vector<std::uint8_t>(data.begin() + j * bs,
+                                              data.begin() + (j + 1) * bs);
+    EXPECT_NE(parity0, dj);
+  }
+}
+
+}  // namespace
+}  // namespace robustore::coding

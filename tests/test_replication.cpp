@@ -1,0 +1,97 @@
+#include "coding/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace robustore::coding {
+namespace {
+
+TEST(ReplicationTracker, CompletesWhenAllCovered) {
+  ReplicationTracker t(4);
+  EXPECT_FALSE(t.addCopy(0));
+  EXPECT_FALSE(t.addCopy(1));
+  EXPECT_FALSE(t.addCopy(2));
+  EXPECT_TRUE(t.addCopy(3));
+  EXPECT_TRUE(t.complete());
+  EXPECT_EQ(t.coveredCount(), 4u);
+}
+
+TEST(ReplicationTracker, DuplicatesCounted) {
+  ReplicationTracker t(2);
+  t.addCopy(0);
+  t.addCopy(0);
+  t.addCopy(0);
+  EXPECT_FALSE(t.complete());
+  EXPECT_EQ(t.copiesReceived(), 3u);
+  EXPECT_EQ(t.duplicates(), 2u);
+  EXPECT_TRUE(t.addCopy(1));
+  EXPECT_EQ(t.duplicates(), 2u);
+}
+
+TEST(ReplicationTracker, IsCoveredTracksBlocks) {
+  ReplicationTracker t(3);
+  t.addCopy(1);
+  EXPECT_TRUE(t.isCovered(1));
+  EXPECT_FALSE(t.isCovered(0));
+  EXPECT_FALSE(t.isCovered(2));
+}
+
+TEST(RotatedReplicaLayout, PlacementFormula) {
+  const RotatedReplicaLayout layout{8, 2, 4};
+  EXPECT_EQ(layout.diskOf(0, 0), 0u);
+  EXPECT_EQ(layout.diskOf(0, 1), 1u);
+  EXPECT_EQ(layout.diskOf(3, 0), 3u);
+  EXPECT_EQ(layout.diskOf(3, 1), 0u);
+  EXPECT_EQ(layout.diskOf(7, 1), 0u);
+}
+
+TEST(RotatedReplicaLayout, EveryCopyLandsExactlyOnce) {
+  const RotatedReplicaLayout layout{16, 3, 5};
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> seen;
+  for (std::uint32_t d = 0; d < 5; ++d) {
+    for (const auto& pr : layout.onDisk(d)) {
+      ++seen[pr];
+      EXPECT_EQ(layout.diskOf(pr.first, pr.second), d);
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u * 3u);
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1) << key.first;
+}
+
+TEST(RotatedReplicaLayout, BalancedWhenDisksDivideBlocks) {
+  const RotatedReplicaLayout layout{12, 2, 4};
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(layout.onDisk(d).size(), 6u);
+  }
+}
+
+TEST(RotatedReplicaLayout, StoredOrderIsReplicaMajor) {
+  const RotatedReplicaLayout layout{8, 2, 4};
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    const auto stored = layout.onDisk(d);
+    for (std::size_t i = 1; i < stored.size(); ++i) {
+      // Replica index never decreases; within a replica slice, blocks
+      // ascend.
+      EXPECT_LE(stored[i - 1].second, stored[i].second);
+      if (stored[i - 1].second == stored[i].second) {
+        EXPECT_LT(stored[i - 1].first, stored[i].first);
+      }
+    }
+    // The replica-0 slice leads the stored order.
+    EXPECT_EQ(stored.front().second, 0u);
+  }
+}
+
+TEST(RotatedReplicaLayout, ReplicasOfABlockOnConsecutiveDisks) {
+  const RotatedReplicaLayout layout{6, 3, 6};
+  for (std::uint32_t b = 0; b < 6; ++b) {
+    std::set<std::uint32_t> disks;
+    for (std::uint32_t r = 0; r < 3; ++r) disks.insert(layout.diskOf(b, r));
+    EXPECT_EQ(disks.size(), 3u);  // distinct when copies <= disks
+  }
+}
+
+}  // namespace
+}  // namespace robustore::coding

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "client/rraid.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::client {
+namespace {
+
+class AdaptiveFixture : public ::testing::Test {
+ protected:
+  AdaptiveFixture() {
+    cluster_config.num_servers = 2;
+    cluster_config.server.disks_per_server = 4;
+    access.block_bytes = 256 * kKiB;
+    access.k = 64;
+    access.redundancy = 2.0;
+    policy.heterogeneous = true;
+  }
+
+  std::vector<std::uint32_t> allDisks() {
+    std::vector<std::uint32_t> v(8);
+    for (std::uint32_t i = 0; i < 8; ++i) v[i] = i;
+    return v;
+  }
+
+  ClusterConfig cluster_config;
+  AccessConfig access;
+  LayoutPolicy policy;
+};
+
+TEST_F(AdaptiveFixture, AdaptiveMovesFewerBytesThanSpeculative) {
+  // RRAID-A only re-requests blocks when clearly needed, so its network
+  // traffic must be far below RRAID-S's read-everything approach
+  // (Fig 6-8: ~0 vs up to 200% overhead).
+  metrics::AccessMetrics ms;
+  metrics::AccessMetrics ma;
+  {
+    sim::Engine e;
+    Cluster cluster(e, cluster_config, Rng(500));
+    RRaidScheme scheme(cluster, /*adaptive=*/false);
+    Rng trial(9);
+    auto file = scheme.planFile(access, allDisks(), policy, trial);
+    ms = scheme.read(file, access);
+  }
+  {
+    sim::Engine e;
+    Cluster cluster(e, cluster_config, Rng(500));
+    RRaidScheme scheme(cluster, /*adaptive=*/true);
+    Rng trial(9);
+    auto file = scheme.planFile(access, allDisks(), policy, trial);
+    ma = scheme.read(file, access);
+  }
+  ASSERT_TRUE(ms.complete);
+  ASSERT_TRUE(ma.complete);
+  EXPECT_LT(ma.network_bytes, ms.network_bytes);
+  EXPECT_LT(ma.ioOverhead(), 0.30);
+}
+
+TEST_F(AdaptiveFixture, StealingEngagesWithSkewedDisks) {
+  // One extremely slow disk holding unique replica-0 blocks: the adaptive
+  // reader must fetch those blocks' other replicas from fast disks, so the
+  // slow disk should serve only part of its assignment.
+  sim::Engine e;
+  Cluster cluster(e, cluster_config, Rng(600));
+  RRaidScheme scheme(cluster, /*adaptive=*/true);
+
+  // Hand-build the file: disk 0 gets a pathological layout.
+  Rng trial(10);
+  auto file = scheme.planFile(access, allDisks(), policy, trial);
+  Rng layout_rng(1);
+  file.placements[0].layout = disk::FileDiskLayout::generate(
+      static_cast<std::uint32_t>(file.placements[0].stored.size()),
+      access.block_bytes, disk::LayoutConfig{8, 0.0}, layout_rng);
+  for (std::uint32_t p = 1; p < 8; ++p) {
+    file.placements[p].layout = disk::FileDiskLayout::generate(
+        static_cast<std::uint32_t>(file.placements[p].stored.size()),
+        access.block_bytes, disk::LayoutConfig{1024, 1.0}, layout_rng);
+  }
+  const auto m = scheme.read(file, access);
+  ASSERT_TRUE(m.complete);
+  // The slow disk would need ~8 MB / 0.5 MBps = 16 s alone; stealing must
+  // finish the access dramatically faster.
+  EXPECT_LT(m.latency, 8.0);
+}
+
+TEST_F(AdaptiveFixture, MultiRoundRequestsPayNetworkLatency) {
+  // The RRAID-A sensitivity to RTT (Fig 6-12): the same read gets slower
+  // as latency rises, while RRAID-S barely changes.
+  const auto latencyAt = [&](SimTime rtt, bool adaptive) {
+    ClusterConfig cc = cluster_config;
+    cc.server.round_trip = rtt;
+    sim::Engine e;
+    Cluster cluster(e, cc, Rng(700));
+    RRaidScheme scheme(cluster, adaptive);
+    Rng trial(11);
+    auto file = scheme.planFile(access, allDisks(), policy, trial);
+    const auto m = scheme.read(file, access);
+    EXPECT_TRUE(m.complete);
+    return m.latency;
+  };
+  const double adaptive_slowdown =
+      latencyAt(100 * kMilliseconds, true) / latencyAt(1 * kMilliseconds, true);
+  const double speculative_slowdown =
+      latencyAt(100 * kMilliseconds, false) /
+      latencyAt(1 * kMilliseconds, false);
+  EXPECT_GT(adaptive_slowdown, speculative_slowdown);
+}
+
+TEST_F(AdaptiveFixture, SingleReplicaDegradesGracefully) {
+  // redundancy 0 -> one copy: stealing has nothing to steal from other
+  // disks (each block lives on exactly one disk) and the access still
+  // completes like RAID-0.
+  access.redundancy = 0.0;
+  sim::Engine e;
+  Cluster cluster(e, cluster_config, Rng(800));
+  RRaidScheme scheme(cluster, /*adaptive=*/true);
+  Rng trial(12);
+  auto file = scheme.planFile(access, allDisks(), policy, trial);
+  const auto m = scheme.read(file, access);
+  EXPECT_TRUE(m.complete);
+  EXPECT_EQ(m.blocks_received, access.k);
+}
+
+}  // namespace
+}  // namespace robustore::client

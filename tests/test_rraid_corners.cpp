@@ -1,0 +1,108 @@
+// RRAID corner cases: degenerate shapes the adaptive reader and the
+// rotated layout must survive.
+
+#include <gtest/gtest.h>
+
+#include "client/rraid.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::client {
+namespace {
+
+class RRaidCornerFixture : public ::testing::Test {
+ protected:
+  RRaidCornerFixture() {
+    config.num_servers = 2;
+    config.server.disks_per_server = 4;
+    access.block_bytes = 128 * kKiB;
+  }
+
+  std::vector<std::uint32_t> disks(std::uint32_t n) {
+    std::vector<std::uint32_t> v(n);
+    for (std::uint32_t i = 0; i < n; ++i) v[i] = i;
+    return v;
+  }
+
+  ClusterConfig config;
+  AccessConfig access;
+  LayoutPolicy policy;
+};
+
+TEST_F(RRaidCornerFixture, MoreCopiesThanDisks) {
+  // 6 copies on 4 disks: rotation wraps, some disks hold several copies
+  // of the same block. Both access mechanisms must still complete.
+  access.k = 16;
+  access.redundancy = 5.0;
+  for (const bool adaptive : {false, true}) {
+    sim::Engine engine;
+    Cluster cluster(engine, config, Rng(1 + adaptive));
+    RRaidScheme scheme(cluster, adaptive);
+    Rng trial(2);
+    auto file = scheme.planFile(access, disks(4), policy, trial);
+    const auto m = scheme.read(file, access);
+    EXPECT_TRUE(m.complete) << "adaptive=" << adaptive;
+  }
+}
+
+TEST_F(RRaidCornerFixture, FewerBlocksThanDisks) {
+  // K=4 blocks on 8 disks: most disks store a single replica slice.
+  access.k = 4;
+  access.redundancy = 1.0;
+  for (const bool adaptive : {false, true}) {
+    sim::Engine engine;
+    Cluster cluster(engine, config, Rng(10 + adaptive));
+    RRaidScheme scheme(cluster, adaptive);
+    Rng trial(3);
+    auto file = scheme.planFile(access, disks(8), policy, trial);
+    const auto m = scheme.read(file, access);
+    EXPECT_TRUE(m.complete) << "adaptive=" << adaptive;
+    EXPECT_GE(m.blocks_received, access.k);
+  }
+}
+
+TEST_F(RRaidCornerFixture, SingleBlockFile) {
+  access.k = 1;
+  access.redundancy = 2.0;
+  sim::Engine engine;
+  Cluster cluster(engine, config, Rng(20));
+  RRaidScheme scheme(cluster, /*adaptive=*/true);
+  Rng trial(4);
+  auto file = scheme.planFile(access, disks(4), policy, trial);
+  const auto m = scheme.read(file, access);
+  EXPECT_TRUE(m.complete);
+}
+
+TEST_F(RRaidCornerFixture, SingleDiskHoldsEverything) {
+  access.k = 8;
+  access.redundancy = 2.0;
+  sim::Engine engine;
+  Cluster cluster(engine, config, Rng(30));
+  RRaidScheme scheme(cluster, /*adaptive=*/true);
+  Rng trial(5);
+  const std::vector<std::uint32_t> one{2};
+  auto file = scheme.planFile(access, one, policy, trial);
+  EXPECT_EQ(file.placements.size(), 1u);
+  const auto m = scheme.read(file, access);
+  EXPECT_TRUE(m.complete);
+  // Nothing to steal from: exactly the replica-0 slice is fetched.
+  EXPECT_EQ(m.blocks_received, access.k);
+}
+
+TEST_F(RRaidCornerFixture, AdaptiveWithManyTinyBlocks) {
+  access.k = 96;
+  access.block_bytes = 32 * kKiB;
+  access.redundancy = 2.0;
+  sim::Engine engine;
+  Cluster cluster(engine, config, Rng(40));
+  RRaidScheme scheme(cluster, /*adaptive=*/true);
+  Rng trial(6);
+  auto file = scheme.planFile(access, disks(8), policy, trial);
+  const auto m = scheme.read(file, access);
+  EXPECT_TRUE(m.complete);
+  // Adaptive access fetches little beyond K even with heavy stealing.
+  EXPECT_LT(m.receptionOverhead(), 0.5);
+}
+
+}  // namespace
+}  // namespace robustore::client

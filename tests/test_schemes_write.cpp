@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "client/raid0.hpp"
+#include "client/robustore_scheme.hpp"
+#include "client/rraid.hpp"
+#include "coding/lt_codec.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::client {
+namespace {
+
+class WriteFixture : public ::testing::Test {
+ protected:
+  WriteFixture() {
+    cluster_config.num_servers = 2;
+    cluster_config.server.disks_per_server = 4;
+    access.block_bytes = 256 * kKiB;
+    access.k = 32;
+    access.redundancy = 2.0;
+  }
+
+  std::vector<std::uint32_t> allDisks() {
+    std::vector<std::uint32_t> v(8);
+    for (std::uint32_t i = 0; i < 8; ++i) v[i] = i;
+    return v;
+  }
+
+  sim::Engine engine;
+  ClusterConfig cluster_config;
+  AccessConfig access;
+  LayoutPolicy policy;
+  Rng rng{21};
+};
+
+TEST_F(WriteFixture, Raid0WriteCommitsExactlyK) {
+  Cluster cluster(engine, cluster_config, rng.fork(1));
+  Raid0Scheme scheme(cluster);
+  Rng trial(1);
+  StoredFile file;
+  const auto m = scheme.write(access, allDisks(), policy, trial, &file);
+  ASSERT_TRUE(m.complete);
+  EXPECT_EQ(m.blocks_received, access.k);
+  EXPECT_EQ(file.totalStoredBlocks(), access.k);
+  // Exactly the data crosses the network: zero I/O overhead.
+  EXPECT_NEAR(m.ioOverhead(), 0.0, 1e-9);
+}
+
+TEST_F(WriteFixture, RRaidWriteCommitsAllCopies) {
+  Cluster cluster(engine, cluster_config, rng.fork(2));
+  RRaidScheme scheme(cluster, /*adaptive=*/true);
+  Rng trial(2);
+  StoredFile file;
+  const auto m = scheme.write(access, allDisks(), policy, trial, &file);
+  ASSERT_TRUE(m.complete);
+  const auto total = access.k * access.replicaCount();
+  EXPECT_EQ(m.blocks_received, total);
+  EXPECT_EQ(file.totalStoredBlocks(), total);
+  // Write I/O overhead equals the replication factor minus one.
+  EXPECT_NEAR(m.ioOverhead(), access.redundancy, 1e-9);
+}
+
+TEST_F(WriteFixture, RobuStoreWriteCommitsTargetAndStaysDecodable) {
+  Cluster cluster(engine, cluster_config, rng.fork(3));
+  RobuStoreScheme scheme(cluster);
+  Rng trial(3);
+  StoredFile file;
+  const auto m = scheme.write(access, allDisks(), policy, trial, &file);
+  ASSERT_TRUE(m.complete);
+  EXPECT_GE(m.blocks_received, access.codedBlockCount());
+  EXPECT_EQ(file.totalStoredBlocks(), m.blocks_received);
+  ASSERT_NE(file.lt_graph, nullptr);
+
+  // The committed set must decode: the writer's guarantee (§5.2.3(1)).
+  coding::LtDecoder decoder(*file.lt_graph);
+  for (const auto& p : file.placements) {
+    for (const auto id : p.stored) {
+      decoder.addSymbol(static_cast<std::uint32_t>(id));
+    }
+  }
+  EXPECT_TRUE(decoder.complete());
+}
+
+TEST_F(WriteFixture, RobuStoreSpeculativeWriteIsUnbalanced) {
+  // With heterogeneous layouts, per-disk commit counts should differ:
+  // fast disks absorb more blocks (§6.3.1 unbalanced striping).
+  Cluster cluster(engine, cluster_config, rng.fork(4));
+  RobuStoreScheme scheme(cluster);
+  Rng trial(4);
+  access.k = 64;
+  access.redundancy = 3.0;
+  StoredFile file;
+  const auto m = scheme.write(access, allDisks(), policy, trial, &file);
+  ASSERT_TRUE(m.complete);
+  std::size_t min_blocks = SIZE_MAX;
+  std::size_t max_blocks = 0;
+  for (const auto& p : file.placements) {
+    min_blocks = std::min(min_blocks, p.stored.size());
+    max_blocks = std::max(max_blocks, p.stored.size());
+  }
+  EXPECT_GT(max_blocks, min_blocks);
+}
+
+TEST_F(WriteFixture, RobuStoreWriteFasterThanReplicatedAtSameRedundancy) {
+  // The headline write result (Fig 6-18): speculative rateless writing
+  // beats even-striping replication because no slow disk gates it.
+  Rng trial(5);
+  SimTime rraid_latency = 0;
+  SimTime robu_latency = 0;
+  {
+    sim::Engine e;
+    Cluster cluster(e, cluster_config, Rng(1000));
+    RRaidScheme scheme(cluster, /*adaptive=*/false);
+    Rng t(42);
+    const auto m = scheme.write(access, allDisks(), policy, t);
+    ASSERT_TRUE(m.complete);
+    rraid_latency = m.latency;
+  }
+  {
+    sim::Engine e;
+    Cluster cluster(e, cluster_config, Rng(1000));
+    RobuStoreScheme scheme(cluster);
+    Rng t(42);
+    const auto m = scheme.write(access, allDisks(), policy, t);
+    ASSERT_TRUE(m.complete);
+    robu_latency = m.latency;
+  }
+  EXPECT_LT(robu_latency, rraid_latency);
+}
+
+TEST_F(WriteFixture, ReadAfterWriteRoundTrip) {
+  Cluster cluster(engine, cluster_config, rng.fork(6));
+  RobuStoreScheme scheme(cluster);
+  Rng trial(6);
+  StoredFile file;
+  const auto wm = scheme.write(access, allDisks(), policy, trial, &file);
+  ASSERT_TRUE(wm.complete);
+  file.redrawLayouts(policy, trial);
+  const auto rm = scheme.read(file, access);
+  EXPECT_TRUE(rm.complete);
+  EXPECT_GT(rm.bandwidthMBps(), 0.0);
+}
+
+TEST_F(WriteFixture, ReadAfterWriteForPlainSchemes) {
+  for (const bool adaptive : {false, true}) {
+    sim::Engine e;
+    Cluster cluster(e, cluster_config, Rng(7 + adaptive));
+    RRaidScheme scheme(cluster, adaptive);
+    Rng trial(7);
+    StoredFile file;
+    const auto wm = scheme.write(access, allDisks(), policy, trial, &file);
+    ASSERT_TRUE(wm.complete);
+    const auto rm = scheme.read(file, access);
+    EXPECT_TRUE(rm.complete) << "adaptive=" << adaptive;
+  }
+}
+
+TEST_F(WriteFixture, WriteWithZeroRedundancy) {
+  access.redundancy = 0.0;
+  Cluster cluster(engine, cluster_config, rng.fork(8));
+  RobuStoreScheme scheme(cluster);
+  Rng trial(8);
+  StoredFile file;
+  const auto m = scheme.write(access, allDisks(), policy, trial, &file);
+  ASSERT_TRUE(m.complete);
+  // Decodability forces the writer past N = K commits.
+  EXPECT_GT(m.blocks_received, access.k);
+}
+
+}  // namespace
+}  // namespace robustore::client

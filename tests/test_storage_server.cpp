@@ -1,0 +1,195 @@
+#include "server/storage_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::server {
+namespace {
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  ServerFixture() {
+    config.disks_per_server = 2;
+    config.round_trip = 10 * kMilliseconds;
+    config.nic_bandwidth = mbps(100.0);
+  }
+
+  StorageServer makeServer() {
+    return StorageServer(engine, config, rng.fork(1), 0);
+  }
+
+  disk::FileDiskLayout makeLayout(std::uint32_t blocks,
+                                  Bytes block = 256 * kKiB) {
+    return disk::FileDiskLayout::generate(blocks, block,
+                                          disk::LayoutConfig{128, 0.0}, rng);
+  }
+
+  sim::Engine engine;
+  ServerConfig config;
+  Rng rng{5};
+};
+
+TEST_F(ServerFixture, ReadDeliversAfterLatencyAndService) {
+  StorageServer srv = makeServer();
+  const auto layout = makeLayout(1);
+  bool delivered = false;
+  bool was_cache_hit = true;
+  StorageServer::BlockRead req;
+  req.stream = 1;
+  req.cache_key = 0;
+  req.disk_index = 0;
+  req.layout = &layout;
+  req.layout_block = 0;
+  srv.readBlock(req, [&](bool hit) {
+    delivered = true;
+    was_cache_hit = hit;
+  });
+  engine.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_FALSE(was_cache_hit);
+  // At least one full RTT plus positioning plus NIC transfer.
+  EXPECT_GT(engine.now(), 10 * kMilliseconds);
+  EXPECT_EQ(srv.networkBytes(1), 256 * kKiB);
+}
+
+TEST_F(ServerFixture, CacheHitSkipsTheDisk) {
+  config.cache.enabled = true;
+  StorageServer srv = makeServer();
+  const auto layout = makeLayout(1);
+  StorageServer::BlockRead req;
+  req.stream = 1;
+  req.cache_key = 1 << 20;
+  req.disk_index = 0;
+  req.layout = &layout;
+  req.layout_block = 0;
+
+  SimTime first_latency = 0;
+  srv.readBlock(req, [&](bool hit) {
+    EXPECT_FALSE(hit);
+    first_latency = engine.now();
+  });
+  engine.run();
+
+  const SimTime second_start = engine.now();
+  SimTime second_latency = 0;
+  bool second_hit = false;
+  srv.readBlock(req, [&](bool hit) {
+    second_hit = hit;
+    second_latency = engine.now() - second_start;
+  });
+  engine.run();
+  EXPECT_TRUE(second_hit);
+  EXPECT_LT(second_latency, first_latency);
+  EXPECT_EQ(srv.disk(0).bytesServed(disk::Priority::kForeground),
+            256 * kKiB);  // disk touched only once
+}
+
+TEST_F(ServerFixture, CancelBeforeServiceSuppressesDelivery) {
+  StorageServer srv = makeServer();
+  const auto layout = makeLayout(2);
+  int delivered = 0;
+  StorageServer::BlockRead req;
+  req.stream = 1;
+  req.layout = &layout;
+  req.disk_index = 0;
+  req.layout_block = 0;
+  req.cache_key = 0;
+  srv.readBlock(req, [&](bool) { ++delivered; });
+  req.layout_block = 1;
+  req.cache_key = 1 << 20;
+  auto handle = srv.readBlock(req, [&](bool) { ++delivered; });
+  // Cancel the second block before the request even reaches the filer.
+  EXPECT_TRUE(srv.cancelRead(handle));
+  engine.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(srv.networkBytes(1), 256 * kKiB);
+}
+
+TEST_F(ServerFixture, WriteAcksAfterCommit) {
+  StorageServer srv = makeServer();
+  const auto layout = makeLayout(1);
+  bool acked = false;
+  StorageServer::BlockWrite req;
+  req.stream = 2;
+  req.cache_key = 0;
+  req.disk_index = 1;
+  req.layout = &layout;
+  req.layout_block = 0;
+  srv.writeBlock(req, [&] { acked = true; });
+  engine.run();
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(srv.networkBytes(2), 256 * kKiB);
+  EXPECT_EQ(srv.disk(1).bytesServed(disk::Priority::kForeground), 256 * kKiB);
+}
+
+TEST_F(ServerFixture, CancelStreamStopsQueuedBlocks) {
+  StorageServer srv = makeServer();
+  const auto layout = makeLayout(4);
+  int delivered = 0;
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    StorageServer::BlockRead req;
+    req.stream = 3;
+    req.cache_key = static_cast<std::uint64_t>(b) << 20;
+    req.disk_index = 0;
+    req.layout = &layout;
+    req.layout_block = b;
+    srv.readBlock(req, [&](bool) { ++delivered; });
+  }
+  // Let the requests reach the disk queue, then cancel the stream.
+  engine.runUntil(6 * kMilliseconds);
+  srv.cancelStream(3);
+  engine.run();
+  // Only the request in service at cancellation time still delivers.
+  EXPECT_LE(delivered, 1);
+  EXPECT_LT(srv.networkBytes(3), 4 * 256 * kKiB);
+}
+
+TEST_F(ServerFixture, ClientLinkCapsAggregateDelivery) {
+  // Two servers stream one block each; a 10 MB/s shared client downlink
+  // forces the arrivals to serialise.
+  config.nic_bandwidth = 0.0;  // isolate the client link
+  StorageServer a(engine, config, rng.fork(7), 0);
+  StorageServer b(engine, config, rng.fork(8), 1);
+  net::Link client(engine, 0.0, mbps(10.0));
+  a.setClientLink(&client);
+  b.setClientLink(&client);
+
+  const auto layout = makeLayout(1, 1 * kMiB);
+  SimTime arrivals[2] = {0, 0};
+  StorageServer::BlockRead req;
+  req.stream = 1;
+  req.cache_key = 0;
+  req.disk_index = 0;
+  req.layout = &layout;
+  req.layout_block = 0;
+  a.readBlock(req, [&](bool) { arrivals[0] = engine.now(); });
+  b.readBlock(req, [&](bool) { arrivals[1] = engine.now(); });
+  engine.run();
+  // 1 MB at 10 MB/s = ~0.105 s per block on the shared link: the second
+  // arrival is at least that much after the first.
+  const SimTime gap = std::abs(arrivals[0] - arrivals[1]);
+  EXPECT_GT(gap, 0.08);
+}
+
+TEST_F(ServerFixture, NetworkBytesPerStreamAreSeparate) {
+  StorageServer srv = makeServer();
+  const auto layout = makeLayout(2);
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    StorageServer::BlockRead req;
+    req.stream = 10 + b;
+    req.cache_key = static_cast<std::uint64_t>(b) << 20;
+    req.disk_index = 0;
+    req.layout = &layout;
+    req.layout_block = b;
+    srv.readBlock(req, [](bool) {});
+  }
+  engine.run();
+  EXPECT_EQ(srv.networkBytes(10), 256 * kKiB);
+  EXPECT_EQ(srv.networkBytes(11), 256 * kKiB);
+  EXPECT_EQ(srv.networkBytes(12), 0u);
+}
+
+}  // namespace
+}  // namespace robustore::server

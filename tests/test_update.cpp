@@ -1,0 +1,137 @@
+#include "coding/update.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "coding/lt_codec.hpp"
+#include "common/rng.hpp"
+
+namespace robustore::coding {
+namespace {
+
+std::vector<std::uint8_t> randomData(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+TEST(LtUpdater, PlanListsExactlyTheAdjacentCodedBlocks) {
+  Rng rng(1);
+  const LtGraph graph = LtGraph::generate(64, 256, LtParams{}, rng);
+  const LtUpdater updater(graph);
+  for (std::uint32_t o = 0; o < 64; ++o) {
+    const auto plan = updater.plan(o);
+    // Cross-check against a direct scan of the graph.
+    std::set<std::uint32_t> expected;
+    for (std::uint32_t c = 0; c < 256; ++c) {
+      for (const auto nb : graph.neighbors(c)) {
+        if (nb == o) expected.insert(c);
+      }
+    }
+    EXPECT_EQ(std::set<std::uint32_t>(plan.affected.begin(),
+                                      plan.affected.end()),
+              expected);
+    EXPECT_NEAR(plan.fraction,
+                static_cast<double>(expected.size()) / 256.0, 1e-12);
+  }
+}
+
+TEST(LtUpdater, MultiBlockPlanIsDeduplicatedUnion) {
+  Rng rng(2);
+  const LtGraph graph = LtGraph::generate(64, 256, LtParams{}, rng);
+  const LtUpdater updater(graph);
+  const std::vector<std::uint32_t> originals{3, 17, 3};
+  const auto plan = updater.plan(originals);
+  std::set<std::uint32_t> expected;
+  for (const auto o : {3u, 17u}) {
+    const auto single = updater.plan(o);
+    expected.insert(single.affected.begin(), single.affected.end());
+  }
+  EXPECT_EQ(std::set<std::uint32_t>(plan.affected.begin(),
+                                    plan.affected.end()),
+            expected);
+  // Sorted and unique.
+  for (std::size_t i = 1; i < plan.affected.size(); ++i) {
+    EXPECT_LT(plan.affected[i - 1], plan.affected[i]);
+  }
+}
+
+TEST(LtUpdater, ApplyDeltaEqualsReencoding) {
+  Rng rng(3);
+  const Bytes block = 64;
+  const std::uint32_t k = 32;
+  const std::uint32_t n = 128;
+  const LtGraph graph = LtGraph::generate(k, n, LtParams{}, rng);
+  auto data = randomData(static_cast<std::size_t>(k) * block, rng);
+  const LtEncoder encoder(graph, data, block);
+  auto coded = encoder.encodeAll();
+
+  // Mutate original block 7 and patch only the affected coded blocks.
+  const std::uint32_t target = 7;
+  const auto old_block = std::vector<std::uint8_t>(
+      data.begin() + target * block, data.begin() + (target + 1) * block);
+  const auto new_block = randomData(block, rng);
+
+  const LtUpdater updater(graph);
+  const auto plan = updater.plan(target);
+  for (const auto c : plan.affected) {
+    LtUpdater::applyDelta(
+        std::span(coded).subspan(static_cast<std::size_t>(c) * block, block),
+        old_block, new_block);
+  }
+
+  // Reference: full re-encode with the new data.
+  std::copy(new_block.begin(), new_block.end(),
+            data.begin() + target * block);
+  const LtEncoder fresh(graph, data, block);
+  EXPECT_EQ(coded, fresh.encodeAll());
+}
+
+TEST(LtUpdater, PaperCostClaim) {
+  // §4.3.4: K=1024 originals, 4096 coded blocks -> average input degree
+  // ~20, so one update touches ~0.5% of the coded data.
+  Rng rng(4);
+  const LtGraph graph = LtGraph::generate(1024, 4096, LtParams{}, rng);
+  const LtUpdater updater(graph);
+  EXPECT_GT(updater.meanAffected(), 5.0);
+  EXPECT_LT(updater.meanAffected(), 40.0);
+  const auto plan = updater.plan(0);
+  EXPECT_LT(plan.fraction, 0.02);  // paper: ~0.5%
+  EXPECT_GE(updater.maxAffected(), updater.meanAffected());
+}
+
+TEST(LtUpdater, UpdatedFileStillDecodes) {
+  Rng rng(5);
+  const Bytes block = 32;
+  const LtGraph graph = LtGraph::generate(32, 128, LtParams{}, rng);
+  auto data = randomData(32 * block, rng);
+  const LtEncoder encoder(graph, data, block);
+  auto coded = encoder.encodeAll();
+
+  const LtUpdater updater(graph);
+  const auto new_block = randomData(block, rng);
+  const auto old_block = std::vector<std::uint8_t>(
+      data.begin() + 5 * block, data.begin() + 6 * block);
+  for (const auto c : updater.plan(5).affected) {
+    LtUpdater::applyDelta(
+        std::span(coded).subspan(static_cast<std::size_t>(c) * block, block),
+        old_block, new_block);
+  }
+  std::copy(new_block.begin(), new_block.end(), data.begin() + 5 * block);
+
+  LtDecoder decoder(graph, block);
+  for (std::uint32_t c = 0; c < 128; ++c) {
+    if (decoder.addSymbol(c, std::span(coded).subspan(
+                                 static_cast<std::size_t>(c) * block,
+                                 block))) {
+      break;
+    }
+  }
+  ASSERT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.takeData(), data);
+}
+
+}  // namespace
+}  // namespace robustore::coding

@@ -1,0 +1,236 @@
+// robustore_cli — run arbitrary RobuSTore simulation experiments from the
+// command line, without writing a bench binary.
+//
+//   robustore_cli --scheme all --op read --data-mb 1024 --disks 64
+//                 --redundancy 3 --trials 20
+//
+// Prints the three paper metrics (bandwidth, latency std-dev, I/O
+// overhead) per scheme; --csv switches to machine-readable output.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace robustore;
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --scheme {raid0|rraid-s|rraid-a|robustore|all}   (default all)\n"
+      "  --op {read|write|raw}                            (default read)\n"
+      "  --data-mb N          original data size          (default 1024)\n"
+      "  --block-kb N         coding block size           (default 1024)\n"
+      "  --redundancy D       degree of redundancy        (default 3)\n"
+      "  --disks N            disks per access            (default 64)\n"
+      "  --servers N          filers in the cluster       (default 16)\n"
+      "  --disks-per-server N                             (default 8)\n"
+      "  --rtt-ms X           network round trip          (default 1)\n"
+      "  --layout {het|homo}  in-disk layout policy       (default het)\n"
+      "  --bf N --pseq P      homogeneous layout knobs    (1024 / 1.0)\n"
+      "  --background {none|homo|het|het-static}          (default none)\n"
+      "  --bg-interval-ms X   homogeneous bg interval     (default 6)\n"
+      "  --cache              enable the 2 GB filer caches\n"
+      "  --reuse-file         reread one file across trials\n"
+      "  --metadata-selection use the Sec 5.3.1 disk selector\n"
+      "  --client-bw-mbps X   shared client downlink cap (default: none)\n"
+      "  --codec {lt|raptor}  RobuSTore rateless codec    (default lt)\n"
+      "  --trials N           accesses per scheme         (default 20)\n"
+      "  --seed S             master RNG seed             (default 42)\n"
+      "  --csv                machine-readable output\n",
+      argv0);
+}
+
+struct Options {
+  core::ExperimentConfig config;
+  std::optional<client::SchemeKind> scheme;  // nullopt = all
+  bool csv = false;
+};
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  Bytes data_mb = 1024;
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&](double lo = -1e300) -> std::optional<double> {
+      const char* v = next(i);
+      if (v == nullptr) return std::nullopt;
+      const double d = std::atof(v);
+      if (d < lo) return std::nullopt;
+      return d;
+    };
+    if (arg == "--scheme") {
+      const char* v = next(i);
+      if (v == nullptr) return std::nullopt;
+      const std::string s = v;
+      if (s == "raid0") opt.scheme = client::SchemeKind::kRaid0;
+      else if (s == "rraid-s") opt.scheme = client::SchemeKind::kRRaidS;
+      else if (s == "rraid-a") opt.scheme = client::SchemeKind::kRRaidA;
+      else if (s == "robustore") opt.scheme = client::SchemeKind::kRobuStore;
+      else if (s == "all") opt.scheme = std::nullopt;
+      else return std::nullopt;
+    } else if (arg == "--op") {
+      const char* v = next(i);
+      if (v == nullptr) return std::nullopt;
+      const std::string s = v;
+      if (s == "read") opt.config.op = core::ExperimentConfig::Op::kRead;
+      else if (s == "write") opt.config.op = core::ExperimentConfig::Op::kWrite;
+      else if (s == "raw")
+        opt.config.op = core::ExperimentConfig::Op::kReadAfterWrite;
+      else return std::nullopt;
+    } else if (arg == "--data-mb") {
+      const auto v = need(1);
+      if (!v) return std::nullopt;
+      data_mb = static_cast<Bytes>(*v);
+    } else if (arg == "--block-kb") {
+      const auto v = need(1);
+      if (!v) return std::nullopt;
+      opt.config.access.block_bytes = static_cast<Bytes>(*v) * kKiB;
+    } else if (arg == "--redundancy") {
+      const auto v = need(0);
+      if (!v) return std::nullopt;
+      opt.config.access.redundancy = *v;
+    } else if (arg == "--disks") {
+      const auto v = need(1);
+      if (!v) return std::nullopt;
+      opt.config.disks_per_access = static_cast<std::uint32_t>(*v);
+    } else if (arg == "--servers") {
+      const auto v = need(1);
+      if (!v) return std::nullopt;
+      opt.config.num_servers = static_cast<std::uint32_t>(*v);
+    } else if (arg == "--disks-per-server") {
+      const auto v = need(1);
+      if (!v) return std::nullopt;
+      opt.config.disks_per_server = static_cast<std::uint32_t>(*v);
+    } else if (arg == "--rtt-ms") {
+      const auto v = need(0);
+      if (!v) return std::nullopt;
+      opt.config.round_trip = *v * kMilliseconds;
+    } else if (arg == "--layout") {
+      const char* v = next(i);
+      if (v == nullptr) return std::nullopt;
+      const std::string s = v;
+      if (s == "het") opt.config.layout.heterogeneous = true;
+      else if (s == "homo") opt.config.layout.heterogeneous = false;
+      else return std::nullopt;
+    } else if (arg == "--bf") {
+      const auto v = need(1);
+      if (!v) return std::nullopt;
+      opt.config.layout.homogeneous.blocking_factor =
+          static_cast<std::uint32_t>(*v);
+    } else if (arg == "--pseq") {
+      const auto v = need(0);
+      if (!v || *v > 1.0) return std::nullopt;
+      opt.config.layout.homogeneous.p_seq = *v;
+    } else if (arg == "--background") {
+      const char* v = next(i);
+      if (v == nullptr) return std::nullopt;
+      const std::string s = v;
+      using Background = core::ExperimentConfig::Background;
+      if (s == "none") opt.config.background = Background::kNone;
+      else if (s == "homo") opt.config.background = Background::kHomogeneous;
+      else if (s == "het") opt.config.background = Background::kHeterogeneous;
+      else if (s == "het-static")
+        opt.config.background = Background::kHeterogeneousStatic;
+      else return std::nullopt;
+    } else if (arg == "--bg-interval-ms") {
+      const auto v = need(0.001);
+      if (!v) return std::nullopt;
+      opt.config.bg_interval = *v * kMilliseconds;
+    } else if (arg == "--cache") {
+      opt.config.cache.enabled = true;
+    } else if (arg == "--reuse-file") {
+      opt.config.reuse_file = true;
+    } else if (arg == "--metadata-selection") {
+      opt.config.metadata_disk_selection = true;
+    } else if (arg == "--client-bw-mbps") {
+      const auto v = need(0.001);
+      if (!v) return std::nullopt;
+      opt.config.client_bandwidth = mbps(*v);
+    } else if (arg == "--codec") {
+      const char* v = next(i);
+      if (v == nullptr) return std::nullopt;
+      const std::string s = v;
+      if (s == "lt") opt.config.codec = client::CodecKind::kLt;
+      else if (s == "raptor") opt.config.codec = client::CodecKind::kRaptor;
+      else return std::nullopt;
+    } else if (arg == "--trials") {
+      const auto v = need(1);
+      if (!v) return std::nullopt;
+      opt.config.trials = static_cast<std::uint32_t>(*v);
+    } else if (arg == "--seed") {
+      const auto v = need(0);
+      if (!v) return std::nullopt;
+      opt.config.seed = static_cast<std::uint64_t>(*v);
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return std::nullopt;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  const Bytes data = data_mb * kMiB;
+  if (opt.config.access.block_bytes == 0 ||
+      data < opt.config.access.block_bytes) {
+    return std::nullopt;
+  }
+  opt.config.access.k =
+      static_cast<std::uint32_t>(data / opt.config.access.block_bytes);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse(argc, argv);
+  if (!options) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  core::ExperimentRunner runner(options->config);
+  std::vector<client::SchemeKind> kinds;
+  if (options->scheme) {
+    kinds.push_back(*options->scheme);
+  } else {
+    kinds = {client::SchemeKind::kRaid0, client::SchemeKind::kRRaidS,
+             client::SchemeKind::kRRaidA, client::SchemeKind::kRobuStore};
+  }
+
+  if (options->csv) {
+    std::printf("scheme,trials,bandwidth_mbps,latency_s,latency_stddev_s,"
+                "io_overhead,reception_overhead,incomplete\n");
+  } else {
+    std::printf("%-10s %10s %12s %14s %12s %12s\n", "scheme", "MBps",
+                "latency", "lat stddev", "I/O ovh", "incomplete");
+  }
+  for (const auto kind : kinds) {
+    const auto agg = runner.run(kind);
+    if (options->csv) {
+      std::printf("%s,%zu,%.3f,%.4f,%.4f,%.4f,%.4f,%zu\n",
+                  client::schemeName(kind), agg.trials(),
+                  agg.meanBandwidthMBps(), agg.meanLatency(),
+                  agg.latencyStdDev(), agg.meanIoOverhead(),
+                  agg.meanReceptionOverhead(), agg.incompleteCount());
+    } else {
+      std::printf("%-10s %10.1f %11.2fs %13.3fs %12.2f %12zu\n",
+                  client::schemeName(kind), agg.meanBandwidthMBps(),
+                  agg.meanLatency(), agg.latencyStdDev(),
+                  agg.meanIoOverhead(), agg.incompleteCount());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
