@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lt_improvements.dir/bench_ablation_lt_improvements.cpp.o"
+  "CMakeFiles/bench_ablation_lt_improvements.dir/bench_ablation_lt_improvements.cpp.o.d"
+  "bench_ablation_lt_improvements"
+  "bench_ablation_lt_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lt_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

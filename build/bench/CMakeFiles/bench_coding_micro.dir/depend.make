@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_coding_micro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_tolerance.dir/bench_failure_tolerance.cpp.o"
+  "CMakeFiles/bench_failure_tolerance.dir/bench_failure_tolerance.cpp.o.d"
+  "bench_failure_tolerance"
+  "bench_failure_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

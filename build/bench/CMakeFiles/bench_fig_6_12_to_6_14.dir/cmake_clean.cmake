@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_6_12_to_6_14.dir/bench_fig_6_12_to_6_14.cpp.o"
+  "CMakeFiles/bench_fig_6_12_to_6_14.dir/bench_fig_6_12_to_6_14.cpp.o.d"
+  "bench_fig_6_12_to_6_14"
+  "bench_fig_6_12_to_6_14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_6_12_to_6_14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

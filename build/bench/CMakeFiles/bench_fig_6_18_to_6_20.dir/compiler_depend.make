@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig_6_18_to_6_20.
+# This may be replaced when dependencies are built.

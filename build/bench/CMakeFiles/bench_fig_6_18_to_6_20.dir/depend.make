@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_6_18_to_6_20.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_6_21_to_6_23.dir/bench_fig_6_21_to_6_23.cpp.o"
+  "CMakeFiles/bench_fig_6_21_to_6_23.dir/bench_fig_6_21_to_6_23.cpp.o.d"
+  "bench_fig_6_21_to_6_23"
+  "bench_fig_6_21_to_6_23.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_6_21_to_6_23.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_6_26_to_6_28.dir/bench_fig_6_26_to_6_28.cpp.o"
+  "CMakeFiles/bench_fig_6_26_to_6_28.dir/bench_fig_6_26_to_6_28.cpp.o.d"
+  "bench_fig_6_26_to_6_28"
+  "bench_fig_6_26_to_6_28.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_6_26_to_6_28.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_6_26_to_6_28.
+# This may be replaced when dependencies are built.

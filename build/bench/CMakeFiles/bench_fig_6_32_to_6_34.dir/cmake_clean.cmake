@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_6_32_to_6_34.dir/bench_fig_6_32_to_6_34.cpp.o"
+  "CMakeFiles/bench_fig_6_32_to_6_34.dir/bench_fig_6_32_to_6_34.cpp.o.d"
+  "bench_fig_6_32_to_6_34"
+  "bench_fig_6_32_to_6_34.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_6_32_to_6_34.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig_6_32_to_6_34.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_6_35_to_6_36.dir/bench_fig_6_35_to_6_36.cpp.o"
+  "CMakeFiles/bench_fig_6_35_to_6_36.dir/bench_fig_6_35_to_6_36.cpp.o.d"
+  "bench_fig_6_35_to_6_36"
+  "bench_fig_6_35_to_6_36.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_6_35_to_6_36.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

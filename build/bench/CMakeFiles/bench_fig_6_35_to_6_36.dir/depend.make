@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_6_35_to_6_36.
+# This may be replaced when dependencies are built.

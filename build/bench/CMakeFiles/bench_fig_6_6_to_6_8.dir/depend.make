@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_6_6_to_6_8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_image_reads.dir/gene_image_reads.cpp.o"
+  "CMakeFiles/gene_image_reads.dir/gene_image_reads.cpp.o.d"
+  "gene_image_reads"
+  "gene_image_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_image_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

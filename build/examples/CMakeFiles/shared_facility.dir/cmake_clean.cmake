@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_facility.dir/shared_facility.cpp.o"
+  "CMakeFiles/shared_facility.dir/shared_facility.cpp.o.d"
+  "shared_facility"
+  "shared_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

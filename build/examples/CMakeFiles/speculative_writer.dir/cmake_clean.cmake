@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_writer.dir/speculative_writer.cpp.o"
+  "CMakeFiles/speculative_writer.dir/speculative_writer.cpp.o.d"
+  "speculative_writer"
+  "speculative_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

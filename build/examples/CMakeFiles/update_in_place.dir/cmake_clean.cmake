@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_in_place.dir/update_in_place.cpp.o"
+  "CMakeFiles/update_in_place.dir/update_in_place.cpp.o.d"
+  "update_in_place"
+  "update_in_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_in_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

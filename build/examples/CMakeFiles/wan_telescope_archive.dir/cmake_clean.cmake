@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_telescope_archive.dir/wan_telescope_archive.cpp.o"
+  "CMakeFiles/wan_telescope_archive.dir/wan_telescope_archive.cpp.o.d"
+  "wan_telescope_archive"
+  "wan_telescope_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_telescope_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

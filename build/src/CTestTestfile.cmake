@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("coding")
+subdirs("analysis")
+subdirs("disk")
+subdirs("net")
+subdirs("workload")
+subdirs("server")
+subdirs("meta")
+subdirs("security")
+subdirs("client")
+subdirs("metrics")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_analysis.dir/reassembly.cpp.o"
+  "CMakeFiles/robustore_analysis.dir/reassembly.cpp.o.d"
+  "librobustore_analysis.a"
+  "librobustore_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/cluster.cpp" "src/client/CMakeFiles/robustore_client.dir/cluster.cpp.o" "gcc" "src/client/CMakeFiles/robustore_client.dir/cluster.cpp.o.d"
+  "/root/repo/src/client/filesystem.cpp" "src/client/CMakeFiles/robustore_client.dir/filesystem.cpp.o" "gcc" "src/client/CMakeFiles/robustore_client.dir/filesystem.cpp.o.d"
+  "/root/repo/src/client/raid0.cpp" "src/client/CMakeFiles/robustore_client.dir/raid0.cpp.o" "gcc" "src/client/CMakeFiles/robustore_client.dir/raid0.cpp.o.d"
+  "/root/repo/src/client/robustore_scheme.cpp" "src/client/CMakeFiles/robustore_client.dir/robustore_scheme.cpp.o" "gcc" "src/client/CMakeFiles/robustore_client.dir/robustore_scheme.cpp.o.d"
+  "/root/repo/src/client/rraid.cpp" "src/client/CMakeFiles/robustore_client.dir/rraid.cpp.o" "gcc" "src/client/CMakeFiles/robustore_client.dir/rraid.cpp.o.d"
+  "/root/repo/src/client/scheme.cpp" "src/client/CMakeFiles/robustore_client.dir/scheme.cpp.o" "gcc" "src/client/CMakeFiles/robustore_client.dir/scheme.cpp.o.d"
+  "/root/repo/src/client/stored_file.cpp" "src/client/CMakeFiles/robustore_client.dir/stored_file.cpp.o" "gcc" "src/client/CMakeFiles/robustore_client.dir/stored_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/robustore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/robustore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/robustore_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/robustore_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/robustore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/robustore_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/robustore_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/robustore_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/robustore_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_client.dir/cluster.cpp.o"
+  "CMakeFiles/robustore_client.dir/cluster.cpp.o.d"
+  "CMakeFiles/robustore_client.dir/filesystem.cpp.o"
+  "CMakeFiles/robustore_client.dir/filesystem.cpp.o.d"
+  "CMakeFiles/robustore_client.dir/raid0.cpp.o"
+  "CMakeFiles/robustore_client.dir/raid0.cpp.o.d"
+  "CMakeFiles/robustore_client.dir/robustore_scheme.cpp.o"
+  "CMakeFiles/robustore_client.dir/robustore_scheme.cpp.o.d"
+  "CMakeFiles/robustore_client.dir/rraid.cpp.o"
+  "CMakeFiles/robustore_client.dir/rraid.cpp.o.d"
+  "CMakeFiles/robustore_client.dir/scheme.cpp.o"
+  "CMakeFiles/robustore_client.dir/scheme.cpp.o.d"
+  "CMakeFiles/robustore_client.dir/stored_file.cpp.o"
+  "CMakeFiles/robustore_client.dir/stored_file.cpp.o.d"
+  "librobustore_client.a"
+  "librobustore_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/gf256.cpp" "src/coding/CMakeFiles/robustore_coding.dir/gf256.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/gf256.cpp.o.d"
+  "/root/repo/src/coding/lt_codec.cpp" "src/coding/CMakeFiles/robustore_coding.dir/lt_codec.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/lt_codec.cpp.o.d"
+  "/root/repo/src/coding/lt_graph.cpp" "src/coding/CMakeFiles/robustore_coding.dir/lt_graph.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/lt_graph.cpp.o.d"
+  "/root/repo/src/coding/matrix.cpp" "src/coding/CMakeFiles/robustore_coding.dir/matrix.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/matrix.cpp.o.d"
+  "/root/repo/src/coding/raptor.cpp" "src/coding/CMakeFiles/robustore_coding.dir/raptor.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/raptor.cpp.o.d"
+  "/root/repo/src/coding/reed_solomon.cpp" "src/coding/CMakeFiles/robustore_coding.dir/reed_solomon.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/coding/replication.cpp" "src/coding/CMakeFiles/robustore_coding.dir/replication.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/replication.cpp.o.d"
+  "/root/repo/src/coding/soliton.cpp" "src/coding/CMakeFiles/robustore_coding.dir/soliton.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/soliton.cpp.o.d"
+  "/root/repo/src/coding/tornado.cpp" "src/coding/CMakeFiles/robustore_coding.dir/tornado.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/tornado.cpp.o.d"
+  "/root/repo/src/coding/update.cpp" "src/coding/CMakeFiles/robustore_coding.dir/update.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/update.cpp.o.d"
+  "/root/repo/src/coding/xor_kernel.cpp" "src/coding/CMakeFiles/robustore_coding.dir/xor_kernel.cpp.o" "gcc" "src/coding/CMakeFiles/robustore_coding.dir/xor_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/robustore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_coding.dir/gf256.cpp.o"
+  "CMakeFiles/robustore_coding.dir/gf256.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/lt_codec.cpp.o"
+  "CMakeFiles/robustore_coding.dir/lt_codec.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/lt_graph.cpp.o"
+  "CMakeFiles/robustore_coding.dir/lt_graph.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/matrix.cpp.o"
+  "CMakeFiles/robustore_coding.dir/matrix.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/raptor.cpp.o"
+  "CMakeFiles/robustore_coding.dir/raptor.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/reed_solomon.cpp.o"
+  "CMakeFiles/robustore_coding.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/replication.cpp.o"
+  "CMakeFiles/robustore_coding.dir/replication.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/soliton.cpp.o"
+  "CMakeFiles/robustore_coding.dir/soliton.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/tornado.cpp.o"
+  "CMakeFiles/robustore_coding.dir/tornado.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/update.cpp.o"
+  "CMakeFiles/robustore_coding.dir/update.cpp.o.d"
+  "CMakeFiles/robustore_coding.dir/xor_kernel.cpp.o"
+  "CMakeFiles/robustore_coding.dir/xor_kernel.cpp.o.d"
+  "librobustore_coding.a"
+  "librobustore_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

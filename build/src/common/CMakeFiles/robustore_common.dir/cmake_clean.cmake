@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_common.dir/rng.cpp.o"
+  "CMakeFiles/robustore_common.dir/rng.cpp.o.d"
+  "CMakeFiles/robustore_common.dir/stats.cpp.o"
+  "CMakeFiles/robustore_common.dir/stats.cpp.o.d"
+  "librobustore_common.a"
+  "librobustore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

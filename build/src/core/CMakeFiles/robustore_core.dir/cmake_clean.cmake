@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_core.dir/experiment.cpp.o"
+  "CMakeFiles/robustore_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/robustore_core.dir/multi_client.cpp.o"
+  "CMakeFiles/robustore_core.dir/multi_client.cpp.o.d"
+  "librobustore_core.a"
+  "librobustore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

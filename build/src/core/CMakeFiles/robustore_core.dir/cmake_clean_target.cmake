@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librobustore_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_disk.dir/disk.cpp.o"
+  "CMakeFiles/robustore_disk.dir/disk.cpp.o.d"
+  "CMakeFiles/robustore_disk.dir/layout.cpp.o"
+  "CMakeFiles/robustore_disk.dir/layout.cpp.o.d"
+  "librobustore_disk.a"
+  "librobustore_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/metadata_server.cpp" "src/meta/CMakeFiles/robustore_meta.dir/metadata_server.cpp.o" "gcc" "src/meta/CMakeFiles/robustore_meta.dir/metadata_server.cpp.o.d"
+  "/root/repo/src/meta/qos_planner.cpp" "src/meta/CMakeFiles/robustore_meta.dir/qos_planner.cpp.o" "gcc" "src/meta/CMakeFiles/robustore_meta.dir/qos_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/robustore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/robustore_coding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_meta.dir/metadata_server.cpp.o"
+  "CMakeFiles/robustore_meta.dir/metadata_server.cpp.o.d"
+  "CMakeFiles/robustore_meta.dir/qos_planner.cpp.o"
+  "CMakeFiles/robustore_meta.dir/qos_planner.cpp.o.d"
+  "librobustore_meta.a"
+  "librobustore_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/robustore_metrics.dir/metrics.cpp.o.d"
+  "librobustore_metrics.a"
+  "librobustore_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

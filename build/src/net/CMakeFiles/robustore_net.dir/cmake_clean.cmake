@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_net.dir/link.cpp.o"
+  "CMakeFiles/robustore_net.dir/link.cpp.o.d"
+  "librobustore_net.a"
+  "librobustore_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_security.dir/credentials.cpp.o"
+  "CMakeFiles/robustore_security.dir/credentials.cpp.o.d"
+  "librobustore_security.a"
+  "librobustore_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/admission.cpp" "src/server/CMakeFiles/robustore_server.dir/admission.cpp.o" "gcc" "src/server/CMakeFiles/robustore_server.dir/admission.cpp.o.d"
+  "/root/repo/src/server/filer_cache.cpp" "src/server/CMakeFiles/robustore_server.dir/filer_cache.cpp.o" "gcc" "src/server/CMakeFiles/robustore_server.dir/filer_cache.cpp.o.d"
+  "/root/repo/src/server/storage_server.cpp" "src/server/CMakeFiles/robustore_server.dir/storage_server.cpp.o" "gcc" "src/server/CMakeFiles/robustore_server.dir/storage_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/robustore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/robustore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/robustore_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/robustore_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_server.dir/admission.cpp.o"
+  "CMakeFiles/robustore_server.dir/admission.cpp.o.d"
+  "CMakeFiles/robustore_server.dir/filer_cache.cpp.o"
+  "CMakeFiles/robustore_server.dir/filer_cache.cpp.o.d"
+  "CMakeFiles/robustore_server.dir/storage_server.cpp.o"
+  "CMakeFiles/robustore_server.dir/storage_server.cpp.o.d"
+  "librobustore_server.a"
+  "librobustore_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

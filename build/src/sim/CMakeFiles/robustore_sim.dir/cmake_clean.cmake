@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_sim.dir/engine.cpp.o"
+  "CMakeFiles/robustore_sim.dir/engine.cpp.o.d"
+  "librobustore_sim.a"
+  "librobustore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_workload.dir/background.cpp.o"
+  "CMakeFiles/robustore_workload.dir/background.cpp.o.d"
+  "librobustore_workload.a"
+  "librobustore_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

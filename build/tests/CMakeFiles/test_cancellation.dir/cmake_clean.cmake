@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cancellation.dir/test_cancellation.cpp.o"
+  "CMakeFiles/test_cancellation.dir/test_cancellation.cpp.o.d"
+  "test_cancellation"
+  "test_cancellation.pdb"
+  "test_cancellation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

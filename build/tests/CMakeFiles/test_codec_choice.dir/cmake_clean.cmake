@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_choice.dir/test_codec_choice.cpp.o"
+  "CMakeFiles/test_codec_choice.dir/test_codec_choice.cpp.o.d"
+  "test_codec_choice"
+  "test_codec_choice.pdb"
+  "test_codec_choice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

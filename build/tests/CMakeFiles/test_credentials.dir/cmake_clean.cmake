@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_credentials.dir/test_credentials.cpp.o"
+  "CMakeFiles/test_credentials.dir/test_credentials.cpp.o.d"
+  "test_credentials"
+  "test_credentials.pdb"
+  "test_credentials[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_credentials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_statistics.dir/test_disk_statistics.cpp.o"
+  "CMakeFiles/test_disk_statistics.dir/test_disk_statistics.cpp.o.d"
+  "test_disk_statistics"
+  "test_disk_statistics.pdb"
+  "test_disk_statistics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

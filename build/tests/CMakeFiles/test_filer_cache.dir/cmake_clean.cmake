@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filer_cache.dir/test_filer_cache.cpp.o"
+  "CMakeFiles/test_filer_cache.dir/test_filer_cache.cpp.o.d"
+  "test_filer_cache"
+  "test_filer_cache.pdb"
+  "test_filer_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filer_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

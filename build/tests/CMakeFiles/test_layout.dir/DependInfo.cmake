@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/test_layout.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/test_layout.dir/test_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/robustore_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/robustore_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/robustore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/robustore_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/robustore_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/robustore_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/robustore_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/robustore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/robustore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/robustore_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/robustore_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/robustore_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/robustore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

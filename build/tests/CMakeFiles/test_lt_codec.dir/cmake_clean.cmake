@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lt_codec.dir/test_lt_codec.cpp.o"
+  "CMakeFiles/test_lt_codec.dir/test_lt_codec.cpp.o.d"
+  "test_lt_codec"
+  "test_lt_codec.pdb"
+  "test_lt_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lt_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

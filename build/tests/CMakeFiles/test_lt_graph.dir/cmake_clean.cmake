@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lt_graph.dir/test_lt_graph.cpp.o"
+  "CMakeFiles/test_lt_graph.dir/test_lt_graph.cpp.o.d"
+  "test_lt_graph"
+  "test_lt_graph.pdb"
+  "test_lt_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rraid_adaptive.dir/test_rraid_adaptive.cpp.o"
+  "CMakeFiles/test_rraid_adaptive.dir/test_rraid_adaptive.cpp.o.d"
+  "test_rraid_adaptive"
+  "test_rraid_adaptive.pdb"
+  "test_rraid_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rraid_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schemes_read.dir/test_schemes_read.cpp.o"
+  "CMakeFiles/test_schemes_read.dir/test_schemes_read.cpp.o.d"
+  "test_schemes_read"
+  "test_schemes_read.pdb"
+  "test_schemes_read[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schemes_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

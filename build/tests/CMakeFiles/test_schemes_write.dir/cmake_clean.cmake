@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schemes_write.dir/test_schemes_write.cpp.o"
+  "CMakeFiles/test_schemes_write.dir/test_schemes_write.cpp.o.d"
+  "test_schemes_write"
+  "test_schemes_write.pdb"
+  "test_schemes_write[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schemes_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

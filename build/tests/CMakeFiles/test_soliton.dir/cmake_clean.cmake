@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soliton.dir/test_soliton.cpp.o"
+  "CMakeFiles/test_soliton.dir/test_soliton.cpp.o.d"
+  "test_soliton"
+  "test_soliton.pdb"
+  "test_soliton[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soliton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

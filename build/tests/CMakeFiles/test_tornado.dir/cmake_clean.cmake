@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tornado.dir/test_tornado.cpp.o"
+  "CMakeFiles/test_tornado.dir/test_tornado.cpp.o.d"
+  "test_tornado"
+  "test_tornado.pdb"
+  "test_tornado[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tornado.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

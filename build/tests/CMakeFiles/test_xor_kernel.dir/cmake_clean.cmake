@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xor_kernel.dir/test_xor_kernel.cpp.o"
+  "CMakeFiles/test_xor_kernel.dir/test_xor_kernel.cpp.o.d"
+  "test_xor_kernel"
+  "test_xor_kernel.pdb"
+  "test_xor_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xor_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

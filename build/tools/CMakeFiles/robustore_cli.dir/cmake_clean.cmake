@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustore_cli.dir/robustore_cli.cpp.o"
+  "CMakeFiles/robustore_cli.dir/robustore_cli.cpp.o.d"
+  "robustore_cli"
+  "robustore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
