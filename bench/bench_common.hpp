@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "reporter.hpp"
 
 namespace robustore::bench {
 
@@ -35,90 +36,33 @@ struct SweepPoint {
   core::ExperimentConfig config;
 };
 
-/// Runs every scheme at every sweep point and prints the three §6.2.3
-/// metrics as aligned tables (bandwidth, latency stddev, I/O overhead).
+/// Runs every scheme at every sweep point and reports the three §6.2.3
+/// metrics (bandwidth, latency stddev, I/O overhead) through a Reporter:
+/// aligned human tables, plus CSV (ROBUSTORE_CSV) and a BENCH_<id>.json
+/// trajectory (ROBUSTORE_JSON). Each point fans its scheme x trial grid
+/// out across the trial pool (ROBUSTORE_THREADS, default all cores);
+/// results are bit-identical to a serial run.
+inline void runSchemeSweep(const char* id, const char* xlabel,
+                           const std::vector<SweepPoint>& points,
+                           bool include_reception = false) {
+  Reporter reporter(id, xlabel);
+  for (const auto& point : points) {
+    core::ExperimentRunner runner(point.config);
+    for (auto& result : runner.runAll()) {
+      reporter.add(point.label, client::schemeName(result.kind),
+                   result.aggregate);
+    }
+    std::fflush(stdout);
+  }
+  reporter.emit(include_reception);
+}
+
+/// Sweep without a figure id: the JSON artifact (if requested) is named
+/// after the x-axis label.
 inline void runSchemeSweep(const char* xlabel,
                            const std::vector<SweepPoint>& points,
                            bool include_reception = false) {
-  struct Row {
-    std::string label;
-    double bw[4];
-    double stdev[4];
-    double io[4];
-    double reception[4];
-    std::size_t incomplete[4];
-  };
-  std::vector<Row> rows;
-  for (const auto& point : points) {
-    Row row;
-    row.label = point.label;
-    core::ExperimentRunner runner(point.config);
-    for (int s = 0; s < 4; ++s) {
-      const auto agg = runner.run(kAllSchemes[s]);
-      row.bw[s] = agg.meanBandwidthMBps();
-      row.stdev[s] = agg.latencyStdDev();
-      row.io[s] = agg.meanIoOverhead();
-      row.reception[s] = agg.meanReceptionOverhead();
-      row.incomplete[s] = agg.incompleteCount();
-    }
-    rows.push_back(std::move(row));
-    std::fflush(stdout);
-  }
-
-  const auto printTable = [&](const char* title,
-                              const std::function<double(const Row&, int)>& f,
-                              const char* fmt) {
-    std::printf("\n%s\n", title);
-    std::printf("%-12s %12s %12s %12s %12s\n", xlabel, "RAID-0", "RRAID-S",
-                "RRAID-A", "RobuSTore");
-    for (const auto& row : rows) {
-      std::printf("%-12s", row.label.c_str());
-      for (int s = 0; s < 4; ++s) std::printf(fmt, f(row, s));
-      std::printf("\n");
-    }
-  };
-  printTable("Average bandwidth (MBps)",
-             [](const Row& r, int s) { return r.bw[s]; }, " %12.1f");
-  printTable("Std deviation of access latency (s)",
-             [](const Row& r, int s) { return r.stdev[s]; }, " %12.3f");
-  printTable("I/O overhead (fraction of data size)",
-             [](const Row& r, int s) { return r.io[s]; }, " %12.2f");
-  if (include_reception) {
-    printTable("Reception overhead (blocks received / K - 1)",
-               [](const Row& r, int s) { return r.reception[s]; }, " %12.2f");
-  }
-  bool any_incomplete = false;
-  for (const auto& row : rows) {
-    for (int s = 0; s < 4; ++s) any_incomplete |= row.incomplete[s] > 0;
-  }
-  if (any_incomplete) {
-    std::printf("\nNote: some accesses hit the simulation timeout:\n");
-    for (const auto& row : rows) {
-      for (int s = 0; s < 4; ++s) {
-        if (row.incomplete[s] > 0) {
-          std::printf("  %s @ %s: %zu incomplete\n",
-                      client::schemeName(kAllSchemes[s]), row.label.c_str(),
-                      row.incomplete[s]);
-        }
-      }
-    }
-  }
-
-  // Machine-readable block for plotting pipelines; opt-in via
-  // ROBUSTORE_CSV so the default output stays human-shaped.
-  if (std::getenv("ROBUSTORE_CSV") != nullptr) {
-    std::printf("\ncsv,%s,scheme,bandwidth_mbps,latency_stddev_s,"
-                "io_overhead,reception_overhead\n",
-                xlabel);
-    for (const auto& row : rows) {
-      for (int s = 0; s < 4; ++s) {
-        std::printf("csv,%s,%s,%.3f,%.4f,%.4f,%.4f\n", row.label.c_str(),
-                    client::schemeName(kAllSchemes[s]), row.bw[s],
-                    row.stdev[s], row.io[s], row.reception[s]);
-      }
-    }
-  }
-  std::printf("\n");
+  runSchemeSweep(xlabel, xlabel, points, include_reception);
 }
 
 /// Baseline configuration of §6.2.5 scaled for bench wall-clock time:

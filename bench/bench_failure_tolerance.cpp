@@ -49,8 +49,7 @@ int main() {
         cc.num_servers = 4;
         cc.server.disks_per_server = 4;
         client::Cluster cluster(engine, cc, Rng(1000 + t));
-        auto scheme =
-            core::ExperimentRunner::makeScheme(kind, cluster, {});
+        auto scheme = client::makeScheme(kind, cluster, {});
         Rng trial_rng(2000 + t);
         client::LayoutPolicy policy;
         policy.heterogeneous = false;

@@ -20,7 +20,8 @@ int main() {
       cfg.round_trip = ms * kMilliseconds;
       points.push_back({std::to_string(static_cast<int>(ms)) + "ms", cfg});
     }
-    bench::runSchemeSweep("RTT", points);
+    const std::string id = "fig_6_12_to_6_14_k" + std::to_string(k);
+    bench::runSchemeSweep(id.c_str(), "RTT", points);
   }
   return 0;
 }

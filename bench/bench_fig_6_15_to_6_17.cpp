@@ -20,7 +20,7 @@ int main() {
     cfg.access.redundancy = d;
     points.push_back({std::to_string(static_cast<int>(d * 100)) + "%", cfg});
   }
-  bench::runSchemeSweep("redundancy", points, /*include_reception=*/true);
+  bench::runSchemeSweep("fig_6_15_to_6_17", "redundancy", points, /*include_reception=*/true);
   std::printf("(RAID-0 ignores redundancy: its curve is flat by "
               "construction.)\n");
   return 0;

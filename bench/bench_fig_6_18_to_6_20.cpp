@@ -21,6 +21,6 @@ int main() {
     cfg.access.redundancy = d;
     points.push_back({std::to_string(static_cast<int>(d * 100)) + "%", cfg});
   }
-  bench::runSchemeSweep("redundancy", points);
+  bench::runSchemeSweep("fig_6_18_to_6_20", "redundancy", points);
   return 0;
 }

@@ -23,7 +23,7 @@ int main() {
     cfg.access.redundancy = d;
     points.push_back({std::to_string(static_cast<int>(d * 100)) + "%", cfg});
   }
-  bench::runSchemeSweep("redundancy", points, /*include_reception=*/true);
+  bench::runSchemeSweep("fig_6_21_to_6_23", "redundancy", points, /*include_reception=*/true);
   std::printf("(Read metrics shown; RRAID/RAID-0 writes are balanced, so "
               "their columns replicate the Fig 6-15 balanced case.)\n");
   return 0;

@@ -22,7 +22,7 @@ int main() {
     cfg.bg_interval = ms * kMilliseconds;
     points.push_back({std::to_string(static_cast<int>(ms)) + "ms", cfg});
   }
-  bench::runSchemeSweep("interval", points);
+  bench::runSchemeSweep("fig_6_24_to_6_25", "interval", points);
   std::printf("Expected: in this homogeneous setting RobuSTore trails the "
               "plain-text schemes slightly (reception overhead), §7.2.\n");
   return 0;

@@ -23,6 +23,6 @@ int main() {
     cfg.access.redundancy = d;
     points.push_back({std::to_string(static_cast<int>(d * 100)) + "%", cfg});
   }
-  bench::runSchemeSweep("redundancy", points, /*include_reception=*/true);
+  bench::runSchemeSweep("fig_6_32_to_6_34", "redundancy", points, /*include_reception=*/true);
   return 0;
 }

@@ -19,6 +19,6 @@ int main() {
     cfg.disks_per_access = disks;
     points.push_back({std::to_string(disks), cfg});
   }
-  bench::runSchemeSweep("disks", points, /*include_reception=*/true);
+  bench::runSchemeSweep("fig_6_6_to_6_8", "disks", points, /*include_reception=*/true);
   return 0;
 }

@@ -24,6 +24,6 @@ int main() {
     points.push_back(
         {std::to_string(mb / 2) + (mb % 2 ? ".5MB" : "MB"), cfg});
   }
-  bench::runSchemeSweep("block", points, /*include_reception=*/true);
+  bench::runSchemeSweep("fig_6_9_to_6_11", "block", points, /*include_reception=*/true);
   return 0;
 }

@@ -1,0 +1,216 @@
+#pragma once
+
+// Structured result reporting for the figure/table binaries. A Reporter
+// collects (sweep label, scheme) cells and emits them three ways:
+//   - human-readable pivot tables (always, matching the paper's layout),
+//   - CSV rows on stdout when ROBUSTORE_CSV is set (plotting pipelines),
+//   - a BENCH_<id>.json trajectory file when ROBUSTORE_JSON is set
+//     (ROBUSTORE_JSON=1 writes to the working directory; any other value
+//     is used as the target directory).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace robustore::bench {
+
+/// One (sweep label, scheme) cell: the three §6.2.3 paper metrics plus
+/// the latency tail the stddev only summarises.
+struct ReportRow {
+  std::string label;
+  std::string scheme;
+  double bandwidth_mbps = 0.0;
+  double latency_mean_s = 0.0;
+  double latency_stddev_s = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double io_overhead = 0.0;
+  double reception_overhead = 0.0;
+  std::size_t trials = 0;
+  std::size_t incomplete = 0;
+};
+
+class Reporter {
+ public:
+  /// `id` names the emitted artifact (e.g. "fig_6_5"); `xlabel` is the
+  /// swept parameter shown as the first table column.
+  Reporter(std::string id, std::string xlabel)
+      : id_(std::move(id)), xlabel_(std::move(xlabel)) {}
+
+  void add(const std::string& label, const std::string& scheme,
+           const metrics::AccessAggregate& agg) {
+    ReportRow row;
+    row.label = label;
+    row.scheme = scheme;
+    row.bandwidth_mbps = agg.meanBandwidthMBps();
+    row.latency_mean_s = agg.meanLatency();
+    row.latency_stddev_s = agg.latencyStdDev();
+    row.latency_p50_s = agg.latencyPercentile(50.0);
+    row.latency_p95_s = agg.latencyPercentile(95.0);
+    row.io_overhead = agg.meanIoOverhead();
+    row.reception_overhead = agg.meanReceptionOverhead();
+    row.trials = agg.trials();
+    row.incomplete = agg.incompleteCount();
+    add(std::move(row));
+  }
+
+  void add(ReportRow row) {
+    noteUnique(labels_, row.label);
+    noteUnique(schemes_, row.scheme);
+    rows_.push_back(std::move(row));
+  }
+
+  [[nodiscard]] const std::vector<ReportRow>& rows() const { return rows_; }
+
+  /// Human tables, plus the CSV / JSON side channels when their
+  /// environment knobs are set.
+  void emit(bool include_reception = false) const {
+    printTable("Average bandwidth (MBps)", " %12.1f",
+               [](const ReportRow& r) { return r.bandwidth_mbps; });
+    printTable("Std deviation of access latency (s)", " %12.3f",
+               [](const ReportRow& r) { return r.latency_stddev_s; });
+    printTable("I/O overhead (fraction of data size)", " %12.2f",
+               [](const ReportRow& r) { return r.io_overhead; });
+    if (include_reception) {
+      printTable("Reception overhead (blocks received / K - 1)", " %12.2f",
+                 [](const ReportRow& r) { return r.reception_overhead; });
+    }
+    printIncompleteNote();
+    if (std::getenv("ROBUSTORE_CSV") != nullptr) emitCsv(stdout);
+    if (const char* json_env = std::getenv("ROBUSTORE_JSON")) {
+      const std::string dir =
+          std::string(json_env) == "1" ? "." : std::string(json_env);
+      const std::string path = dir + "/BENCH_" + id_ + ".json";
+      if (writeJsonFile(path)) {
+        std::printf("json trajectory written to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "reporter: cannot write %s\n", path.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  /// CSV rows (stable format: plotting pipelines depend on the columns).
+  void emitCsv(std::FILE* out) const {
+    std::fprintf(out,
+                 "\ncsv,%s,scheme,bandwidth_mbps,latency_stddev_s,"
+                 "io_overhead,reception_overhead\n",
+                 xlabel_.c_str());
+    for (const auto& r : rows_) {
+      std::fprintf(out, "csv,%s,%s,%.3f,%.4f,%.4f,%.4f\n", r.label.c_str(),
+                   r.scheme.c_str(), r.bandwidth_mbps, r.latency_stddev_s,
+                   r.io_overhead, r.reception_overhead);
+    }
+  }
+
+  [[nodiscard]] std::string json() const {
+    std::string out = "{\n  \"id\": \"" + escape(id_) + "\",\n  \"xlabel\": \"" +
+                      escape(xlabel_) + "\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const auto& r = rows_[i];
+      out += "    {\"label\": \"" + escape(r.label) + "\", \"scheme\": \"" +
+             escape(r.scheme) + "\"";
+      appendNumber(out, "bandwidth_mbps", r.bandwidth_mbps);
+      appendNumber(out, "latency_mean_s", r.latency_mean_s);
+      appendNumber(out, "latency_stddev_s", r.latency_stddev_s);
+      appendNumber(out, "latency_p50_s", r.latency_p50_s);
+      appendNumber(out, "latency_p95_s", r.latency_p95_s);
+      appendNumber(out, "io_overhead", r.io_overhead);
+      appendNumber(out, "reception_overhead", r.reception_overhead);
+      out += ", \"trials\": " + std::to_string(r.trials);
+      out += ", \"incomplete\": " + std::to_string(r.incomplete);
+      out += i + 1 < rows_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  [[nodiscard]] bool writeJsonFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string text = json();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  static void noteUnique(std::vector<std::string>& seen,
+                         const std::string& value) {
+    for (const auto& s : seen) {
+      if (s == value) return;
+    }
+    seen.push_back(value);
+  }
+
+  [[nodiscard]] const ReportRow* find(const std::string& label,
+                                      const std::string& scheme) const {
+    for (const auto& r : rows_) {
+      if (r.label == label && r.scheme == scheme) return &r;
+    }
+    return nullptr;
+  }
+
+  template <typename Fn>
+  void printTable(const char* title, const char* fmt, Fn value) const {
+    std::printf("\n%s\n", title);
+    std::printf("%-12s", xlabel_.c_str());
+    for (const auto& s : schemes_) std::printf(" %12s", s.c_str());
+    std::printf("\n");
+    for (const auto& label : labels_) {
+      std::printf("%-12s", label.c_str());
+      for (const auto& s : schemes_) {
+        const ReportRow* r = find(label, s);
+        if (r != nullptr) {
+          std::printf(fmt, value(*r));
+        } else {
+          std::printf(" %12s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  void printIncompleteNote() const {
+    bool any = false;
+    for (const auto& r : rows_) any |= r.incomplete > 0;
+    if (!any) return;
+    std::printf("\nNote: some accesses hit the simulation timeout:\n");
+    for (const auto& r : rows_) {
+      if (r.incomplete > 0) {
+        std::printf("  %s @ %s: %zu incomplete\n", r.scheme.c_str(),
+                    r.label.c_str(), r.incomplete);
+      }
+    }
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  static void appendNumber(std::string& out, const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", \"%s\": %.6g", key, v);
+    out += buf;
+  }
+
+  std::string id_;
+  std::string xlabel_;
+  std::vector<std::string> labels_;   // insertion order
+  std::vector<std::string> schemes_;  // insertion order
+  std::vector<ReportRow> rows_;
+};
+
+}  // namespace robustore::bench

@@ -141,11 +141,6 @@ metrics::AccessMetrics Scheme::settle(Session& session, Bytes data_bytes,
 }
 
 std::unique_ptr<Scheme> makeScheme(SchemeKind kind, Cluster& cluster,
-                                   const coding::LtParams& lt) {
-  return makeScheme(kind, cluster, lt, CodecKind::kLt);
-}
-
-std::unique_ptr<Scheme> makeScheme(SchemeKind kind, Cluster& cluster,
                                    const coding::LtParams& lt,
                                    CodecKind codec) {
   switch (kind) {

@@ -164,13 +164,11 @@ class Scheme {
 enum class CodecKind : std::uint8_t { kLt, kRaptor };
 
 /// Builds a scheme of the given kind against `cluster` (the §6.2.1
-/// roster). `lt` and `codec` only affect RobuSTore.
-[[nodiscard]] std::unique_ptr<Scheme> makeScheme(SchemeKind kind,
-                                                 Cluster& cluster,
-                                                 const coding::LtParams& lt);
-[[nodiscard]] std::unique_ptr<Scheme> makeScheme(SchemeKind kind,
-                                                 Cluster& cluster,
-                                                 const coding::LtParams& lt,
-                                                 CodecKind codec);
+/// roster). `lt` and `codec` only affect RobuSTore. This is the single
+/// scheme factory; every layer (experiments, benches, tools, tests)
+/// constructs schemes through it.
+[[nodiscard]] std::unique_ptr<Scheme> makeScheme(
+    SchemeKind kind, Cluster& cluster, const coding::LtParams& lt,
+    CodecKind codec = CodecKind::kLt);
 
 }  // namespace robustore::client

@@ -45,6 +45,13 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void SampleSet::merge(const SampleSet& other) {
+  stats_.merge(other.stats_);
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = samples_.empty();
+}
+
 void SampleSet::add(double x) {
   stats_.add(x);
   samples_.push_back(x);

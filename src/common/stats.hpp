@@ -38,6 +38,10 @@ class RunningStats {
 class SampleSet {
  public:
   void add(double x);
+  /// Appends another set's samples (parallel reduction). Percentiles of
+  /// the merged set are exactly those of the union multiset — sample
+  /// order never affects them.
+  void merge(const SampleSet& other);
   [[nodiscard]] const RunningStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   /// Linear-interpolated percentile, p in [0, 100].

@@ -1,15 +1,57 @@
 #include "core/experiment.hpp"
 
-#include <cstdlib>
+#include <iterator>
+#include <limits>
 #include <optional>
-#include <string>
 
-#include "client/raid0.hpp"
-#include "client/robustore_scheme.hpp"
-#include "client/rraid.hpp"
 #include "common/expects.hpp"
+#include "core/trial_pool.hpp"
 
 namespace robustore::core {
+namespace {
+
+constexpr client::SchemeKind kSchemeOrder[] = {
+    client::SchemeKind::kRaid0, client::SchemeKind::kRRaidS,
+    client::SchemeKind::kRRaidA, client::SchemeKind::kRobuStore};
+
+/// Builds the per-trial simulated testbed. Every random stream is derived
+/// from config.seed alone, so each trial reconstructs an identical
+/// cluster; only the trial stream (disk selection, layout draws) varies
+/// with the trial index.
+client::Cluster makeCluster(const ExperimentConfig& config,
+                            sim::Engine& engine) {
+  client::ClusterConfig cc;
+  cc.num_servers = config.num_servers;
+  cc.server.disks_per_server = config.disks_per_server;
+  cc.server.disk_params = config.disk_params;
+  cc.server.cache = config.cache;
+  cc.server.round_trip = config.round_trip;
+  cc.server.nic_bandwidth = config.nic_bandwidth;
+  cc.client_bandwidth = config.client_bandwidth;
+  return client::Cluster(engine, cc, Rng(config.seed ^ 0xc1u));
+}
+
+void applyExperimentBackground(const ExperimentConfig& config,
+                               client::Cluster& cluster) {
+  if (config.background == ExperimentConfig::Background::kHomogeneous) {
+    workload::BackgroundConfig bg;
+    bg.mean_interval = config.bg_interval;
+    cluster.setUniformBackground(bg);
+  } else if (config.background ==
+             ExperimentConfig::Background::kHeterogeneousStatic) {
+    Rng bg_rng(config.seed ^ 0xb6u);
+    cluster.randomizeBackground(config.bg_interval_min,
+                                config.bg_interval_max, bg_rng);
+  }
+}
+
+/// Identical per-trial streams across schemes: disk selection and layout
+/// draws come from the same sequence regardless of the scheme kind.
+Rng trialRng(const ExperimentConfig& config, std::uint32_t trial_index) {
+  return Rng(config.seed * 0x9e3779b97f4a7c15ULL + trial_index + 1);
+}
+
+}  // namespace
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(std::move(config)) {
@@ -20,51 +62,139 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
       "cannot access more disks than the cluster has");
 }
 
-std::unique_ptr<client::Scheme> ExperimentRunner::makeScheme(
-    client::SchemeKind kind, client::Cluster& cluster,
-    const coding::LtParams& lt) {
-  return client::makeScheme(kind, cluster, lt);
-}
-
 std::uint32_t ExperimentRunner::trialsFromEnv(std::uint32_t fallback) {
-  const char* env = std::getenv("ROBUSTORE_TRIALS");
-  if (env == nullptr) return fallback;
-  const long v = std::strtol(env, nullptr, 10);
-  return v >= 1 ? static_cast<std::uint32_t>(v) : fallback;
+  const auto v = parseEnvCount("ROBUSTORE_TRIALS");
+  if (!v || *v > std::numeric_limits<std::uint32_t>::max()) return fallback;
+  return static_cast<std::uint32_t>(*v);
 }
 
-metrics::AccessAggregate ExperimentRunner::run(client::SchemeKind kind) {
+metrics::AccessMetrics ExperimentRunner::runTrial(
+    const ExperimentConfig& config, client::SchemeKind kind,
+    std::uint32_t trial_index) {
+  ROBUSTORE_EXPECTS(!trialsAreCoupled(config),
+                    "coupled experiments cannot run as independent trials");
   sim::Engine engine;
-  client::ClusterConfig cc;
-  cc.num_servers = config_.num_servers;
-  cc.server.disks_per_server = config_.disks_per_server;
-  cc.server.disk_params = config_.disk_params;
-  cc.server.cache = config_.cache;
-  cc.server.round_trip = config_.round_trip;
-  cc.server.nic_bandwidth = config_.nic_bandwidth;
-  cc.client_bandwidth = config_.client_bandwidth;
-  client::Cluster cluster(engine, cc, Rng(config_.seed ^ 0xc1u));
+  client::Cluster cluster = makeCluster(config, engine);
+  applyExperimentBackground(config, cluster);
+  auto scheme = client::makeScheme(kind, cluster, config.lt, config.codec);
 
-  if (config_.background == ExperimentConfig::Background::kHomogeneous) {
-    workload::BackgroundConfig bg;
-    bg.mean_interval = config_.bg_interval;
-    cluster.setUniformBackground(bg);
-  } else if (config_.background ==
-             ExperimentConfig::Background::kHeterogeneousStatic) {
-    Rng bg_rng(config_.seed ^ 0xb6u);
-    cluster.randomizeBackground(config_.bg_interval_min,
-                                config_.bg_interval_max, bg_rng);
+  Rng trial_rng = trialRng(config, trial_index);
+  if (config.background == ExperimentConfig::Background::kHeterogeneous) {
+    cluster.randomizeBackground(config.bg_interval_min, config.bg_interval_max,
+                                trial_rng);
+  }
+  const auto disks = cluster.selectDisks(config.disks_per_access, trial_rng);
+
+  switch (config.op) {
+    case ExperimentConfig::Op::kRead: {
+      client::StoredFile file =
+          scheme->planFile(config.access, disks, config.layout, trial_rng);
+      return scheme->read(file, config.access);
+    }
+    case ExperimentConfig::Op::kWrite:
+      return scheme->write(config.access, disks, config.layout, trial_rng);
+    case ExperimentConfig::Op::kReadAfterWrite: {
+      client::StoredFile file;
+      const metrics::AccessMetrics wm = scheme->write(
+          config.access, disks, config.layout, trial_rng, &file);
+      if (!wm.complete) return wm;
+      if (config.redraw_layout_after_write) {
+        file.redrawLayouts(config.layout, trial_rng);
+      }
+      return scheme->read(file, config.access);
+    }
+  }
+  ROBUSTORE_EXPECTS(false, "unknown experiment operation");
+  return {};
+}
+
+unsigned ExperimentRunner::resolveThreads(const RunOptions& options,
+                                          std::uint32_t jobs) const {
+  unsigned threads =
+      options.threads == 0 ? TrialPool::defaultThreads() : options.threads;
+  if (threads > jobs) threads = jobs;
+  return threads == 0 ? 1 : threads;
+}
+
+metrics::AccessAggregate ExperimentRunner::run(client::SchemeKind kind,
+                                               const RunOptions& options) {
+  if (trialsAreCoupled(config_)) return runCoupled(kind, options);
+
+  std::vector<metrics::AccessMetrics> per_trial(config_.trials);
+  const unsigned threads = resolveThreads(options, config_.trials);
+  if (threads <= 1) {
+    for (std::uint32_t t = 0; t < config_.trials; ++t) {
+      per_trial[t] = runTrial(config_, kind, t);
+    }
+  } else {
+    TrialPool pool(threads);
+    pool.forEachIndex(config_.trials, [&](std::uint32_t t) {
+      per_trial[t] = runTrial(config_, kind, t);
+    });
   }
 
+  // Ordered reduction: identical to the serial loop for any thread count.
+  metrics::AccessAggregate agg;
+  for (std::uint32_t t = 0; t < config_.trials; ++t) {
+    if (options.on_trial) options.on_trial(kind, t, per_trial[t]);
+    agg.add(per_trial[t]);
+  }
+  return agg;
+}
+
+std::vector<ExperimentRunner::SchemeResult> ExperimentRunner::runAll(
+    const RunOptions& options) {
+  std::vector<SchemeResult> results;
+  if (trialsAreCoupled(config_)) {
+    for (const auto kind : kSchemeOrder) {
+      results.push_back(SchemeResult{kind, runCoupled(kind, options)});
+    }
+    return results;
+  }
+
+  // Fan the whole scheme x trial grid out at once so slow schemes do not
+  // serialize behind fast ones.
+  constexpr std::uint32_t kNumSchemes =
+      static_cast<std::uint32_t>(std::size(kSchemeOrder));
+  const std::uint32_t jobs = kNumSchemes * config_.trials;
+  std::vector<metrics::AccessMetrics> grid(jobs);
+  const unsigned threads = resolveThreads(options, jobs);
+  const auto runCell = [&](std::uint32_t i) {
+    const auto kind = kSchemeOrder[i / config_.trials];
+    grid[i] = runTrial(config_, kind, i % config_.trials);
+  };
+  if (threads <= 1) {
+    for (std::uint32_t i = 0; i < jobs; ++i) runCell(i);
+  } else {
+    TrialPool pool(threads);
+    pool.forEachIndex(jobs, runCell);
+  }
+
+  for (std::uint32_t s = 0; s < kNumSchemes; ++s) {
+    metrics::AccessAggregate agg;
+    for (std::uint32_t t = 0; t < config_.trials; ++t) {
+      const auto& m = grid[s * config_.trials + t];
+      if (options.on_trial) options.on_trial(kSchemeOrder[s], t, m);
+      agg.add(m);
+    }
+    results.push_back(SchemeResult{kSchemeOrder[s], agg});
+  }
+  return results;
+}
+
+metrics::AccessAggregate ExperimentRunner::runCoupled(
+    client::SchemeKind kind, const RunOptions& options) {
+  sim::Engine engine;
+  client::Cluster cluster = makeCluster(config_, engine);
+  applyExperimentBackground(config_, cluster);
   auto scheme = client::makeScheme(kind, cluster, config_.lt, config_.codec);
+
   metrics::AccessAggregate agg;
   std::optional<client::StoredFile> reused;
   std::vector<SimTime> bg_busy_before(cluster.numDisks(), 0.0);
 
   for (std::uint32_t t = 0; t < config_.trials; ++t) {
-    // Identical per-trial streams across schemes: disk selection and
-    // layout draws come from the same sequence regardless of `kind`.
-    Rng trial_rng(config_.seed * 0x9e3779b97f4a7c15ULL + t + 1);
+    Rng trial_rng = trialRng(config_, t);
     if (config_.background == ExperimentConfig::Background::kHeterogeneous) {
       cluster.randomizeBackground(config_.bg_interval_min,
                                   config_.bg_interval_max, trial_rng);
@@ -105,6 +235,7 @@ metrics::AccessAggregate ExperimentRunner::run(client::SchemeKind kind) {
         const metrics::AccessMetrics wm = scheme->write(
             config_.access, disks, config_.layout, trial_rng, &file);
         if (!wm.complete) {
+          if (options.on_trial) options.on_trial(kind, t, wm);
           agg.add(wm);
           continue;
         }
@@ -115,6 +246,7 @@ metrics::AccessAggregate ExperimentRunner::run(client::SchemeKind kind) {
         break;
       }
     }
+    if (options.on_trial) options.on_trial(kind, t, m);
     agg.add(m);
 
     // §4.2: clients report what they observed of each disk back to the
@@ -132,16 +264,6 @@ metrics::AccessAggregate ExperimentRunner::run(client::SchemeKind kind) {
     }
   }
   return agg;
-}
-
-std::vector<ExperimentRunner::SchemeResult> ExperimentRunner::runAll() {
-  std::vector<SchemeResult> results;
-  for (const auto kind :
-       {client::SchemeKind::kRaid0, client::SchemeKind::kRRaidS,
-        client::SchemeKind::kRRaidA, client::SchemeKind::kRobuStore}) {
-    results.push_back(SchemeResult{kind, run(kind)});
-  }
-  return results;
 }
 
 }  // namespace robustore::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -62,12 +63,15 @@ struct ExperimentConfig {
   /// statistically independent of write-time performance (§6.3.1).
   bool redraw_layout_after_write = true;
   /// Reuse one file across all trials (the §6.3.3 cache experiments rely
-  /// on earlier trials having warmed the filer caches).
+  /// on earlier trials having warmed the filer caches). Couples trials
+  /// through shared cluster state, so such experiments run sequentially —
+  /// see ExperimentRunner::trialsAreCoupled().
   bool reuse_file = false;
 
   /// Select disks through the metadata server's §5.3.1 policy (load,
   /// free space, site diversity, availability mixing) instead of the
-  /// paper's uniform random choice.
+  /// paper's uniform random choice. The policy learns from load reports
+  /// of earlier trials, so it also couples trials (sequential execution).
   bool metadata_disk_selection = false;
 
   // --- trials ------------------------------------------------------------
@@ -75,9 +79,31 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
 };
 
+/// Execution knobs for ExperimentRunner::run / runAll — how trials are
+/// scheduled, never what they compute. Results are bit-identical for
+/// every `threads` value (see the determinism contract in DESIGN.md).
+struct RunOptions {
+  /// Worker threads for the trial fan-out. 0 = auto: ROBUSTORE_THREADS if
+  /// set, else std::thread::hardware_concurrency(). Clamped to the number
+  /// of outstanding trials; coupled experiments (reuse_file /
+  /// metadata_disk_selection) ignore it and run sequentially.
+  unsigned threads = 0;
+  /// Progress hook, invoked on the calling thread during the ordered
+  /// reduction — trial indices arrive strictly increasing per scheme
+  /// regardless of which worker ran the trial.
+  std::function<void(client::SchemeKind, std::uint32_t,
+                     const metrics::AccessMetrics&)>
+      on_trial;
+};
+
 /// Runs one experiment configuration for one or all schemes. Each scheme
 /// gets a fresh simulated cluster but identical per-trial random streams,
 /// so disk selections and layout draws are comparable across schemes.
+///
+/// Independent trials (the default) fan out across a TrialPool: every
+/// trial builds its own engine, cluster, and scheme, and derives all
+/// randomness from (config.seed, trial_index) alone, so the aggregate is
+/// bit-identical to a serial run no matter the thread count.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(ExperimentConfig config);
@@ -85,26 +111,48 @@ class ExperimentRunner {
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
 
   /// Runs all trials for one scheme and aggregates the three paper
-  /// metrics.
-  [[nodiscard]] metrics::AccessAggregate run(client::SchemeKind kind);
+  /// metrics. Reduction is in trial order: bit-identical across thread
+  /// counts.
+  [[nodiscard]] metrics::AccessAggregate run(
+      client::SchemeKind kind, const RunOptions& options = {});
 
   struct SchemeResult {
     client::SchemeKind kind;
     metrics::AccessAggregate aggregate;
   };
-  /// Runs the four §6.2.1 schemes in order.
-  [[nodiscard]] std::vector<SchemeResult> runAll();
+  /// Runs the four §6.2.1 schemes in order, fanning the whole
+  /// scheme x trial grid out across the pool.
+  [[nodiscard]] std::vector<SchemeResult> runAll(
+      const RunOptions& options = {});
 
-  /// Builds a scheme instance of the given kind against `cluster`.
-  [[nodiscard]] static std::unique_ptr<client::Scheme> makeScheme(
-      client::SchemeKind kind, client::Cluster& cluster,
-      const coding::LtParams& lt);
+  /// One independent trial, pure in (config, kind, trial_index): builds a
+  /// fresh engine/cluster/scheme, derives every random stream from
+  /// config.seed and trial_index, and returns the trial's metrics. This
+  /// is the unit of work the pool executes; it is also the serial
+  /// semantics, which is why parallel runs reproduce serial runs exactly.
+  /// Requires !trialsAreCoupled(config).
+  [[nodiscard]] static metrics::AccessMetrics runTrial(
+      const ExperimentConfig& config, client::SchemeKind kind,
+      std::uint32_t trial_index);
+
+  /// True when trials share cluster state by design (warm filer caches
+  /// via reuse_file, or load learning via metadata_disk_selection) and
+  /// must therefore run sequentially against one long-lived cluster.
+  [[nodiscard]] static bool trialsAreCoupled(const ExperimentConfig& config) {
+    return config.reuse_file || config.metadata_disk_selection;
+  }
 
   /// Trial-count override from the ROBUSTORE_TRIALS environment variable
   /// (bench binaries default low for wall-clock sanity; CI can raise it).
+  /// Strictly parsed: malformed or out-of-range values fall back.
   [[nodiscard]] static std::uint32_t trialsFromEnv(std::uint32_t fallback);
 
  private:
+  [[nodiscard]] metrics::AccessAggregate runCoupled(client::SchemeKind kind,
+                                                    const RunOptions& options);
+  [[nodiscard]] unsigned resolveThreads(const RunOptions& options,
+                                        std::uint32_t jobs) const;
+
   ExperimentConfig config_;
 };
 

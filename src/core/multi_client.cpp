@@ -106,8 +106,8 @@ MultiClientResult MultiClientExperiment::run() {
 
   for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
     ClientState& c = clients[i];
-    c.scheme = ExperimentRunner::makeScheme(config_.scheme, cluster,
-                                            coding::LtParams{});
+    c.scheme = client::makeScheme(config_.scheme, cluster,
+                                  coding::LtParams{});
     c.rng = Rng(config_.seed * 0x9e3779b97f4a7c15ULL + i + 1);
     c.session.stream = cluster.nextStream();
     engine.scheduleAt(config_.stagger * i, [&, i] { startClient(i); });

@@ -1,0 +1,110 @@
+#include "core/trial_pool.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace robustore::core {
+namespace {
+
+// Hard ceiling on worker count: far above any real machine, it only guards
+// against a typo'd ROBUSTORE_THREADS spawning millions of threads.
+constexpr unsigned kMaxThreads = 1024;
+
+}  // namespace
+
+std::optional<std::uint64_t> parseEnvCount(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  std::uint64_t value = 0;
+  const char* end = env + std::strlen(env);
+  const auto [ptr, ec] = std::from_chars(env, end, value);
+  // Strict: the whole string must be a decimal count ("8", not "8x" or
+  // " 8"), it must fit, and zero is as meaningless as unset.
+  if (ec != std::errc{} || ptr != end || value == 0) return std::nullopt;
+  return value;
+}
+
+TrialPool::TrialPool(unsigned threads) {
+  unsigned n = threads == 0 ? defaultThreads() : threads;
+  if (n == 0) n = 1;
+  if (n > kMaxThreads) n = kMaxThreads;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+TrialPool::~TrialPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TrialPool::submit(std::function<void()> job) {
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(job));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void TrialPool::wait() {
+  std::unique_lock lock(mutex_);
+  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void TrialPool::forEachIndex(std::uint32_t count,
+                             const std::function<void(std::uint32_t)>& job) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    submit([&job, i] { job(i); });
+  }
+  wait();
+}
+
+void TrialPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::unique_lock lock(mutex_);
+      if (err && !first_error_) first_error_ = err;
+      if (--in_flight_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+unsigned TrialPool::defaultThreads() {
+  return threadsFromEnv(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+unsigned TrialPool::threadsFromEnv(unsigned fallback) {
+  const auto v = parseEnvCount("ROBUSTORE_THREADS");
+  if (!v || *v > kMaxThreads) return fallback;
+  return static_cast<unsigned>(*v);
+}
+
+}  // namespace robustore::core

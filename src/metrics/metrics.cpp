@@ -2,6 +2,15 @@
 
 namespace robustore::metrics {
 
+void AccessAggregate::merge(const AccessAggregate& other) {
+  bandwidth_.merge(other.bandwidth_);
+  latency_.merge(other.latency_);
+  latency_samples_.merge(other.latency_samples_);
+  io_overhead_.merge(other.io_overhead_);
+  reception_.merge(other.reception_);
+  incomplete_ += other.incomplete_;
+}
+
 void AccessAggregate::add(const AccessMetrics& m) {
   if (!m.complete) {
     ++incomplete_;

@@ -51,6 +51,14 @@ class AccessAggregate {
  public:
   void add(const AccessMetrics& m);
 
+  /// Folds another aggregate in (parallel reduction of per-worker
+  /// partials): counts, incomplete counts, and the percentile sample set
+  /// combine exactly; the running moments merge via Chan et al., which is
+  /// numerically stable but not bitwise identical to one sequential add
+  /// stream. Order-sensitive callers (the experiment runner) therefore
+  /// reduce per-trial metrics with add() in trial order instead.
+  void merge(const AccessAggregate& other);
+
   [[nodiscard]] std::size_t trials() const { return latency_.count(); }
   [[nodiscard]] double meanBandwidthMBps() const { return bandwidth_.mean(); }
   [[nodiscard]] double meanLatency() const { return latency_.mean(); }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <vector>
 
 namespace robustore::core {
 namespace {
@@ -130,6 +131,134 @@ TEST(ExperimentRunner, TrialsFromEnvFallsBack) {
   setenv("ROBUSTORE_TRIALS", "bogus", 1);
   EXPECT_EQ(ExperimentRunner::trialsFromEnv(13), 13u);
   unsetenv("ROBUSTORE_TRIALS");
+}
+
+TEST(ExperimentRunner, TrialsFromEnvRejectsMalformedValues) {
+  // Strict parsing: trailing garbage, signs, whitespace, zero, and
+  // out-of-range values all fall back instead of silently truncating.
+  for (const char* bad : {"5x", "0x10", " 5", "5 ", "-3", "+4", "0", "",
+                          "99999999999999999999", "4294967296"}) {
+    setenv("ROBUSTORE_TRIALS", bad, 1);
+    EXPECT_EQ(ExperimentRunner::trialsFromEnv(13), 13u) << "'" << bad << "'";
+  }
+  setenv("ROBUSTORE_TRIALS", "4294967295", 1);  // still in uint32 range
+  EXPECT_EQ(ExperimentRunner::trialsFromEnv(13), 4294967295u);
+  unsetenv("ROBUSTORE_TRIALS");
+}
+
+// --- deterministic parallel execution ------------------------------------
+
+void expectBitIdentical(const metrics::AccessAggregate& a,
+                        const metrics::AccessAggregate& b,
+                        const char* what) {
+  EXPECT_EQ(a.trials(), b.trials()) << what;
+  EXPECT_EQ(a.incompleteCount(), b.incompleteCount()) << what;
+  // EXPECT_EQ on doubles is exact (operator==): parallel runs must
+  // reproduce the serial bits, not merely approximate them.
+  EXPECT_EQ(a.meanBandwidthMBps(), b.meanBandwidthMBps()) << what;
+  EXPECT_EQ(a.meanLatency(), b.meanLatency()) << what;
+  EXPECT_EQ(a.latencyStdDev(), b.latencyStdDev()) << what;
+  EXPECT_EQ(a.meanIoOverhead(), b.meanIoOverhead()) << what;
+  EXPECT_EQ(a.meanReceptionOverhead(), b.meanReceptionOverhead()) << what;
+  for (const double p : {0.0, 50.0, 90.0, 100.0}) {
+    EXPECT_EQ(a.latencyPercentile(p), b.latencyPercentile(p)) << what;
+  }
+}
+
+TEST(ExperimentRunner, ParallelRunIsBitIdenticalToSerialForAllSchemes) {
+  auto cfg = smallConfig();
+  cfg.trials = 5;
+  for (const auto kind :
+       {client::SchemeKind::kRaid0, client::SchemeKind::kRRaidS,
+        client::SchemeKind::kRRaidA, client::SchemeKind::kRobuStore}) {
+    ExperimentRunner runner(cfg);
+    const auto serial = runner.run(kind, RunOptions{.threads = 1});
+    for (const unsigned threads : {2u, 8u}) {
+      const auto parallel = runner.run(kind, RunOptions{.threads = threads});
+      expectBitIdentical(serial, parallel, client::schemeName(kind));
+    }
+  }
+}
+
+TEST(ExperimentRunner, ParallelRunAllIsBitIdenticalToSerial) {
+  auto cfg = smallConfig();
+  cfg.trials = 4;
+  ExperimentRunner runner(cfg);
+  const auto serial = runner.runAll(RunOptions{.threads = 1});
+  const auto parallel = runner.runAll(RunOptions{.threads = 8});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].kind, parallel[i].kind);
+    expectBitIdentical(serial[i].aggregate, parallel[i].aggregate,
+                       client::schemeName(serial[i].kind));
+  }
+}
+
+TEST(ExperimentRunner, ParallelMatchesSerialUnderBackgroundLoad) {
+  // Background workloads exercise the per-trial cluster reconstruction
+  // (homogeneous, static heterogeneous, and per-trial heterogeneous).
+  for (const auto bg : {ExperimentConfig::Background::kHomogeneous,
+                        ExperimentConfig::Background::kHeterogeneous,
+                        ExperimentConfig::Background::kHeterogeneousStatic}) {
+    auto cfg = smallConfig();
+    cfg.background = bg;
+    cfg.bg_interval = 40 * kMilliseconds;
+    ExperimentRunner runner(cfg);
+    const auto serial =
+        runner.run(client::SchemeKind::kRobuStore, RunOptions{.threads = 1});
+    const auto parallel =
+        runner.run(client::SchemeKind::kRobuStore, RunOptions{.threads = 8});
+    expectBitIdentical(serial, parallel, "background");
+  }
+}
+
+TEST(ExperimentRunner, RunTrialIsPureInItsArguments) {
+  const auto cfg = smallConfig();
+  for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+    const auto a =
+        ExperimentRunner::runTrial(cfg, client::SchemeKind::kRobuStore, t);
+    const auto b =
+        ExperimentRunner::runTrial(cfg, client::SchemeKind::kRobuStore, t);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.network_bytes, b.network_bytes);
+    EXPECT_EQ(a.blocks_received, b.blocks_received);
+    EXPECT_EQ(a.complete, b.complete);
+  }
+}
+
+TEST(ExperimentRunner, CoupledExperimentsIgnoreThreadCount) {
+  // reuse_file couples trials through warm filer caches; the runner must
+  // fall back to sequential execution no matter the requested threads.
+  auto cfg = smallConfig();
+  cfg.reuse_file = true;
+  cfg.cache.enabled = true;
+  ASSERT_TRUE(ExperimentRunner::trialsAreCoupled(cfg));
+  ExperimentRunner a(cfg);
+  ExperimentRunner b(cfg);
+  const auto serial =
+      a.run(client::SchemeKind::kRobuStore, RunOptions{.threads = 1});
+  const auto parallel =
+      b.run(client::SchemeKind::kRobuStore, RunOptions{.threads = 8});
+  expectBitIdentical(serial, parallel, "coupled");
+}
+
+TEST(ExperimentRunner, OnTrialCallbackArrivesInTrialOrder) {
+  auto cfg = smallConfig();
+  cfg.trials = 6;
+  ExperimentRunner runner(cfg);
+  std::vector<std::uint32_t> seen;
+  RunOptions options;
+  options.threads = 4;
+  options.on_trial = [&](client::SchemeKind kind, std::uint32_t trial,
+                         const metrics::AccessMetrics& m) {
+    EXPECT_EQ(kind, client::SchemeKind::kRRaidA);
+    EXPECT_TRUE(m.complete);
+    seen.push_back(trial);
+  };
+  const auto agg = runner.run(client::SchemeKind::kRRaidA, options);
+  ASSERT_EQ(seen.size(), cfg.trials);
+  for (std::uint32_t t = 0; t < cfg.trials; ++t) EXPECT_EQ(seen[t], t);
+  EXPECT_EQ(agg.trials() + agg.incompleteCount(), cfg.trials);
 }
 
 }  // namespace

@@ -65,5 +65,77 @@ TEST(AccessAggregate, AggregatesCompleteAccessesOnly) {
   EXPECT_NEAR(agg.meanBandwidthMBps(), (0.5 + 0.25) / 2, 1e-12);
 }
 
+AccessMetrics sampleMetric(int i) {
+  AccessMetrics m;
+  m.complete = i % 4 != 3;  // every fourth access times out
+  m.latency = 1.0 + 0.37 * i;
+  m.data_bytes = 1'000'000;
+  m.network_bytes = 1'000'000 + 40'000u * static_cast<Bytes>(i);
+  m.blocks_original = 100;
+  m.blocks_received = 100 + static_cast<std::uint32_t>(i);
+  return m;
+}
+
+TEST(AccessAggregate, MergeOfPartitionsEqualsSequentialAdd) {
+  constexpr int kCount = 24;
+  AccessAggregate sequential;
+  for (int i = 0; i < kCount; ++i) sequential.add(sampleMetric(i));
+
+  // Arbitrary partitions, including an empty one.
+  const int boundaries[][2] = {{0, 5}, {5, 5}, {5, 16}, {16, 24}};
+  AccessAggregate merged;
+  for (const auto& [lo, hi] : boundaries) {
+    AccessAggregate part;
+    for (int i = lo; i < hi; ++i) part.add(sampleMetric(i));
+    merged.merge(part);
+  }
+
+  // Counts and the percentile sample multiset combine exactly.
+  EXPECT_EQ(merged.trials(), sequential.trials());
+  EXPECT_EQ(merged.incompleteCount(), sequential.incompleteCount());
+  for (const double p : {0.0, 25.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.latencyPercentile(p),
+                     sequential.latencyPercentile(p));
+  }
+  // Moments merge via Chan et al.: numerically equal within tight bounds.
+  EXPECT_NEAR(merged.meanLatency(), sequential.meanLatency(), 1e-12);
+  EXPECT_NEAR(merged.latencyStdDev(), sequential.latencyStdDev(), 1e-12);
+  EXPECT_NEAR(merged.meanBandwidthMBps(), sequential.meanBandwidthMBps(),
+              1e-12);
+  EXPECT_NEAR(merged.meanIoOverhead(), sequential.meanIoOverhead(), 1e-12);
+  EXPECT_NEAR(merged.meanReceptionOverhead(),
+              sequential.meanReceptionOverhead(), 1e-12);
+}
+
+TEST(AccessAggregate, MergeIntoEmptyAndWithEmpty) {
+  AccessAggregate filled;
+  for (int i = 0; i < 6; ++i) filled.add(sampleMetric(i));
+
+  AccessAggregate from_empty;
+  from_empty.merge(filled);
+  EXPECT_EQ(from_empty.trials(), filled.trials());
+  EXPECT_DOUBLE_EQ(from_empty.meanLatency(), filled.meanLatency());
+  EXPECT_DOUBLE_EQ(from_empty.latencyPercentile(50.0),
+                   filled.latencyPercentile(50.0));
+
+  AccessAggregate empty;
+  filled.merge(empty);  // merging nothing changes nothing
+  EXPECT_EQ(filled.trials(), from_empty.trials());
+  EXPECT_DOUBLE_EQ(filled.meanLatency(), from_empty.meanLatency());
+}
+
+TEST(AccessAggregate, MergeAccumulatesIncompleteCounts) {
+  AccessAggregate a;
+  AccessAggregate b;
+  AccessMetrics bad;
+  bad.complete = false;
+  a.add(bad);
+  b.add(bad);
+  b.add(bad);
+  a.merge(b);
+  EXPECT_EQ(a.incompleteCount(), 3u);
+  EXPECT_EQ(a.trials(), 0u);
+}
+
 }  // namespace
 }  // namespace robustore::metrics

@@ -41,8 +41,7 @@ class SchemeReadTest : public ReadFixture,
 
 TEST_P(SchemeReadTest, ReadCompletesWithSaneMetrics) {
   Cluster cluster(engine, cluster_config, rng.fork(1));
-  auto scheme =
-      core::ExperimentRunner::makeScheme(GetParam(), cluster, coding::LtParams{});
+  auto scheme = makeScheme(GetParam(), cluster, coding::LtParams{});
   Rng trial(7);
   auto file = scheme->planFile(access, allDisks(), policy, trial);
   const auto m = scheme->read(file, access);

@@ -100,5 +100,38 @@ TEST(SampleSet, PercentileAfterMoreAdds) {
   EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
 }
 
+TEST(SampleSet, MergeMatchesSequentialAdds) {
+  SampleSet sequential;
+  SampleSet left;
+  SampleSet right;
+  for (int i = 0; i < 40; ++i) {
+    const double x = (i * 37) % 11 + 0.25 * i;
+    sequential.add(x);
+    (i < 17 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.stats().mean(), sequential.stats().mean(), 1e-12);
+  EXPECT_NEAR(left.stats().stddev(), sequential.stats().stddev(), 1e-12);
+  for (const double p : {0.0, 10.0, 50.0, 99.0, 100.0}) {
+    // Percentiles come from the union multiset: exactly equal.
+    EXPECT_DOUBLE_EQ(left.percentile(p), sequential.percentile(p));
+  }
+}
+
+TEST(SampleSet, MergeWithEmptySets) {
+  SampleSet filled;
+  filled.add(5.0);
+  filled.add(1.0);
+  SampleSet empty;
+  filled.merge(empty);
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.percentile(100), 5.0);
+  SampleSet target;
+  target.merge(filled);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.percentile(0), 1.0);
+}
+
 }  // namespace
 }  // namespace robustore

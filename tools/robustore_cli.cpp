@@ -42,6 +42,9 @@ void usage(const char* argv0) {
       "  --client-bw-mbps X   shared client downlink cap (default: none)\n"
       "  --codec {lt|raptor}  RobuSTore rateless codec    (default lt)\n"
       "  --trials N           accesses per scheme         (default 20)\n"
+      "  --threads N          trial fan-out workers       (default: all\n"
+      "                       cores / ROBUSTORE_THREADS; results are\n"
+      "                       identical for every value)\n"
       "  --seed S             master RNG seed             (default 42)\n"
       "  --csv                machine-readable output\n",
       argv0);
@@ -49,6 +52,7 @@ void usage(const char* argv0) {
 
 struct Options {
   core::ExperimentConfig config;
+  core::RunOptions run;
   std::optional<client::SchemeKind> scheme;  // nullopt = all
   bool csv = false;
 };
@@ -168,6 +172,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const auto v = need(1);
       if (!v) return std::nullopt;
       opt.config.trials = static_cast<std::uint32_t>(*v);
+    } else if (arg == "--threads") {
+      const auto v = need(1);
+      if (!v) return std::nullopt;
+      opt.run.threads = static_cast<unsigned>(*v);
     } else if (arg == "--seed") {
       const auto v = need(0);
       if (!v) return std::nullopt;
@@ -217,7 +225,7 @@ int main(int argc, char** argv) {
                 "latency", "lat stddev", "I/O ovh", "incomplete");
   }
   for (const auto kind : kinds) {
-    const auto agg = runner.run(kind);
+    const auto agg = runner.run(kind, options->run);
     if (options->csv) {
       std::printf("%s,%zu,%.3f,%.4f,%.4f,%.4f,%.4f,%zu\n",
                   client::schemeName(kind), agg.trials(),
