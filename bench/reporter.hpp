@@ -29,6 +29,10 @@ struct ReportRow {
   double latency_p95_s = 0.0;
   double io_overhead = 0.0;
   double reception_overhead = 0.0;
+  // Degraded-mode telemetry (zero when the run saw no faults).
+  double failures_survived_mean = 0.0;
+  double reissued_requests_mean = 0.0;
+  double time_lost_s = 0.0;
   std::size_t trials = 0;
   std::size_t incomplete = 0;
 };
@@ -52,6 +56,9 @@ class Reporter {
     row.latency_p95_s = agg.latencyPercentile(95.0);
     row.io_overhead = agg.meanIoOverhead();
     row.reception_overhead = agg.meanReceptionOverhead();
+    row.failures_survived_mean = agg.meanFailuresSurvived();
+    row.reissued_requests_mean = agg.meanReissuedRequests();
+    row.time_lost_s = agg.meanTimeLostToFailures();
     row.trials = agg.trials();
     row.incomplete = agg.incompleteCount();
     add(std::move(row));
@@ -77,6 +84,19 @@ class Reporter {
     if (include_reception) {
       printTable("Reception overhead (blocks received / K - 1)", " %12.2f",
                  [](const ReportRow& r) { return r.reception_overhead; });
+    }
+    bool degraded = false;
+    for (const auto& r : rows_) {
+      degraded |= r.failures_survived_mean > 0.0 ||
+                  r.reissued_requests_mean > 0.0;
+    }
+    if (degraded) {
+      printTable("Failures survived (mean per completed access)", " %12.2f",
+                 [](const ReportRow& r) { return r.failures_survived_mean; });
+      printTable("Re-issued requests (mean per completed access)", " %12.2f",
+                 [](const ReportRow& r) { return r.reissued_requests_mean; });
+      printTable("Time lost to failures (s, mean)", " %12.3f",
+                 [](const ReportRow& r) { return r.time_lost_s; });
     }
     printIncompleteNote();
     if (std::getenv("ROBUSTORE_CSV") != nullptr) emitCsv(stdout);
@@ -120,6 +140,9 @@ class Reporter {
       appendNumber(out, "latency_p95_s", r.latency_p95_s);
       appendNumber(out, "io_overhead", r.io_overhead);
       appendNumber(out, "reception_overhead", r.reception_overhead);
+      appendNumber(out, "failures_survived_mean", r.failures_survived_mean);
+      appendNumber(out, "reissued_requests_mean", r.reissued_requests_mean);
+      appendNumber(out, "time_lost_s", r.time_lost_s);
       out += ", \"trials\": " + std::to_string(r.trials);
       out += ", \"incomplete\": " + std::to_string(r.incomplete);
       out += i + 1 < rows_.size() ? "},\n" : "}\n";

@@ -39,20 +39,22 @@ StoredFile Raid0Scheme::planFile(const AccessConfig& config,
 
 void Raid0Scheme::startRead(Session& session, StoredFile& file,
                             const AccessConfig& config) {
-  (void)config;
   read_state_ = std::make_shared<ReadState>(file.k);
   auto state = read_state_;
   for (std::uint32_t p = 0; p < file.placements.size(); ++p) {
     const auto& placement = file.placements[p];
     for (std::uint32_t pos = 0; pos < placement.stored.size(); ++pos) {
       const auto block = static_cast<std::uint32_t>(placement.stored[pos]);
-      issueBlockRead(session, file, p, pos, /*force_position=*/false,
-                     [this, state, &session, block](bool cache_hit) {
-        if (session.complete) return;
-        ++session.blocks_received;
-        if (cache_hit) ++session.cache_hits;
-        if (state->tracker.addCopy(block)) finish(session);
-      });
+      issueTrackedRead(session, file, p, pos, /*force_position=*/false,
+                       config,
+                       [this, state, &session, block](bool cache_hit) {
+                         ++session.blocks_received;
+                         if (cache_hit) ++session.cache_hits;
+                         if (state->tracker.addCopy(block)) finish(session);
+                       },
+                       // Every block is unique: one unrecoverable block
+                       // fails the whole access, immediately.
+                       [this, &session] { fail(session); });
     }
   }
 }
@@ -85,11 +87,19 @@ void Raid0Scheme::startWrite(Session& session, const AccessConfig& config,
       req.disk_index = cluster().localDiskIndex(p.global_disk);
       req.layout = &p.layout;
       req.layout_block = pos;
-      srv.writeBlock(req, [this, state, &session] {
-        if (session.complete) return;
-        ++session.blocks_received;
-        if (++state->acks == state->total) finish(session);
-      });
+      srv.writeBlock(
+          req,
+          [this, state, &session] {
+            if (session.complete || session.failed) return;
+            ++session.blocks_received;
+            if (++state->acks == state->total) finish(session);
+          },
+          [this, &session] {
+            // A striped write has no second copy to fall back on.
+            if (session.complete || session.failed) return;
+            ++session.failures_observed;
+            fail(session);
+          });
     }
   }
 }

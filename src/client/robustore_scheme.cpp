@@ -63,6 +63,10 @@ struct RobuStoreScheme::WriteState {
   std::uint32_t committed_count = 0;
   std::uint32_t outstanding = 0;
   std::vector<std::uint32_t> submitted_per_disk;
+  /// Placements whose disk failed mid-write: their pipeline slots are
+  /// re-routed to surviving placements (coded blocks are placement-
+  /// agnostic, §5.2.3).
+  std::vector<char> dead;
   Rng layout_rng{0};
 };
 
@@ -113,19 +117,24 @@ void RobuStoreScheme::startRead(Session& session, StoredFile& file,
     const auto& placement = file.placements[p];
     for (std::uint32_t pos = 0; pos < placement.stored.size(); ++pos) {
       const auto coded = static_cast<std::uint32_t>(placement.stored[pos]);
-      issueBlockRead(session, file, p, pos, /*force_position=*/false,
-                     [this, state, &session, coded,
-                      decode_tail](bool cache_hit) {
-        if (session.complete) return;
-        ++session.blocks_received;
-        if (cache_hit) ++session.cache_hits;
-        if (state->decoder->addSymbol(coded)) {
-          // Decoding is pipelined with I/O; only the last block's XOR work
-          // extends the critical path (§6.2.5).
-          session.extra_latency = decode_tail;
-          finish(session);
-        }
-      });
+      // No on_lost handler: coded blocks are interchangeable, so a block
+      // whose retries are exhausted is simply never decoded from. If the
+      // losses leave the decoder short, the base fail-fast rule ends the
+      // access the moment the last live request settles.
+      issueTrackedRead(session, file, p, pos, /*force_position=*/false,
+                       config,
+                       [this, state, &session, coded,
+                        decode_tail](bool cache_hit) {
+                         ++session.blocks_received;
+                         if (cache_hit) ++session.cache_hits;
+                         if (state->decoder->addSymbol(coded)) {
+                           // Decoding is pipelined with I/O; only the last
+                           // block's XOR work extends the critical path
+                           // (§6.2.5).
+                           session.extra_latency = decode_tail;
+                           finish(session);
+                         }
+                       });
     }
   }
 }
@@ -158,6 +167,7 @@ void RobuStoreScheme::startWrite(Session& session, const AccessConfig& config,
   write_state_->stream_n = codedStreamLength(out);
   write_state_->target_n = target_n;
   write_state_->submitted_per_disk.assign(h, 0);
+  write_state_->dead.assign(h, 0);
   write_state_->layout_rng = rng.fork(0x77);
   for (std::uint32_t d = 0; d < h; ++d) {
     for (std::uint32_t w = 0; w < write_pipeline_depth_; ++w) {
@@ -169,10 +179,24 @@ void RobuStoreScheme::startWrite(Session& session, const AccessConfig& config,
 void RobuStoreScheme::submitNextWrite(Session& session, StoredFile& out,
                                       std::uint32_t p) {
   auto state = write_state_;
+  // Route around dead placements: a rateless stream does not care where a
+  // coded block lands, so a failed disk's pipeline slot moves to the next
+  // surviving one.
+  const auto h = static_cast<std::uint32_t>(out.placements.size());
+  std::uint32_t probed = 0;
+  while (probed < h && state->dead[p]) {
+    p = (p + 1) % h;
+    ++probed;
+  }
+  if (probed == h) {
+    // Every placement is dead; the write can never commit enough blocks.
+    if (state->outstanding == 0) fail(session);
+    return;
+  }
   if (state->next_coded_id >= state->stream_n) {
     // Stream exhausted (cannot happen with the sizing above, but guard
     // against livelock): give up once nothing is in flight any more.
-    if (state->outstanding == 0 && !session.complete) engine().stop();
+    if (state->outstanding == 0 && !session.complete) fail(session);
     return;
   }
   const std::uint32_t coded = state->next_coded_id++;
@@ -188,22 +212,37 @@ void RobuStoreScheme::submitNextWrite(Session& session, StoredFile& out,
   req.disk_index = cluster().localDiskIndex(placement.global_disk);
   req.layout = &placement.layout;
   req.layout_block = pos;
-  srv.writeBlock(req, [this, state, &session, &out, p, coded] {
-    if (session.complete) return;
-    --state->outstanding;
-    ++session.blocks_received;
-    ++state->committed_count;
-    out.placements[p].stored.push_back(coded);
-    state->committed->addSymbol(coded);
-    // §4.3.2: stop once enough blocks committed; the writer additionally
-    // guarantees that what it leaves behind is decodable (§5.2.3(1)).
-    if (state->committed_count >= state->target_n &&
-        state->committed->complete()) {
-      finish(session);
-      return;
-    }
-    submitNextWrite(session, out, p);
-  });
+  srv.writeBlock(
+      req,
+      [this, state, &session, &out, p, coded] {
+        if (session.complete || session.failed) return;
+        --state->outstanding;
+        ++session.blocks_received;
+        ++state->committed_count;
+        out.placements[p].stored.push_back(coded);
+        state->committed->addSymbol(coded);
+        // §4.3.2: stop once enough blocks committed; the writer
+        // additionally guarantees that what it leaves behind is decodable
+        // (§5.2.3(1)).
+        if (state->committed_count >= state->target_n &&
+            state->committed->complete()) {
+          finish(session);
+          return;
+        }
+        submitNextWrite(session, out, p);
+      },
+      [this, state, &session, &out, p] {
+        // The commit died with the disk. Mark the placement dead and
+        // re-route this pipeline slot: a fresh coded id goes to the next
+        // surviving placement (the lost id is never re-sent — rateless
+        // streams replace, they don't repair).
+        if (session.complete || session.failed) return;
+        ++session.failures_observed;
+        state->dead[p] = 1;
+        --state->outstanding;
+        ++session.reissued_requests;
+        submitNextWrite(session, out, p);
+      });
 }
 
 }  // namespace robustore::client

@@ -23,11 +23,13 @@ struct RRaidScheme::AdaptiveReadState {
   /// Per placement: block id -> stored_pos (membership lookup for steals).
   std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> block_to_pos;
   /// Per placement: requests pending delivery, by stored position.
-  std::vector<std::map<std::uint32_t, server::StorageServer::ReadHandle>>
-      pending;
+  std::vector<std::map<std::uint32_t, Scheme::TrackedHandle>> pending;
   /// Per placement: stored position of the last request issued, for
   /// physical-contiguity tracking (-1 = none).
   std::vector<std::int64_t> last_requested;
+  /// Placements whose disk exhausted a block's retries: unresponsive;
+  /// never re-dispatch there.
+  std::vector<char> dead;
 
   explicit AdaptiveReadState(std::uint32_t k) : tracker(k) {}
 };
@@ -64,43 +66,47 @@ StoredFile RRaidScheme::planFile(const AccessConfig& config,
 
 void RRaidScheme::startRead(Session& session, StoredFile& file,
                             const AccessConfig& config) {
-  (void)config;
   if (adaptive_) {
-    startAdaptiveRead(session, file);
+    startAdaptiveRead(session, file, config);
   } else {
-    startSpeculativeRead(session, file);
+    startSpeculativeRead(session, file, config);
   }
 }
 
-void RRaidScheme::startSpeculativeRead(Session& session, StoredFile& file) {
+void RRaidScheme::startSpeculativeRead(Session& session, StoredFile& file,
+                                       const AccessConfig& config) {
   spec_state_ = std::make_shared<SpecReadState>(file.k);
   auto state = spec_state_;
   for (std::uint32_t p = 0; p < file.placements.size(); ++p) {
     const auto& placement = file.placements[p];
     for (std::uint32_t pos = 0; pos < placement.stored.size(); ++pos) {
       const auto block = static_cast<std::uint32_t>(placement.stored[pos]);
-      issueBlockRead(session, file, p, pos, /*force_position=*/false,
-                     [this, state, &session, block](bool cache_hit) {
-        if (session.complete) return;
-        ++session.blocks_received;
-        if (cache_hit) ++session.cache_hits;
-        if (state->tracker.addCopy(block)) finish(session);
-      });
+      // A lost block needs no handler: its rotated copies are already in
+      // flight, and the base fail-fast rule catches the case where every
+      // copy of some block died.
+      issueTrackedRead(session, file, p, pos, /*force_position=*/false,
+                       config,
+                       [this, state, &session, block](bool cache_hit) {
+                         ++session.blocks_received;
+                         if (cache_hit) ++session.cache_hits;
+                         if (state->tracker.addCopy(block)) finish(session);
+                       });
     }
   }
 }
 
 void RRaidScheme::adaptiveRequest(Session& session, StoredFile& file,
-                                  std::uint32_t p, std::uint32_t stored_pos) {
+                                  const AccessConfig& config, std::uint32_t p,
+                                  std::uint32_t stored_pos) {
   auto state = adaptive_state_;
   const auto block = state->pos_to_block[p].at(stored_pos);
   const bool force_position =
       state->last_requested[p] != static_cast<std::int64_t>(stored_pos) - 1;
   state->last_requested[p] = stored_pos;
-  auto handle = issueBlockRead(
-      session, file, p, stored_pos, force_position,
-      [this, state, &session, &file, p, stored_pos, block](bool cache_hit) {
-        if (session.complete) return;
+  auto handle = issueTrackedRead(
+      session, file, p, stored_pos, force_position, config,
+      [this, state, &session, &file, &config, p, stored_pos,
+       block](bool cache_hit) {
         ++session.blocks_received;
         if (cache_hit) ++session.cache_hits;
         state->pending[p].erase(stored_pos);
@@ -108,12 +114,31 @@ void RRaidScheme::adaptiveRequest(Session& session, StoredFile& file,
           finish(session);
           return;
         }
-        if (state->pending[p].empty()) adaptiveSteal(session, file, p);
+        if (state->pending[p].empty()) adaptiveSteal(session, file, config, p);
+      },
+      [this, state, &session, &file, &config, p, stored_pos, block] {
+        // This placement burned through every retry for the block: treat
+        // the disk as unresponsive and re-dispatch to another replica.
+        state->dead[p] = 1;
+        state->pending[p].erase(stored_pos);
+        if (state->tracker.isCovered(block)) return;
+        const auto h = static_cast<std::uint32_t>(file.placements.size());
+        for (std::uint32_t step = 1; step < h; ++step) {
+          const std::uint32_t q = (p + step) % h;
+          if (state->dead[q]) continue;
+          const auto it = state->block_to_pos[q].find(block);
+          if (it == state->block_to_pos[q].end()) continue;
+          if (state->pending[q].contains(it->second)) return;  // in flight
+          adaptiveRequest(session, file, config, q, it->second);
+          return;
+        }
+        fail(session);  // no live replica of this block remains
       });
   state->pending[p].emplace(stored_pos, std::move(handle));
 }
 
-void RRaidScheme::startAdaptiveRead(Session& session, StoredFile& file) {
+void RRaidScheme::startAdaptiveRead(Session& session, StoredFile& file,
+                                    const AccessConfig& config) {
   adaptive_state_ = std::make_shared<AdaptiveReadState>(file.k);
   auto state = adaptive_state_;
   const auto h = static_cast<std::uint32_t>(file.placements.size());
@@ -121,6 +146,7 @@ void RRaidScheme::startAdaptiveRead(Session& session, StoredFile& file) {
   state->block_to_pos.resize(h);
   state->pending.resize(h);
   state->last_requested.assign(h, -1);
+  state->dead.assign(h, 0);
   for (std::uint32_t p = 0; p < h; ++p) {
     const auto& stored = file.placements[p].stored;
     for (std::uint32_t pos = 0; pos < stored.size(); ++pos) {
@@ -135,12 +161,13 @@ void RRaidScheme::startAdaptiveRead(Session& session, StoredFile& file) {
     const auto& stored = file.placements[p].stored;
     for (std::uint32_t pos = 0; pos < stored.size(); ++pos) {
       const auto block = static_cast<std::uint32_t>(stored[pos]);
-      if (block % h == p) adaptiveRequest(session, file, p, pos);
+      if (block % h == p) adaptiveRequest(session, file, config, p, pos);
     }
   }
 }
 
 void RRaidScheme::adaptiveSteal(Session& session, StoredFile& file,
+                                const AccessConfig& config,
                                 std::uint32_t idle_placement) {
   auto state = adaptive_state_;
   const auto h = static_cast<std::uint32_t>(file.placements.size());
@@ -183,12 +210,10 @@ void RRaidScheme::adaptiveSteal(Session& session, StoredFile& file,
     const auto block = state->pos_to_block[victim].at(victim_pos);
     auto it = state->pending[victim].find(victim_pos);
     if (it != state->pending[victim].end()) {
-      cluster()
-          .serverOfDisk(file.placements[victim].global_disk)
-          .cancelRead(it->second);
+      cancelTracked(session, it->second);
       state->pending[victim].erase(it);
     }
-    adaptiveRequest(session, file, idle_placement,
+    adaptiveRequest(session, file, config, idle_placement,
                     state->block_to_pos[idle_placement].at(block));
   }
 }
@@ -226,11 +251,20 @@ void RRaidScheme::startWrite(Session& session, const AccessConfig& config,
       req.disk_index = cluster().localDiskIndex(p.global_disk);
       req.layout = &p.layout;
       req.layout_block = pos;
-      srv.writeBlock(req, [this, state, &session] {
-        if (session.complete) return;
-        ++session.blocks_received;
-        if (++state->acks == state->total) finish(session);
-      });
+      srv.writeBlock(
+          req,
+          [this, state, &session] {
+            if (session.complete || session.failed) return;
+            ++session.blocks_received;
+            if (++state->acks == state->total) finish(session);
+          },
+          [this, &session] {
+            // The replicated write commits every copy; a lost commit
+            // leaves the file short of its declared redundancy.
+            if (session.complete || session.failed) return;
+            ++session.failures_observed;
+            fail(session);
+          });
     }
   }
 }

@@ -44,11 +44,15 @@ class RRaidScheme final : public Scheme {
   struct AdaptiveReadState;
   struct WriteState;
 
-  void startSpeculativeRead(Session& session, StoredFile& file);
-  void startAdaptiveRead(Session& session, StoredFile& file);
-  void adaptiveRequest(Session& session, StoredFile& file, std::uint32_t p,
+  void startSpeculativeRead(Session& session, StoredFile& file,
+                            const AccessConfig& config);
+  void startAdaptiveRead(Session& session, StoredFile& file,
+                         const AccessConfig& config);
+  void adaptiveRequest(Session& session, StoredFile& file,
+                       const AccessConfig& config, std::uint32_t p,
                        std::uint32_t stored_pos);
   void adaptiveSteal(Session& session, StoredFile& file,
+                     const AccessConfig& config,
                      std::uint32_t idle_placement);
 
   bool adaptive_;

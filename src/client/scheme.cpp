@@ -36,6 +36,7 @@ std::uint32_t AccessConfig::codedBlockCount() const {
 }
 
 void Scheme::finish(Session& session) {
+  if (session.failed) return;  // a drain-time arrival cannot resurrect it
   ROBUSTORE_EXPECTS(!session.complete, "access finished twice");
   session.complete = true;
   session.finish_time = engine().now();
@@ -43,6 +44,23 @@ void Scheme::finish(Session& session) {
     session.on_complete();
   } else {
     engine().stop();
+  }
+}
+
+void Scheme::fail(Session& session) {
+  if (session.complete || session.failed) return;
+  session.failed = true;
+  session.finish_time = engine().now();
+  if (session.on_complete) {
+    session.on_complete();
+  } else {
+    engine().stop();
+  }
+}
+
+void Scheme::checkFailFast(Session& session) {
+  if (!session.complete && !session.failed && session.live_requests == 0) {
+    fail(session);
   }
 }
 
@@ -76,13 +94,17 @@ metrics::AccessMetrics Scheme::collect(const Session& session,
   m.blocks_received = session.blocks_received;
   m.blocks_original = k;
   m.cache_hits = session.cache_hits;
+  m.failures_survived = session.failures_observed;
+  m.reissued_requests = session.reissued_requests;
+  m.time_lost_to_failures = session.time_lost_to_failures;
   return m;
 }
 
 server::StorageServer::ReadHandle Scheme::issueBlockRead(
     Session& session, StoredFile& file, std::uint32_t placement,
     std::uint32_t stored_pos, bool force_position,
-    server::StorageServer::DeliveryFn on_delivered) {
+    server::StorageServer::DeliveryFn on_delivered,
+    server::StorageServer::FailureFn on_failed) {
   const DiskPlacement& p = file.placements[placement];
   server::StorageServer& srv = cluster_->serverOfDisk(p.global_disk);
   server::StorageServer::BlockRead req;
@@ -92,7 +114,124 @@ server::StorageServer::ReadHandle Scheme::issueBlockRead(
   req.layout = &p.layout;
   req.layout_block = stored_pos;
   req.force_position_first = force_position;
-  return srv.readBlock(req, std::move(on_delivered));
+  return srv.readBlock(req, std::move(on_delivered), std::move(on_failed));
+}
+
+Scheme::TrackedHandle Scheme::issueTrackedRead(
+    Session& session, StoredFile& file, std::uint32_t placement,
+    std::uint32_t stored_pos, bool force_position, const AccessConfig& config,
+    server::StorageServer::DeliveryFn on_delivered,
+    std::function<void()> on_lost) {
+  auto tracked = std::make_shared<TrackedRead>();
+  tracked->file = &file;
+  tracked->placement = placement;
+  tracked->stored_pos = stored_pos;
+  tracked->force_position = force_position;
+  tracked->on_delivered = std::move(on_delivered);
+  tracked->on_lost = std::move(on_lost);
+  ++session.live_requests;
+  issueTrackedAttempt(session, tracked, config);
+  return tracked;
+}
+
+void Scheme::issueTrackedAttempt(Session& session, const TrackedHandle& tracked,
+                                 const AccessConfig& config) {
+  ++tracked->attempts;
+  tracked->attempt_start = engine().now();
+  tracked->handle = issueBlockRead(
+      session, *tracked->file, tracked->placement, tracked->stored_pos,
+      tracked->force_position,
+      [this, &session, tracked](bool cache_hit) {
+        if (tracked->settled) return;
+        settleTracked(session, tracked);
+        // Arrivals after completion (or during a failed access's drain)
+        // stay pure byte accounting; the scheme never sees them.
+        if (session.complete || session.failed) return;
+        if (tracked->on_delivered) tracked->on_delivered(cache_hit);
+        checkFailFast(session);
+      },
+      [this, &session, tracked, &config] {
+        if (tracked->settled) return;
+        onTrackedAttemptLost(session, tracked, config,
+                             /*from_watchdog=*/false);
+      });
+  if (config.request_timeout > 0.0) {
+    tracked->watchdog = engine().schedule(
+        config.request_timeout, [this, &session, tracked, &config] {
+          tracked->watchdog = {};
+          if (tracked->settled || session.complete || session.failed) return;
+          // If the block already left the disk it will arrive shortly:
+          // cancelling is impossible, so re-issuing buys nothing.
+          server::StorageServer& srv = cluster_->serverOfDisk(
+              tracked->file->placements[tracked->placement].global_disk);
+          if (!srv.cancelRead(tracked->handle)) return;
+          onTrackedAttemptLost(session, tracked, config,
+                               /*from_watchdog=*/true);
+        });
+  }
+}
+
+void Scheme::onTrackedAttemptLost(Session& session,
+                                  const TrackedHandle& tracked,
+                                  const AccessConfig& config,
+                                  bool from_watchdog) {
+  if (session.complete || session.failed) {
+    settleTracked(session, tracked);
+    return;
+  }
+  if (!from_watchdog) ++session.failures_observed;
+  session.time_lost_to_failures += engine().now() - tracked->attempt_start;
+  if (tracked->watchdog.valid()) {
+    engine().cancel(tracked->watchdog);
+    tracked->watchdog = {};
+  }
+  if (tracked->attempts > config.max_reissues) {
+    settleTracked(session, tracked);
+    if (tracked->on_lost) tracked->on_lost();
+    checkFailFast(session);
+    return;
+  }
+  ++session.reissued_requests;
+  // A re-issue never continues the old head position.
+  tracked->force_position = true;
+  // Watchdog expiries retry at once (the disk is slow, not dead); failure
+  // notifications back off so a crash-recover window can pass.
+  const SimTime delay =
+      from_watchdog ? 0.0
+                    : config.reissue_delay *
+                          std::pow(config.reissue_backoff,
+                                   static_cast<double>(tracked->attempts - 1));
+  tracked->retry =
+      engine().schedule(delay, [this, &session, tracked, &config] {
+        tracked->retry = {};
+        if (tracked->settled || session.complete || session.failed) return;
+        issueTrackedAttempt(session, tracked, config);
+      });
+}
+
+void Scheme::settleTracked(Session& session, const TrackedHandle& tracked) {
+  if (tracked->settled) return;
+  tracked->settled = true;
+  if (tracked->watchdog.valid()) {
+    engine().cancel(tracked->watchdog);
+    tracked->watchdog = {};
+  }
+  if (tracked->retry.valid()) {
+    engine().cancel(tracked->retry);
+    tracked->retry = {};
+  }
+  ROBUSTORE_EXPECTS(session.live_requests > 0, "tracked read settled twice");
+  --session.live_requests;
+}
+
+void Scheme::cancelTracked(Session& session, const TrackedHandle& tracked) {
+  if (tracked == nullptr || tracked->settled) return;
+  settleTracked(session, tracked);
+  if (tracked->handle != nullptr) {
+    server::StorageServer& srv = cluster_->serverOfDisk(
+        tracked->file->placements[tracked->placement].global_disk);
+    srv.cancelRead(tracked->handle);
+  }
 }
 
 metrics::AccessMetrics Scheme::read(StoredFile& file,
@@ -131,6 +270,9 @@ metrics::AccessMetrics Scheme::write(const AccessConfig& config,
 
 metrics::AccessMetrics Scheme::settle(Session& session, Bytes data_bytes,
                                       std::uint32_t k) {
+  // A timed-out access is failed from here on: retry/watchdog events
+  // still queued must no-op during the drain below.
+  if (!session.complete) session.failed = true;
   // Cancel whatever speculative work is still queued, then let in-flight
   // service and deliveries drain so the byte accounting is final.
   cancelOutstanding(session);

@@ -40,6 +40,20 @@ struct AccessConfig {
   /// Safety horizon: an access not completed after this much simulated
   /// time is reported incomplete (guards dead-disk scenarios).
   SimTime timeout = 3600.0;
+  /// Per-request watchdog: a tracked block read not delivered within this
+  /// window is cancelled and re-issued (counts against max_reissues).
+  /// 0 disables the watchdog; disk-failure notifications still trigger
+  /// immediate re-issue regardless.
+  SimTime request_timeout = 0.0;
+  /// How many times one block read may be re-issued after its first
+  /// attempt is lost to a failure (or a watchdog expiry) before the
+  /// scheme is told the block is unrecoverable.
+  std::uint32_t max_reissues = 2;
+  /// Base delay before a failure-triggered re-issue (lets crash-recover
+  /// windows pass) ...
+  SimTime reissue_delay = 10.0 * kMilliseconds;
+  /// ... growing by this factor per successive attempt (backoff).
+  double reissue_backoff = 2.0;
 
   [[nodiscard]] Bytes dataBytes() const {
     return static_cast<Bytes>(k) * block_bytes;
@@ -97,15 +111,54 @@ class Scheme {
     SimTime start = 0.0;
     SimTime finish_time = 0.0;
     bool complete = false;
+    /// The access can no longer complete (every path to some required
+    /// data is dead). Set by fail() — the early-exit counterpart of the
+    /// global timeout — and by settle() on timeout, so late callbacks
+    /// no-op during the drain.
+    bool failed = false;
     std::uint32_t blocks_received = 0;
     std::uint32_t cache_hits = 0;
     /// Extra latency charged after the last arrival (decode tail).
     SimTime extra_latency = 0.0;
+    /// Degraded-mode ledger: disk-failure notifications received,
+    /// re-issued block requests, and time spent on attempts that were
+    /// lost to failures or watchdog expiries.
+    std::uint32_t failures_observed = 0;
+    std::uint32_t reissued_requests = 0;
+    SimTime time_lost_to_failures = 0.0;
+    /// Tracked block reads not yet delivered, lost, or cancelled. When it
+    /// hits zero with the access neither complete nor finishable, the
+    /// access fails fast instead of waiting out the global timeout.
+    std::uint32_t live_requests = 0;
     /// Completion hook for asynchronous (multi-client) use. When unset,
     /// finish() stops the engine so the synchronous read()/write()
-    /// wrappers return.
+    /// wrappers return. Also invoked on fail() — check session.complete.
     std::function<void()> on_complete;
   };
+
+  /// One failure-aware block read: the scheme's unit of re-issue. The
+  /// base class re-issues the same placement on failure/watchdog expiry
+  /// (which is what rides out crash-recover windows) up to
+  /// AccessConfig::max_reissues times with backoff; when the attempts are
+  /// exhausted the scheme's on_lost hook decides what the loss means —
+  /// fatal (RAID-0), ignorable (coded/replicated redundancy), or
+  /// re-routable (RRAID-A re-dispatches to another replica).
+  struct TrackedRead {
+    StoredFile* file = nullptr;
+    std::uint32_t placement = 0;
+    std::uint32_t stored_pos = 0;
+    bool force_position = false;
+    std::uint32_t attempts = 0;
+    /// Delivered, lost, or cancelled: no further callbacks will fire.
+    bool settled = false;
+    SimTime attempt_start = 0.0;
+    server::StorageServer::ReadHandle handle;
+    sim::EventId watchdog{};
+    sim::EventId retry{};
+    server::StorageServer::DeliveryFn on_delivered;
+    std::function<void()> on_lost;
+  };
+  using TrackedHandle = std::shared_ptr<TrackedRead>;
 
   /// Asynchronous entry point: issues the access on the shared engine
   /// without running it. The caller owns session/file/config lifetimes
@@ -139,14 +192,40 @@ class Scheme {
                           const LayoutPolicy& policy, Rng& rng,
                           StoredFile& out) = 0;
 
-  /// Marks the access complete and stops the engine run loop.
+  /// Marks the access complete and stops the engine run loop. No-op on a
+  /// session that already failed (a drain-time completion cannot
+  /// resurrect a failed access).
   void finish(Session& session);
+
+  /// Marks the access unable to complete and stops the engine run loop
+  /// (or fires on_complete) — the fail-fast counterpart of the global
+  /// timeout. Idempotent; no-op once complete.
+  void fail(Session& session);
 
   /// Issues one stored-block read; wraps cache keys and placement lookup.
   server::StorageServer::ReadHandle issueBlockRead(
       Session& session, StoredFile& file, std::uint32_t placement,
       std::uint32_t stored_pos, bool force_position,
-      server::StorageServer::DeliveryFn on_delivered);
+      server::StorageServer::DeliveryFn on_delivered,
+      server::StorageServer::FailureFn on_failed = nullptr);
+
+  /// Issues a failure-aware block read (see TrackedRead). `on_delivered`
+  /// fires at most once, on the attempt that succeeds; `on_lost` fires at
+  /// most once, when max_reissues attempts are exhausted. When the last
+  /// live tracked read settles without the access being complete, the
+  /// session fails fast.
+  TrackedHandle issueTrackedRead(Session& session, StoredFile& file,
+                                 std::uint32_t placement,
+                                 std::uint32_t stored_pos,
+                                 bool force_position,
+                                 const AccessConfig& config,
+                                 server::StorageServer::DeliveryFn on_delivered,
+                                 std::function<void()> on_lost = nullptr);
+
+  /// Cancels a tracked read (watchdog, pending retry, queued disk work).
+  /// Does NOT run the fail-fast check: callers that re-target a block
+  /// (RRAID-A stealing) cancel and re-issue in one step.
+  void cancelTracked(Session& session, const TrackedHandle& tracked);
 
   [[nodiscard]] Cluster& cluster() { return *cluster_; }
   [[nodiscard]] sim::Engine& engine() { return cluster_->engine(); }
@@ -154,6 +233,17 @@ class Scheme {
  private:
   metrics::AccessMetrics settle(Session& session, Bytes data_bytes,
                                 std::uint32_t k);
+  /// Issues (or re-issues) the underlying block read of a tracked read.
+  void issueTrackedAttempt(Session& session, const TrackedHandle& tracked,
+                           const AccessConfig& config);
+  /// Handles a lost attempt (disk failure or watchdog expiry): re-issue
+  /// with backoff, or settle the read and fire on_lost.
+  void onTrackedAttemptLost(Session& session, const TrackedHandle& tracked,
+                            const AccessConfig& config, bool from_watchdog);
+  /// Marks the tracked read settled and releases its events.
+  void settleTracked(Session& session, const TrackedHandle& tracked);
+  /// Fails the session if nothing live can still complete it.
+  void checkFailFast(Session& session);
 
   Cluster* cluster_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <utility>
 
 #include "common/expects.hpp"
 
@@ -47,24 +49,23 @@ void RunningStats::merge(const RunningStats& other) {
 
 void SampleSet::merge(const SampleSet& other) {
   stats_.merge(other.stats_);
-  samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.end());
-  sorted_ = samples_.empty();
+  // Both inputs are sorted: merge in linear time, preserving the
+  // invariant without a mutable lazy sort (percentile() stays pure).
+  std::vector<double> merged;
+  merged.reserve(samples_.size() + other.samples_.size());
+  std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
+             other.samples_.end(), std::back_inserter(merged));
+  samples_ = std::move(merged);
 }
 
 void SampleSet::add(double x) {
   stats_.add(x);
-  samples_.push_back(x);
-  sorted_ = false;
+  samples_.insert(std::upper_bound(samples_.begin(), samples_.end(), x), x);
 }
 
 double SampleSet::percentile(double p) const {
   ROBUSTORE_EXPECTS(p >= 0.0 && p <= 100.0, "percentile out of range");
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, samples_.size() - 1);

@@ -35,10 +35,16 @@ class RunningStats {
 };
 
 /// Collects raw samples for percentile queries in addition to moments.
+///
+/// The sample vector is kept sorted at add/merge boundaries, so every
+/// const accessor (percentile() in particular) is a pure read — safe to
+/// call concurrently from multiple reporter threads. (A previous version
+/// sorted lazily inside the const percentile(), a data race under
+/// concurrent reads.)
 class SampleSet {
  public:
   void add(double x);
-  /// Appends another set's samples (parallel reduction). Percentiles of
+  /// Folds another set's samples in (parallel reduction). Percentiles of
   /// the merged set are exactly those of the union multiset — sample
   /// order never affects them.
   void merge(const SampleSet& other);
@@ -46,12 +52,12 @@ class SampleSet {
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   /// Linear-interpolated percentile, p in [0, 100].
   [[nodiscard]] double percentile(double p) const;
+  /// The samples in ascending order.
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
  private:
   RunningStats stats_;
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;  // sorted invariant
 };
 
 }  // namespace robustore

@@ -3,6 +3,9 @@
 #include <iterator>
 #include <limits>
 #include <optional>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common/expects.hpp"
 #include "core/trial_pool.hpp"
@@ -51,6 +54,40 @@ Rng trialRng(const ExperimentConfig& config, std::uint32_t trial_index) {
   return Rng(config.seed * 0x9e3779b97f4a7c15ULL + trial_index + 1);
 }
 
+/// Fault draws live on their own stream, also pure in (seed, trial), so
+/// enabling faults never perturbs disk selection or layout draws.
+Rng faultRng(const ExperimentConfig& config, std::uint32_t trial_index) {
+  return Rng((config.seed ^ 0xFA17FA17u) * 0x9e3779b97f4a7c15ULL +
+             trial_index + 1);
+}
+
+/// Arms the trial's fault schedule against its selected access disks.
+void armFaults(const ExperimentConfig& config, std::uint32_t trial_index,
+               client::Cluster& cluster,
+               std::span<const std::uint32_t> disks,
+               std::optional<fault::FaultInjector>& injector) {
+  if (!config.faults.enabled()) return;
+  const auto num_disks = static_cast<std::uint32_t>(disks.size());
+  // Copy the roster: the injector's resolver outlives this call.
+  std::vector<std::uint32_t> roster(disks.begin(), disks.end());
+  injector.emplace(cluster.engine(),
+                   [&cluster, roster = std::move(roster)](
+                       std::uint32_t i) -> disk::Disk& {
+                     return cluster.disk(roster[i % roster.size()]);
+                   });
+  for (const auto& spec : config.faults.scripted) {
+    ROBUSTORE_EXPECTS(spec.disk < num_disks,
+                      "scripted fault targets a disk outside the access");
+    injector->schedule(spec);
+  }
+  if (config.faults.model.enabled()) {
+    Rng rng = faultRng(config, trial_index);
+    injector->scheduleAll(
+        fault::FaultInjector::drawSchedule(config.faults.model, num_disks,
+                                           rng));
+  }
+}
+
 }  // namespace
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
@@ -84,6 +121,8 @@ metrics::AccessMetrics ExperimentRunner::runTrial(
                                 trial_rng);
   }
   const auto disks = cluster.selectDisks(config.disks_per_access, trial_rng);
+  std::optional<fault::FaultInjector> injector;
+  armFaults(config, trial_index, cluster, disks, injector);
 
   switch (config.op) {
     case ExperimentConfig::Op::kRead: {

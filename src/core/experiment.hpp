@@ -9,6 +9,7 @@
 #include "client/scheme.hpp"
 #include "client/stored_file.hpp"
 #include "coding/lt_graph.hpp"
+#include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 
 namespace robustore::core {
@@ -48,6 +49,14 @@ struct ExperimentConfig {
     kHeterogeneousStatic,
   };
   Background background = Background::kNone;
+  /// Fault schedule applied to every trial: scripted specs index the
+  /// trial's selected access disks (spec.disk = i targets the i-th disk
+  /// of the access); the stochastic model draws per (seed, trial), so
+  /// parallel runs stay bit-identical. Fault times are relative to the
+  /// trial start. Coupled experiments (reuse_file /
+  /// metadata_disk_selection) ignore the plan: their long-lived cluster
+  /// cannot absorb permanent failures meaningfully.
+  fault::FaultPlan faults;
   /// Homogeneous: every disk uses this mean interval.
   SimTime bg_interval = 6.0 * kMilliseconds;
   /// Heterogeneous: per-disk mean interval re-drawn uniformly in

@@ -16,16 +16,61 @@ double Disk::mediaRate(double zone) const {
          zone * (params_.media_rate_max - params_.media_rate_min);
 }
 
-RequestId Disk::submit(DiskRequestSpec spec, CompletionFn done) {
+Disk::Request* Disk::resolve(RequestId id) {
+  if (id == kInvalidRequest) return nullptr;
+  const std::uint32_t slot = slotOf(id);
+  if (slot >= slots_.size()) return nullptr;
+  Request& r = slots_[slot];
+  if (r.generation != genOf(id)) return nullptr;
+  return &r;
+}
+
+const Disk::Request* Disk::resolve(RequestId id) const {
+  return const_cast<Disk*>(this)->resolve(id);
+}
+
+void Disk::release(RequestId id) {
+  const std::uint32_t slot = slotOf(id);
+  Request& r = slots_[slot];
+  ++r.generation;  // stale handles stop resolving
+  r.spec = DiskRequestSpec{};
+  r.done = nullptr;
+  r.on_failed = nullptr;
+  r.bytes = 0;
+  r.state = RequestState::kPending;
+  free_slots_.push_back(slot);
+}
+
+RequestId Disk::submit(DiskRequestSpec spec, CompletionFn done,
+                       FailureFn failed) {
   ROBUSTORE_EXPECTS(!spec.extents.empty(), "request without extents");
   ROBUSTORE_EXPECTS(spec.media_rate > 0, "request needs a media rate");
+  if (failed_) {
+    // Fail-fast path: the submitter learns at once (plus whatever network
+    // delay its own callback models), not after a global timeout.
+    if (failed) {
+      engine_->schedule(0.0, [fn = std::move(failed)] { fn(kInvalidRequest); });
+    }
+    return kInvalidRequest;
+  }
   Bytes bytes = 0;
   for (const auto& e : spec.extents) bytes += e.bytes;
 
-  const RequestId id = requests_.size();
-  requests_.push_back(
-      Request{std::move(spec), std::move(done), bytes, false, false});
-  const Request& r = requests_.back();
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Request& r = slots_[slot];
+  const RequestId id = makeId(slot, r.generation);
+  r.spec = std::move(spec);
+  r.done = std::move(done);
+  r.on_failed = std::move(failed);
+  r.bytes = bytes;
+  r.state = RequestState::kPending;
   if (r.spec.priority == Priority::kBackground) {
     bg_queue_.push_back(id);
   } else {
@@ -33,65 +78,158 @@ RequestId Disk::submit(DiskRequestSpec spec, CompletionFn done) {
     if (q.empty()) fg_rotation_.push_back(r.spec.stream);
     q.push_back(id);
   }
-  if (!busy() && !failed_) serveNext();
+  if (!busy()) serveNext();
   return id;
+}
+
+void Disk::abortRequest(RequestId id) {
+  Request& r = slots_[slotOf(id)];
+  r.state = RequestState::kAborted;
+  FailureFn fn = std::move(r.on_failed);
+  release(id);  // the event below is self-contained; reset() stays safe
+  if (fn) {
+    engine_->schedule(0.0, [id, f = std::move(fn)] { f(id); });
+  }
 }
 
 void Disk::failStop() {
   if (failed_) return;
   failed_ = true;
-  if (completion_event_.valid()) {
-    engine_->cancel(completion_event_);
-    completion_event_ = {};
+  if (failure_listener_) failure_listener_(id_);
+  if (in_service_ != kInvalidRequest) {
+    // Refund the unserved remainder: service time was charged up front at
+    // startService, but everything past now (or past the pending stall
+    // window the request was parked behind) never happened.
+    Request& r = slots_[slotOf(in_service_)];
+    const SimTime unserved = std::max(
+        0.0, service_end_ - std::max(engine_->now(), stalled_until_));
+    busy_time_[static_cast<std::size_t>(r.spec.priority)] -= unserved;
+    if (completion_event_.valid()) {
+      engine_->cancel(completion_event_);
+      completion_event_ = {};
+    }
+    abortRequest(in_service_);
+    in_service_ = kInvalidRequest;
   }
-  in_service_ = kNoRequest;
+  // Abort everything queued, background first, then streams in rotation
+  // order (a deterministic order — fg_queues_ iteration would not be).
+  std::vector<RequestId> doomed(bg_queue_.begin(), bg_queue_.end());
+  bg_queue_.clear();
+  for (const StreamId stream : fg_rotation_) {
+    auto it = fg_queues_.find(stream);
+    if (it == fg_queues_.end()) continue;
+    doomed.insert(doomed.end(), it->second.begin(), it->second.end());
+    fg_queues_.erase(it);
+  }
+  fg_rotation_.clear();
+  for (const RequestId id : doomed) {
+    const Request* r = resolve(id);
+    if (r == nullptr) continue;
+    if (r->state == RequestState::kCancelled) {
+      release(id);  // lazily-cancelled entry: no notification owed
+    } else {
+      abortRequest(id);
+    }
+  }
+}
+
+void Disk::recover() {
+  if (!failed_) return;
+  failed_ = false;
+  if (!busy()) serveNext();
+}
+
+void Disk::stall(SimTime duration) {
+  ROBUSTORE_EXPECTS(duration >= 0.0, "negative stall");
+  const SimTime now = engine_->now();
+  const SimTime pause_from = std::max(stalled_until_, now);
+  stalled_until_ = std::max(stalled_until_, now + duration);
+  const SimTime extension = stalled_until_ - pause_from;
+  if (extension <= 0.0) return;
+  if (in_service_ != kInvalidRequest) {
+    service_end_ += extension;
+    if (completion_event_.valid()) engine_->cancel(completion_event_);
+    scheduleCompletion();
+  }
+}
+
+void Disk::setServiceMultiplier(double multiplier) {
+  ROBUSTORE_EXPECTS(multiplier > 0.0, "service multiplier must be positive");
+  service_multiplier_ = multiplier;
 }
 
 bool Disk::cancel(RequestId id) {
-  if (id >= requests_.size()) return false;
-  Request& r = requests_[id];
-  if (r.cancelled || r.completed || in_service_ == id) return false;
-  r.cancelled = true;  // lazily skipped when popped
+  Request* r = resolve(id);
+  if (r == nullptr || r->state != RequestState::kPending) return false;
+  r->state = RequestState::kCancelled;  // lazily skipped when popped
   return true;
 }
 
 std::size_t Disk::cancelStream(StreamId stream) {
   std::size_t n = 0;
-  for (RequestId id = 0; id < requests_.size(); ++id) {
-    Request& r = requests_[id];
-    if (r.spec.stream == stream && !r.cancelled && !r.completed &&
-        in_service_ != id) {
-      r.cancelled = true;
+  // Background requests of this stream: filter the live queue in place.
+  std::deque<RequestId> kept;
+  for (const RequestId id : bg_queue_) {
+    Request* r = resolve(id);
+    if (r != nullptr && r->state == RequestState::kPending &&
+        r->spec.stream == stream) {
+      r->state = RequestState::kCancelled;
+      release(id);
       ++n;
+    } else {
+      kept.push_back(id);
     }
+  }
+  bg_queue_.swap(kept);
+  // Foreground: the whole per-stream queue goes at once. The stream's
+  // fg_rotation_ entry (if any) is left behind; serveNext skips it.
+  if (auto it = fg_queues_.find(stream); it != fg_queues_.end()) {
+    for (const RequestId id : it->second) {
+      Request* r = resolve(id);
+      if (r == nullptr) continue;
+      if (r->state == RequestState::kPending) ++n;
+      r->state = RequestState::kCancelled;
+      release(id);
+    }
+    fg_queues_.erase(it);
   }
   return n;
 }
 
 std::size_t Disk::queueDepth() const {
   std::size_t n = 0;
+  const auto live = [this](RequestId id) {
+    const Request* r = resolve(id);
+    return r != nullptr && r->state == RequestState::kPending;
+  };
   for (const RequestId id : bg_queue_) {
-    if (!requests_[id].cancelled) ++n;
+    if (live(id)) ++n;
   }
   for (const auto& [stream, q] : fg_queues_) {
     for (const RequestId id : q) {
-      if (!requests_[id].cancelled) ++n;
+      if (live(id)) ++n;
     }
   }
   return n;
 }
 
+std::optional<RequestState> Disk::requestState(RequestId id) const {
+  const Request* r = resolve(id);
+  if (r == nullptr) return std::nullopt;
+  return r->state;
+}
+
 Bytes Disk::inServiceBytes(StreamId stream) const {
-  if (in_service_ == kNoRequest) return 0;
-  const Request& r = requests_[in_service_];
-  return r.spec.stream == stream ? r.bytes : 0;
+  const Request* r = resolve(in_service_);
+  if (r == nullptr) return 0;
+  return r->spec.stream == stream ? r->bytes : 0;
 }
 
 void Disk::reset() {
   ROBUSTORE_EXPECTS(!busy(), "reset of a busy disk");
-  ROBUSTORE_EXPECTS(failed_ || queueDepth() == 0,
-                    "reset with queued requests");
-  requests_.clear();
+  ROBUSTORE_EXPECTS(queueDepth() == 0, "reset with queued requests");
+  slots_.clear();
+  free_slots_.clear();
   bg_queue_.clear();
   fg_queues_.clear();
   fg_rotation_.clear();
@@ -101,14 +239,21 @@ RequestId Disk::popLive(std::deque<RequestId>& queue) {
   while (!queue.empty()) {
     const RequestId id = queue.front();
     queue.pop_front();
-    if (!requests_[id].cancelled) return id;
+    Request* r = resolve(id);
+    if (r == nullptr) continue;  // stale handle
+    if (r->state == RequestState::kCancelled) {
+      release(id);  // reclaim lazily-cancelled slots as we pass them
+      continue;
+    }
+    return id;
   }
-  return kNoRequest;
+  return kInvalidRequest;
 }
 
 void Disk::serveNext() {
+  if (failed_) return;
   // Background first (see Priority docs)...
-  if (const RequestId id = popLive(bg_queue_); id != kNoRequest) {
+  if (const RequestId id = popLive(bg_queue_); id != kInvalidRequest) {
     startService(id);
     return;
   }
@@ -124,7 +269,7 @@ void Disk::serveNext() {
     } else {
       fg_rotation_.push_back(stream);
     }
-    if (id != kNoRequest) {
+    if (id != kInvalidRequest) {
       startService(id);
       return;
     }
@@ -133,24 +278,35 @@ void Disk::serveNext() {
 
 void Disk::startService(RequestId id) {
   in_service_ = id;
-  Request& r = requests_[id];
-  const SimTime service = serviceTime(r);
+  Request& r = slots_[slotOf(id)];
+  r.state = RequestState::kInService;
+  const SimTime service = serviceTime(r) * service_multiplier_;
   busy_time_[static_cast<std::size_t>(r.spec.priority)] += service;
-  completion_event_ = engine_->schedule(service, [this, id] {
-    completion_event_ = {};
-    Request& req = requests_[id];
-    req.completed = true;
-    in_service_ = kNoRequest;
-    bytes_served_[static_cast<std::size_t>(req.spec.priority)] += req.bytes;
-    last_stream_ = req.spec.stream;
-    has_served_ = true;
-    if (req.done) {
-      // Move out: completion handlers may re-enter submit().
-      CompletionFn done = std::move(req.done);
-      done(id);
-    }
-    if (!busy()) serveNext();
-  });
+  // A service that starts inside a stall window only begins once the
+  // window ends; the wait is not charged as busy time.
+  service_end_ = std::max(engine_->now(), stalled_until_) + service;
+  scheduleCompletion();
+}
+
+void Disk::scheduleCompletion() {
+  const RequestId id = in_service_;
+  completion_event_ =
+      engine_->schedule(service_end_ - engine_->now(), [this, id] {
+        completion_event_ = {};
+        Request& req = slots_[slotOf(id)];
+        req.state = RequestState::kCompleted;
+        in_service_ = kInvalidRequest;
+        bytes_served_[static_cast<std::size_t>(req.spec.priority)] +=
+            req.bytes;
+        last_stream_ = req.spec.stream;
+        has_served_ = true;
+        // Move out and reclaim the slot first: completion handlers may
+        // re-enter submit(), which can recycle slots_ storage.
+        CompletionFn done = std::move(req.done);
+        release(id);
+        if (done) done(id);
+        if (!busy()) serveNext();
+      });
 }
 
 SimTime Disk::serviceTime(const Request& r) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -14,14 +15,40 @@
 
 namespace robustore::disk {
 
+/// Opaque request handle: a slot index and a generation packed into one
+/// word. Slots are recycled once a request reaches a terminal state, so
+/// per-disk memory stays proportional to in-flight work; the generation
+/// makes stale handles resolve to nothing instead of to a recycled slot.
 using RequestId = std::uint64_t;
 using StreamId = std::uint64_t;
+
+inline constexpr RequestId kInvalidRequest = ~RequestId{0};
 
 /// Service classes. Background (competitive) requests are served ahead of
 /// queued foreground blocks: this models the paper's measured sharing
 /// behaviour (Figure 6-5: foreground bandwidth scales with the disk time
 /// the background load leaves free) without simulating the OS scheduler.
 enum class Priority : std::uint8_t { kForeground = 0, kBackground = 1 };
+
+/// Lifecycle of one disk request:
+///
+///   pending ──► in_service ──► completed
+///      │             │
+///      ├─► cancelled │ (client cancel while queued)
+///      │             │
+///      └─────────────┴─► aborted (disk failure)
+///
+/// `completed`, `cancelled`, and `aborted` are terminal; the slot is
+/// reclaimed as soon as the terminal notification has been handed off
+/// (abort events are self-contained, so requestState() of a terminal
+/// request reports nullopt once its slot is recycled).
+enum class RequestState : std::uint8_t {
+  kPending,
+  kInService,
+  kCompleted,
+  kCancelled,
+  kAborted,
+};
 
 /// One block-granular disk request: the extents of a stored block plus the
 /// stream identity the sequentiality bookkeeping needs.
@@ -54,9 +81,22 @@ struct DiskRequestSpec {
 /// one foreground stream this degenerates to FCFS; with several it
 /// produces exactly the interleaving-induced seek storms that §5.4's
 /// admission control exists to prevent.
+///
+/// Failure model (§1.1, §5.3.1): a disk can fail-stop permanently or
+/// crash and later recover(); it can stall() for a transient window
+/// (service pauses, nothing is lost) and it can run degraded through a
+/// service-time multiplier (straggler). Failure aborts every live request
+/// and fires its failure callback, so clients learn immediately instead
+/// of waiting out an access timeout.
 class Disk {
  public:
   using CompletionFn = std::function<void(RequestId)>;
+  /// Fired (as a scheduled event, in queue order) when a request is
+  /// aborted by a disk failure — at failure time for queued/in-service
+  /// requests, at submit time for requests sent to an already-failed disk.
+  using FailureFn = std::function<void(RequestId)>;
+  /// Disk-level failure notification (metadata/monitoring path).
+  using FailureListener = std::function<void(std::uint32_t disk_id)>;
 
   Disk(sim::Engine& engine, const DiskParams& params, Rng rng,
        std::uint32_t id = 0);
@@ -64,27 +104,46 @@ class Disk {
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
 
-  /// Enqueues a request; `done` fires at its service completion. The
-  /// returned id is unique per disk.
-  RequestId submit(DiskRequestSpec spec, CompletionFn done);
+  /// Enqueues a request; `done` fires at its service completion, `failed`
+  /// if a disk failure aborts it. The returned handle is unique for the
+  /// lifetime of the request; it resolves to nothing once the slot is
+  /// reclaimed. Submitting to a failed disk aborts immediately (the
+  /// failure callback is scheduled at the current time) and returns
+  /// kInvalidRequest.
+  RequestId submit(DiskRequestSpec spec, CompletionFn done,
+                   FailureFn failed = nullptr);
 
   /// Cancels a queued request. Returns false when the request already
   /// started service (it will complete), finished, or never existed.
   bool cancel(RequestId id);
 
   /// Cancels every queued request of the given stream; returns the count.
+  /// Walks only this stream's foreground queue and the background queue —
+  /// cost is proportional to the live queue, not to history.
   std::size_t cancelStream(StreamId stream);
 
   [[nodiscard]] std::uint32_t id() const { return id_; }
-  [[nodiscard]] bool busy() const { return in_service_ != kNoRequest; }
+  [[nodiscard]] bool busy() const { return in_service_ != kInvalidRequest; }
   [[nodiscard]] std::size_t queueDepth() const;
+
+  /// State of a request, or nullopt once its slot has been reclaimed
+  /// (terminal notification dispatched) or for handles that never existed.
+  [[nodiscard]] std::optional<RequestState> requestState(RequestId id) const;
+
+  /// Request slots currently allocated (pending + in service + terminal
+  /// slots whose notification has not yet been dispatched). Stays
+  /// proportional to in-flight work, never to submission history.
+  [[nodiscard]] std::size_t liveRequestCount() const {
+    return slots_.size() - free_slots_.size();
+  }
 
   /// Total bytes whose service completed, by priority class.
   [[nodiscard]] Bytes bytesServed(Priority p) const {
     return bytes_served_[static_cast<std::size_t>(p)];
   }
   /// Accumulated service time, by priority class (drives the utilisation
-  /// metric of Figure 6-5).
+  /// metric of Figure 6-5). Time a request would have needed after a
+  /// fail-stop is refunded: a disk that served nothing reports zero.
   [[nodiscard]] SimTime busyTime(Priority p) const {
     return busy_time_[static_cast<std::size_t>(p)];
   }
@@ -101,46 +160,94 @@ class Disk {
   /// engine drained); keeps memory proportional to one trial.
   void reset();
 
-  /// Fail-stop: the disk stops serving. Queued and future requests never
-  /// complete (and never fire callbacks); the in-service request's
-  /// completion is cancelled. Models the single-site failures the
-  /// architecture is meant to tolerate (§1.1, §5.3.1).
+  /// Fail-stop: the disk stops serving. Every queued request and the
+  /// in-service request are aborted (their failure callbacks fire as
+  /// events at the current time, never their completions) and requests
+  /// submitted while failed abort immediately. The unserved remainder of
+  /// the in-service request is refunded from busyTime(). Models the
+  /// single-site failures the architecture tolerates (§1.1, §5.3.1).
   void failStop();
   [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Crash-and-recover: brings a failed disk back. Requests lost to the
+  /// crash stay lost (clients re-issue); new submissions serve normally.
+  void recover();
+
+  /// Transient stall: service pauses for `duration` from now. The
+  /// in-service request's completion is postponed by the remaining stall
+  /// window; queued and new requests start after it ends. Overlapping
+  /// stalls extend the window. Nothing is aborted.
+  void stall(SimTime duration);
+
+  /// Straggler knob: scales the service time of every request that
+  /// *starts* service from now on. 1.0 = nominal; >1 = degraded.
+  void setServiceMultiplier(double multiplier);
+  [[nodiscard]] double serviceMultiplier() const {
+    return service_multiplier_;
+  }
+
+  /// Observer fired once per failStop() before the per-request aborts
+  /// (monitoring / metadata-availability path).
+  void setFailureListener(FailureListener listener) {
+    failure_listener_ = std::move(listener);
+  }
 
  private:
   struct Request {
     DiskRequestSpec spec;
     CompletionFn done;
+    FailureFn on_failed;
     Bytes bytes = 0;
-    bool cancelled = false;
-    bool completed = false;
+    RequestState state = RequestState::kPending;
+    std::uint32_t generation = 0;
   };
 
-  static constexpr RequestId kNoRequest = ~RequestId{0};
+  static constexpr RequestId makeId(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<RequestId>(slot) << 32) | gen;
+  }
+  static constexpr std::uint32_t slotOf(RequestId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static constexpr std::uint32_t genOf(RequestId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  [[nodiscard]] Request* resolve(RequestId id);
+  [[nodiscard]] const Request* resolve(RequestId id) const;
+  void release(RequestId id);
+  /// Marks `id` aborted and schedules its failure notification now.
+  void abortRequest(RequestId id);
 
   void serveNext();
-  /// Pops the next live request id from `queue`, discarding cancelled
-  /// entries; returns kNoRequest when the queue empties.
+  /// Pops the next live request id from `queue`, discarding cancelled and
+  /// stale entries; returns kInvalidRequest when the queue empties.
   RequestId popLive(std::deque<RequestId>& queue);
   void startService(RequestId id);
+  /// (Re)schedules the in-service completion event at `service_end_`.
+  void scheduleCompletion();
   [[nodiscard]] SimTime serviceTime(const Request& r);
 
   sim::Engine* engine_;
   DiskParams params_;
   Rng rng_;
   std::uint32_t id_;
-  std::vector<Request> requests_;
+  std::vector<Request> slots_;
+  std::vector<std::uint32_t> free_slots_;
   bool failed_ = false;
   sim::EventId completion_event_{};
   std::deque<RequestId> bg_queue_;
   std::unordered_map<StreamId, std::deque<RequestId>> fg_queues_;
   std::deque<StreamId> fg_rotation_;  // streams with queued work, RR order
-  RequestId in_service_ = kNoRequest;
+  RequestId in_service_ = kInvalidRequest;
+  /// Absolute completion time of the in-service request (stall-adjusted).
+  SimTime service_end_ = 0.0;
+  SimTime stalled_until_ = 0.0;
+  double service_multiplier_ = 1.0;
   StreamId last_stream_ = ~StreamId{0};
   bool has_served_ = false;
   Bytes bytes_served_[2] = {0, 0};
   SimTime busy_time_[2] = {0.0, 0.0};
+  FailureListener failure_listener_;
 };
 
 }  // namespace robustore::disk

@@ -1,0 +1,94 @@
+#include "fault/fault.hpp"
+
+#include "common/expects.hpp"
+
+namespace robustore::fault {
+
+const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFailStop:
+      return "fail-stop";
+    case FaultKind::kCrashRecover:
+      return "crash-recover";
+    case FaultKind::kTransientStall:
+      return "transient-stall";
+    case FaultKind::kSlowDisk:
+      return "slow-disk";
+  }
+  return "?";
+}
+
+void FaultInjector::schedule(const FaultSpec& spec) {
+  ROBUSTORE_EXPECTS(spec.at >= 0.0, "fault scheduled in the past");
+  engine_->schedule(spec.at, [this, spec] { apply(spec); });
+}
+
+void FaultInjector::apply(const FaultSpec& spec) {
+  disk::Disk& d = resolve_(spec.disk);
+  ++injected_[static_cast<std::size_t>(spec.kind)];
+  switch (spec.kind) {
+    case FaultKind::kFailStop:
+      d.failStop();
+      break;
+    case FaultKind::kCrashRecover:
+      d.failStop();
+      engine_->schedule(spec.duration, [this, disk = spec.disk] {
+        resolve_(disk).recover();
+      });
+      break;
+    case FaultKind::kTransientStall:
+      d.stall(spec.duration);
+      break;
+    case FaultKind::kSlowDisk:
+      d.setServiceMultiplier(spec.service_multiplier);
+      break;
+  }
+}
+
+std::uint32_t FaultInjector::injectedTotal() const {
+  return injected_[0] + injected_[1] + injected_[2] + injected_[3];
+}
+
+std::vector<FaultSpec> FaultInjector::drawSchedule(const FaultModel& model,
+                                                   std::uint32_t num_disks,
+                                                   Rng& rng) {
+  std::vector<FaultSpec> out;
+  for (std::uint32_t d = 0; d < num_disks; ++d) {
+    // Fixed draw count per disk: every branch consumes the same stream
+    // positions, so one disk's outcome never shifts another's schedule.
+    const double u_fail = rng.uniform();
+    const double u_crash = rng.uniform();
+    const double u_stall = rng.uniform();
+    const double u_straggle = rng.uniform();
+    const double at = rng.uniform() * model.horizon;
+    const double outage = rng.exponential(model.mean_outage);
+    const double stall = rng.exponential(model.mean_stall);
+    const double mult =
+        rng.uniform(model.straggler_min, model.straggler_max);
+
+    FaultSpec spec;
+    spec.disk = d;
+    if (u_fail < model.fail_stop_prob) {
+      spec.kind = FaultKind::kFailStop;
+      spec.at = at;
+    } else if (u_crash < model.crash_prob) {
+      spec.kind = FaultKind::kCrashRecover;
+      spec.at = at;
+      spec.duration = outage;
+    } else if (u_stall < model.stall_prob) {
+      spec.kind = FaultKind::kTransientStall;
+      spec.at = at;
+      spec.duration = stall;
+    } else if (u_straggle < model.straggler_prob) {
+      spec.kind = FaultKind::kSlowDisk;
+      spec.at = 0.0;  // stragglers are slow from the start
+      spec.service_multiplier = mult;
+    } else {
+      continue;  // this disk stays healthy
+    }
+    out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace robustore::fault

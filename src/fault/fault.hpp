@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "disk/disk.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::fault {
+
+/// The failure modes of the robustness story (§1.1, §5.3.1): single-site
+/// fail-stop, nodes that fail *and recover* over time (Luby's
+/// availability model), transient service pauses, and persistently slow
+/// disks — the performance-variation end of the same spectrum.
+enum class FaultKind : std::uint8_t {
+  kFailStop,        // dead at `at`, forever
+  kCrashRecover,    // dead during [at, at + duration)
+  kTransientStall,  // service pauses during [at, at + duration); no loss
+  kSlowDisk,        // service times x `service_multiplier` from `at` on
+};
+
+[[nodiscard]] const char* faultKindName(FaultKind kind);
+
+/// One scripted fault against one disk.
+struct FaultSpec {
+  /// Target disk. Interpreted by the scheduling caller: the experiment
+  /// runner indexes the trial's *selected access disks* (so "disk 0" is
+  /// the first disk of the access, whichever global disk that is);
+  /// FaultInjector::schedule resolves it through its own resolver.
+  std::uint32_t disk = 0;
+  FaultKind kind = FaultKind::kFailStop;
+  /// Injection time, relative to when the injector is armed.
+  SimTime at = 0.0;
+  /// Outage / stall length (crash-recover and transient-stall only).
+  SimTime duration = 0.0;
+  /// Service-time factor (slow-disk only); > 1 = degraded.
+  double service_multiplier = 1.0;
+};
+
+/// Seeded-stochastic fault schedule: each disk independently draws at
+/// most one fault, with kind probabilities evaluated in the order below
+/// (a disk that fail-stops draws nothing else). All draws come from one
+/// caller-provided Rng, so a (seed, trial) pair always produces the same
+/// schedule — the parallel trial pool stays bit-identical.
+struct FaultModel {
+  /// Probability a disk fail-stops, at a uniform time in [0, horizon).
+  double fail_stop_prob = 0.0;
+  /// Probability of a crash-recover outage starting uniformly in
+  /// [0, horizon), lasting Exp(mean_outage).
+  double crash_prob = 0.0;
+  SimTime mean_outage = 1.0;
+  /// Probability of a transient stall starting uniformly in [0, horizon),
+  /// lasting Exp(mean_stall).
+  double stall_prob = 0.0;
+  SimTime mean_stall = 0.1;
+  /// Probability a disk is a straggler from t=0, with its service-time
+  /// multiplier uniform in [straggler_min, straggler_max).
+  double straggler_prob = 0.0;
+  double straggler_min = 2.0;
+  double straggler_max = 4.0;
+  /// Injection-time window for the draws above.
+  SimTime horizon = 1.0;
+
+  [[nodiscard]] bool enabled() const {
+    return fail_stop_prob > 0.0 || crash_prob > 0.0 || stall_prob > 0.0 ||
+           straggler_prob > 0.0;
+  }
+};
+
+/// A full failure scenario: an explicit script, a stochastic model, or
+/// both. Part of ExperimentConfig, applied identically to every trial
+/// (the stochastic draws differ per trial, deterministically).
+struct FaultPlan {
+  std::vector<FaultSpec> scripted;
+  FaultModel model;
+
+  [[nodiscard]] bool enabled() const {
+    return !scripted.empty() || model.enabled();
+  }
+};
+
+/// Drives faults into disks through the sim engine. Decoupled from any
+/// cluster type via the resolver: callers hand in "disk index -> Disk&"
+/// for whatever roster the schedule's indices refer to.
+class FaultInjector {
+ public:
+  using DiskResolver = std::function<disk::Disk&(std::uint32_t)>;
+
+  FaultInjector(sim::Engine& engine, DiskResolver resolve)
+      : engine_(&engine), resolve_(std::move(resolve)) {}
+
+  /// Schedules one fault (times relative to now). Injection happens via
+  /// engine events, so arming before engine.run() is safe.
+  void schedule(const FaultSpec& spec);
+
+  void scheduleAll(const std::vector<FaultSpec>& specs) {
+    for (const auto& s : specs) schedule(s);
+  }
+
+  /// Draws the stochastic schedule for `num_disks` disks from `rng`.
+  /// Pure: consumes a fixed number of draws per disk regardless of
+  /// outcome, so schedules for different disks never shift each other.
+  [[nodiscard]] static std::vector<FaultSpec> drawSchedule(
+      const FaultModel& model, std::uint32_t num_disks, Rng& rng);
+
+  /// Faults whose injection time arrived (per kind, cumulative).
+  [[nodiscard]] std::uint32_t injected(FaultKind kind) const {
+    return injected_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint32_t injectedTotal() const;
+
+ private:
+  void apply(const FaultSpec& spec);
+
+  sim::Engine* engine_;
+  DiskResolver resolve_;
+  std::uint32_t injected_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace robustore::fault

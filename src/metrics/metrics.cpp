@@ -8,6 +8,9 @@ void AccessAggregate::merge(const AccessAggregate& other) {
   latency_samples_.merge(other.latency_samples_);
   io_overhead_.merge(other.io_overhead_);
   reception_.merge(other.reception_);
+  failures_survived_.merge(other.failures_survived_);
+  reissued_requests_.merge(other.reissued_requests_);
+  time_lost_.merge(other.time_lost_);
   incomplete_ += other.incomplete_;
 }
 
@@ -21,6 +24,9 @@ void AccessAggregate::add(const AccessMetrics& m) {
   latency_samples_.add(m.latency);
   io_overhead_.add(m.ioOverhead());
   reception_.add(m.receptionOverhead());
+  failures_survived_.add(m.failures_survived);
+  reissued_requests_.add(m.reissued_requests);
+  time_lost_.add(m.time_lost_to_failures);
 }
 
 }  // namespace robustore::metrics

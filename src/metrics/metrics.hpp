@@ -22,6 +22,12 @@ struct AccessMetrics {
   std::uint32_t blocks_original = 0;
   std::uint32_t cache_hits = 0;
   bool complete = false;
+  /// Degraded-mode ledger: disk-failure notifications the access absorbed,
+  /// block requests it re-issued, and simulated time its lost attempts
+  /// cost before a retry or another disk covered for them.
+  std::uint32_t failures_survived = 0;
+  std::uint32_t reissued_requests = 0;
+  SimTime time_lost_to_failures = 0.0;
 
   /// Delivered bandwidth: original data size over access latency (MB/s).
   [[nodiscard]] double bandwidthMBps() const {
@@ -72,6 +78,18 @@ class AccessAggregate {
   [[nodiscard]] const RunningStats& ioOverhead() const { return io_overhead_; }
   [[nodiscard]] std::size_t incompleteCount() const { return incomplete_; }
 
+  /// Degraded-mode figures over the *completed* accesses: how much
+  /// failure each access rode through, and what that cost.
+  [[nodiscard]] double meanFailuresSurvived() const {
+    return failures_survived_.mean();
+  }
+  [[nodiscard]] double meanReissuedRequests() const {
+    return reissued_requests_.mean();
+  }
+  [[nodiscard]] double meanTimeLostToFailures() const {
+    return time_lost_.mean();
+  }
+
   /// Latency distribution view: percentile of per-access latency. The
   /// robustness story is really about the latency *tail*, which the
   /// standard deviation only summarises.
@@ -85,6 +103,9 @@ class AccessAggregate {
   SampleSet latency_samples_;
   RunningStats io_overhead_;
   RunningStats reception_;
+  RunningStats failures_survived_;
+  RunningStats reissued_requests_;
+  RunningStats time_lost_;
   std::size_t incomplete_ = 0;
 };
 

@@ -37,7 +37,8 @@ void StorageServer::dispatchToClient(disk::StreamId stream, Bytes bytes,
 }
 
 StorageServer::ReadHandle StorageServer::readBlock(const BlockRead& req,
-                                                   DeliveryFn on_delivered) {
+                                                   DeliveryFn on_delivered,
+                                                   FailureFn on_failed) {
   ROBUSTORE_EXPECTS(req.layout != nullptr, "read without a layout");
   ROBUSTORE_EXPECTS(req.disk_index < disks_.size(), "disk index out of range");
   const Bytes block_bytes = req.layout->blockBytes();
@@ -49,20 +50,27 @@ StorageServer::ReadHandle StorageServer::readBlock(const BlockRead& req,
   // Request control message travels to the filer first.
   engine_->schedule(link_.oneWayLatency(),
                     [this, req, block_bytes, lines, handle,
-                     cb = std::move(on_delivered)]() mutable {
+                     cb = std::move(on_delivered),
+                     fail = std::move(on_failed)]() mutable {
     if (handle->cancelled) return;
     if (cache_.enabled() && cache_.containsBlock(req.cache_key, lines)) {
       handle->dispatched = true;
       dispatchToClient(req.stream, block_bytes, /*cache_hit=*/true, cb);
       return;
     }
-    serveFromDisk(req, block_bytes, lines, handle, std::move(cb));
+    serveFromDisk(req, block_bytes, lines, handle, std::move(cb),
+                  std::move(fail));
   });
   return handle;
 }
 
 bool StorageServer::cancelRead(const ReadHandle& handle) {
   ROBUSTORE_EXPECTS(handle != nullptr, "cancel of a null read handle");
+  if (handle->failed) {
+    // Already aborted by a disk failure: nothing will be delivered.
+    handle->cancelled = true;
+    return true;
+  }
   if (handle->cancelled || handle->dispatched) return handle->cancelled;
   handle->cancelled = true;
   if (handle->disk_submitted) {
@@ -74,7 +82,8 @@ bool StorageServer::cancelRead(const ReadHandle& handle) {
 void StorageServer::serveFromDisk(const BlockRead& req, Bytes block_bytes,
                                   std::uint32_t lines,
                                   const ReadHandle& handle,
-                                  DeliveryFn on_delivered) {
+                                  DeliveryFn on_delivered,
+                                  FailureFn on_failed) {
   disk::Disk& d = *disks_[req.disk_index];
   disk::DiskRequestSpec spec;
   spec.stream = req.stream;
@@ -91,19 +100,28 @@ void StorageServer::serveFromDisk(const BlockRead& req, Bytes block_bytes,
         handle->dispatched = true;
         if (cache_.enabled()) cache_.insertBlock(key, lines);
         dispatchToClient(stream, block_bytes, /*cache_hit=*/false, cb);
+      },
+      [this, handle, fail = std::move(on_failed)](disk::RequestId) {
+        // Disk died with the request queued/in service (or was already
+        // dead). The failure notice rides back like any response.
+        handle->failed = true;
+        if (handle->cancelled) return;  // client gave up on it already
+        if (fail) engine_->schedule(link_.oneWayLatency(), fail);
       });
   handle->disk_submitted = true;
 }
 
-void StorageServer::writeBlock(const BlockWrite& req, AckFn on_ack) {
+void StorageServer::writeBlock(const BlockWrite& req, AckFn on_ack,
+                               FailureFn on_failed) {
   ROBUSTORE_EXPECTS(req.layout != nullptr, "write without a layout");
   ROBUSTORE_EXPECTS(req.disk_index < disks_.size(), "disk index out of range");
   const Bytes block_bytes = req.layout->blockBytes();
   // The payload must cross the network in full regardless of outcome.
   network_bytes_[req.stream] += block_bytes;
 
-  engine_->schedule(link_.oneWayLatency(), [this, req,
-                                            cb = std::move(on_ack)]() mutable {
+  engine_->schedule(link_.oneWayLatency(),
+                    [this, req, cb = std::move(on_ack),
+                     fail = std::move(on_failed)]() mutable {
     disk::Disk& d = *disks_[req.disk_index];
     disk::DiskRequestSpec spec;
     spec.stream = req.stream;
@@ -111,10 +129,17 @@ void StorageServer::writeBlock(const BlockWrite& req, AckFn on_ack) {
     spec.extents = req.layout->blockExtents(req.layout_block);
     spec.media_rate = d.mediaRate(req.layout->zone());
     spec.is_write = true;
-    d.submit(std::move(spec), [this, cb = std::move(cb)](disk::RequestId) {
-      // Commit ack travels back to the client (write-through: no caching).
-      engine_->schedule(link_.oneWayLatency(), cb);
-    });
+    d.submit(
+        std::move(spec),
+        [this, cb = std::move(cb)](disk::RequestId) {
+          // Commit ack travels back to the client (write-through: no
+          // caching).
+          engine_->schedule(link_.oneWayLatency(), cb);
+        },
+        [this, fail = std::move(fail)](disk::RequestId) {
+          // Negative ack: the commit is lost with the disk.
+          if (fail) engine_->schedule(link_.oneWayLatency(), fail);
+        });
   });
 }
 

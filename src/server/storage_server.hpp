@@ -44,6 +44,10 @@ class StorageServer {
   /// commit ack arrives at the client (writes).
   using DeliveryFn = std::function<void(bool cache_hit)>;
   using AckFn = std::function<void()>;
+  /// Fired at the client when the serving disk fails (or was already
+  /// failed at submit time): the request will never be delivered/acked.
+  /// Arrives one one-way latency after the failure, like any response.
+  using FailureFn = std::function<void()>;
 
   struct BlockRead {
     disk::StreamId stream = 0;
@@ -74,8 +78,10 @@ class StorageServer {
     bool cancelled = false;
     bool disk_submitted = false;
     bool dispatched = false;
+    /// Aborted by a disk failure; the block will never be delivered.
+    bool failed = false;
     std::uint32_t disk_index = 0;
-    disk::RequestId disk_request = 0;
+    disk::RequestId disk_request = disk::kInvalidRequest;
   };
   using ReadHandle = std::shared_ptr<ReadTicket>;
 
@@ -99,8 +105,10 @@ class StorageServer {
   /// bandwidth, the paper's assumption.
   void setClientLink(net::Link* link) { client_link_ = link; }
 
-  /// Issues a block read from the client side, now.
-  ReadHandle readBlock(const BlockRead& req, DeliveryFn on_delivered);
+  /// Issues a block read from the client side, now. `on_failed` (optional)
+  /// fires instead of `on_delivered` if the serving disk fails first.
+  ReadHandle readBlock(const BlockRead& req, DeliveryFn on_delivered,
+                       FailureFn on_failed = nullptr);
 
   /// Cancels one issued read if it has not yet been served. Returns true
   /// when the block will no longer be delivered.
@@ -108,7 +116,9 @@ class StorageServer {
 
   /// Issues a block write from the client side, now. Write payload bytes
   /// are charged to the network immediately (they must cross it in full).
-  void writeBlock(const BlockWrite& req, AckFn on_ack);
+  /// `on_failed` (optional) fires instead of the ack on disk failure.
+  void writeBlock(const BlockWrite& req, AckFn on_ack,
+                  FailureFn on_failed = nullptr);
 
   /// Cancels all queued disk work of `stream` across this server's disks;
   /// returns the bytes still in service for the stream (they will finish
@@ -123,7 +133,7 @@ class StorageServer {
  private:
   void serveFromDisk(const BlockRead& req, Bytes block_bytes,
                      std::uint32_t lines, const ReadHandle& handle,
-                     DeliveryFn on_delivered);
+                     DeliveryFn on_delivered, FailureFn on_failed);
   void dispatchToClient(disk::StreamId stream, Bytes bytes, bool cache_hit,
                         const DeliveryFn& on_delivered);
 

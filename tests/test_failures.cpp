@@ -134,5 +134,100 @@ TEST_F(FailureToleranceFixture, FailureDuringTheAccessIsTolerated) {
   EXPECT_TRUE(m.complete);
 }
 
+constexpr client::SchemeKind kEverySchemeKind[] = {
+    client::SchemeKind::kRaid0, client::SchemeKind::kRRaidS,
+    client::SchemeKind::kRRaidA, client::SchemeKind::kRobuStore};
+
+TEST_F(FailureToleranceFixture, CrashRecoverIsToleratedByEveryScheme) {
+  // A disk dies mid-access and comes back 200 ms later. With a re-issue
+  // budget whose backoff spans the outage, even RAID-0 — no redundancy at
+  // all — completes: the lost blocks are simply read again.
+  access.request_timeout = 10.0;
+  access.max_reissues = 4;
+  access.reissue_delay = 0.05;
+  for (const auto kind : kEverySchemeKind) {
+    sim::Engine engine;
+    client::Cluster cluster(engine, config, Rng(50));
+    auto scheme = client::makeScheme(kind, cluster, {});
+    Rng trial(7);
+    auto file = scheme->planFile(access, allDisks(), policy, trial);
+    engine.schedule(0.01, [&] { cluster.disk(2).failStop(); });
+    engine.schedule(0.15, [&] { cluster.disk(2).recover(); });
+    const auto m = scheme->read(file, access);
+    EXPECT_TRUE(m.complete) << client::schemeName(kind);
+    EXPECT_GT(m.failures_survived, 0u) << client::schemeName(kind);
+  }
+}
+
+TEST_F(FailureToleranceFixture, PermanentFailStopStillKillsRaid0) {
+  // Same generous re-issue budget as the crash-recover test: against a
+  // disk that never comes back, retries change nothing for RAID-0.
+  access.request_timeout = 10.0;
+  access.max_reissues = 4;
+  access.reissue_delay = 0.05;
+  sim::Engine engine;
+  client::Cluster cluster(engine, config, Rng(51));
+  client::Raid0Scheme scheme(cluster);
+  Rng trial(8);
+  auto file = scheme.planFile(access, allDisks(), policy, trial);
+  engine.schedule(0.01, [&] { cluster.disk(2).failStop(); });
+  const auto m = scheme.read(file, access);
+  EXPECT_FALSE(m.complete);
+  EXPECT_GT(m.reissued_requests, 0u);  // it tried
+}
+
+TEST_F(FailureToleranceFixture, TransientStallDelaysButCompletesEveryScheme) {
+  for (const auto kind : kEverySchemeKind) {
+    sim::Engine engine;
+    client::Cluster cluster(engine, config, Rng(60));
+    auto scheme = client::makeScheme(kind, cluster, {});
+    Rng trial(9);
+    auto file = scheme->planFile(access, allDisks(), policy, trial);
+    engine.schedule(0.02, [&] {
+      cluster.disk(1).stall(0.3);
+      cluster.disk(3).stall(0.3);
+    });
+    const auto m = scheme->read(file, access);
+    EXPECT_TRUE(m.complete) << client::schemeName(kind);
+    // A stall is silence, not failure: nothing is aborted.
+    EXPECT_EQ(m.failures_survived, 0u) << client::schemeName(kind);
+  }
+}
+
+TEST_F(FailureToleranceFixture, StragglersSlowButCompleteEveryScheme) {
+  for (const auto kind : kEverySchemeKind) {
+    sim::Engine engine;
+    client::Cluster cluster(engine, config, Rng(70));
+    auto scheme = client::makeScheme(kind, cluster, {});
+    Rng trial(10);
+    auto file = scheme->planFile(access, allDisks(), policy, trial);
+    for (std::uint32_t d = 0; d < 4; ++d) {
+      cluster.disk(d).setServiceMultiplier(4.0);
+    }
+    const auto m = scheme->read(file, access);
+    EXPECT_TRUE(m.complete) << client::schemeName(kind);
+  }
+}
+
+TEST_F(FailureToleranceFixture, RobuStoreReissuesAreBounded) {
+  // A fail-stopped disk triggers at most max_reissues re-issues per
+  // tracked request it held; the access completes without a retry storm.
+  access.request_timeout = 10.0;
+  access.max_reissues = 2;
+  sim::Engine engine;
+  client::Cluster cluster(engine, config, Rng(80));
+  client::RobuStoreScheme scheme(cluster);
+  Rng trial(11);
+  auto file = scheme.planFile(access, allDisks(), policy, trial);
+  engine.schedule(0.01, [&] { cluster.disk(2).failStop(); });
+  const auto m = scheme.read(file, access);
+  EXPECT_TRUE(m.complete);
+  EXPECT_GT(m.failures_survived, 0u);
+  // The dead disk held 1/8 of the coded store; everything else never
+  // re-issues.
+  const std::uint32_t dead_disk_blocks = access.codedBlockCount() / 8;
+  EXPECT_LE(m.reissued_requests, access.max_reissues * dead_disk_blocks);
+}
+
 }  // namespace
 }  // namespace robustore

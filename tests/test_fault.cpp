@@ -1,0 +1,347 @@
+// Fault-injection subsystem: scripted and stochastic schedules, the four
+// fault verbs against the disk model, and the fail-stop accounting /
+// request-lifecycle regressions that motivated them.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "disk/disk.hpp"
+#include "fault/fault.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore {
+namespace {
+
+disk::FileDiskLayout smallLayout(Rng& rng, std::uint32_t blocks = 4) {
+  return disk::FileDiskLayout::generate(blocks, 64 * kKiB,
+                                        disk::LayoutConfig{128, 0.0}, rng);
+}
+
+disk::DiskRequestSpec specFor(const disk::Disk& d,
+                              const disk::FileDiskLayout& layout,
+                              std::uint32_t block, disk::StreamId stream = 1) {
+  disk::DiskRequestSpec spec;
+  spec.stream = stream;
+  spec.extents = layout.blockExtents(block);
+  spec.media_rate = d.mediaRate(0.5);
+  return spec;
+}
+
+// --- schedule determinism ------------------------------------------------
+
+TEST(FaultSchedule, DrawScheduleIsDeterministic) {
+  fault::FaultModel model;
+  model.fail_stop_prob = 0.2;
+  model.crash_prob = 0.2;
+  model.stall_prob = 0.2;
+  model.straggler_prob = 0.2;
+  Rng a(7), b(7);
+  const auto sa = fault::FaultInjector::drawSchedule(model, 64, a);
+  const auto sb = fault::FaultInjector::drawSchedule(model, 64, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  EXPECT_FALSE(sa.empty());  // p=0.8 of a fault per disk over 64 disks
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].disk, sb[i].disk);
+    EXPECT_EQ(sa[i].kind, sb[i].kind);
+    EXPECT_DOUBLE_EQ(sa[i].at, sb[i].at);
+    EXPECT_DOUBLE_EQ(sa[i].duration, sb[i].duration);
+    EXPECT_DOUBLE_EQ(sa[i].service_multiplier, sb[i].service_multiplier);
+  }
+}
+
+TEST(FaultSchedule, FixedDrawCountIsolatesDisks) {
+  // Each disk consumes a fixed number of stream positions, so a shorter
+  // roster draws a strict prefix of a longer one's schedule.
+  fault::FaultModel model;
+  model.fail_stop_prob = 0.3;
+  model.stall_prob = 0.3;
+  Rng a(11), b(11);
+  const auto small = fault::FaultInjector::drawSchedule(model, 8, a);
+  const auto large = fault::FaultInjector::drawSchedule(model, 32, b);
+  ASSERT_LE(small.size(), large.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].disk, large[i].disk);
+    EXPECT_EQ(small[i].kind, large[i].kind);
+    EXPECT_DOUBLE_EQ(small[i].at, large[i].at);
+  }
+}
+
+// --- the four verbs through the injector ---------------------------------
+
+class InjectorFixture : public ::testing::Test {
+ protected:
+  InjectorFixture()
+      : rng(3),
+        d(engine, disk::DiskParams{}, rng.fork(1)),
+        injector(engine, [this](std::uint32_t) -> disk::Disk& { return d; }),
+        layout(smallLayout(rng)) {}
+
+  /// Submits one block read; bumps `completions` / `failures` on outcome.
+  void submitOne(std::uint32_t block = 0) {
+    d.submit(specFor(d, layout, block),
+             [this](disk::RequestId) { ++completions; },
+             [this](disk::RequestId) { ++failures; });
+  }
+
+  sim::Engine engine;
+  Rng rng;
+  disk::Disk d;
+  fault::FaultInjector injector;
+  disk::FileDiskLayout layout;
+  int completions = 0;
+  int failures = 0;
+};
+
+TEST_F(InjectorFixture, ScriptedFailStopKillsTheDisk) {
+  submitOne(0);
+  submitOne(1);
+  injector.schedule({0, fault::FaultKind::kFailStop, 0.001, 0.0, 1.0});
+  engine.run();
+  EXPECT_TRUE(d.failed());
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(injector.injected(fault::FaultKind::kFailStop), 1u);
+  EXPECT_EQ(injector.injectedTotal(), 1u);
+}
+
+TEST_F(InjectorFixture, CrashRecoverComesBack) {
+  injector.schedule({0, fault::FaultKind::kCrashRecover, 0.0, 0.25, 1.0});
+  engine.runUntil(0.1);
+  EXPECT_TRUE(d.failed());
+  submitOne(0);  // lost to the outage
+  engine.runUntil(0.3);
+  EXPECT_FALSE(d.failed());
+  EXPECT_EQ(failures, 1);
+  submitOne(1);  // after recovery: serves normally
+  engine.run();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST_F(InjectorFixture, TransientStallDelaysWithoutLoss) {
+  // Baseline completion time of the same request on a twin disk.
+  sim::Engine twin_engine;
+  Rng twin_rng(3);
+  disk::Disk twin(twin_engine, disk::DiskParams{}, twin_rng.fork(1));
+  SimTime baseline = 0.0;
+  twin.submit(specFor(twin, layout, 0),
+              [&](disk::RequestId) { baseline = twin_engine.now(); });
+  twin_engine.run();
+  ASSERT_GT(baseline, 0.0);
+
+  const SimTime stall = 0.5;
+  injector.schedule({0, fault::FaultKind::kTransientStall, 0.0, stall, 1.0});
+  SimTime finished = 0.0;
+  d.submit(specFor(d, layout, 0),
+           [&](disk::RequestId) { finished = engine.now(); },
+           [this](disk::RequestId) { ++failures; });
+  engine.run();
+  EXPECT_EQ(failures, 0);
+  EXPECT_NEAR(finished, baseline + stall, 1e-9);
+}
+
+TEST_F(InjectorFixture, StragglerScalesServiceTime) {
+  sim::Engine twin_engine;
+  Rng twin_rng(3);
+  disk::Disk twin(twin_engine, disk::DiskParams{}, twin_rng.fork(1));
+  SimTime baseline = 0.0;
+  twin.submit(specFor(twin, layout, 0),
+              [&](disk::RequestId) { baseline = twin_engine.now(); });
+  twin_engine.run();
+
+  injector.schedule({0, fault::FaultKind::kSlowDisk, 0.0, 0.0, 3.0});
+  engine.run();  // the multiplier only affects services started after it
+  ASSERT_DOUBLE_EQ(d.serviceMultiplier(), 3.0);
+  SimTime finished = 0.0;
+  d.submit(specFor(d, layout, 0),
+           [&](disk::RequestId) { finished = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(d.serviceMultiplier(), 3.0);
+  EXPECT_NEAR(finished, 3.0 * baseline, 1e-9);
+  EXPECT_NEAR(d.busyTime(disk::Priority::kForeground), 3.0 * baseline, 1e-9);
+}
+
+// --- fail-stop accounting regressions ------------------------------------
+
+TEST(DiskFaultAccounting, FailedAtTimeZeroReportsZeroUtilization) {
+  // Regression: failStop() used to leave the in-service request's full
+  // service time in busyTime(), so a disk that died at t=0 with a queued
+  // request reported nonzero utilisation.
+  sim::Engine engine;
+  Rng rng(5);
+  disk::Disk d(engine, disk::DiskParams{}, rng.fork(1));
+  const auto layout = smallLayout(rng);
+  for (std::uint32_t b = 0; b < 3; ++b) {
+    d.submit(specFor(d, layout, b), [](disk::RequestId) {});
+  }
+  d.failStop();  // t = 0: nothing was actually served
+  engine.run();
+  EXPECT_DOUBLE_EQ(d.busyTime(disk::Priority::kForeground), 0.0);
+  EXPECT_DOUBLE_EQ(d.busyTime(disk::Priority::kBackground), 0.0);
+  EXPECT_EQ(d.bytesServed(disk::Priority::kForeground), 0u);
+}
+
+TEST(DiskFaultAccounting, MidServiceFailureRefundsTheUnservedRemainder) {
+  sim::Engine engine;
+  Rng rng(6);
+  disk::Disk d(engine, disk::DiskParams{}, rng.fork(1));
+  const auto layout = smallLayout(rng);
+  d.submit(specFor(d, layout, 0), [](disk::RequestId) {});
+  const SimTime full = d.busyTime(disk::Priority::kForeground);
+  ASSERT_GT(full, 0.0);  // charged up front at service start
+  const SimTime cut = full / 2.0;
+  engine.schedule(cut, [&] { d.failStop(); });
+  engine.run();
+  // Only the slice actually spent serving remains on the books.
+  EXPECT_NEAR(d.busyTime(disk::Priority::kForeground), cut, 1e-12);
+}
+
+TEST(DiskFaultAccounting, FailureDuringStallRefundsTheWholeService) {
+  // The in-service request never ran a microsecond: it started service,
+  // immediately stalled, and the disk died inside the stall window. The
+  // refund must cover the full service time, not now - service_end.
+  sim::Engine engine;
+  Rng rng(7);
+  disk::Disk d(engine, disk::DiskParams{}, rng.fork(1));
+  const auto layout = smallLayout(rng);
+  d.stall(1.0);  // service can only begin at t = 1
+  d.submit(specFor(d, layout, 0), [](disk::RequestId) {});
+  engine.schedule(0.5, [&] { d.failStop(); });  // dies mid-stall
+  engine.run();
+  // (1.0 + s) - 1.0 leaves one ulp of the stall offset behind.
+  EXPECT_NEAR(d.busyTime(disk::Priority::kForeground), 0.0, 1e-12);
+}
+
+// --- request lifecycle ---------------------------------------------------
+
+TEST(DiskRequestLifecycle, StateMachineReachesEveryTerminal) {
+  sim::Engine engine;
+  Rng rng(8);
+  disk::Disk d(engine, disk::DiskParams{}, rng.fork(1));
+  const auto layout = smallLayout(rng);
+
+  const auto first = d.submit(specFor(d, layout, 0), [](disk::RequestId) {});
+  const auto queued = d.submit(specFor(d, layout, 1), [](disk::RequestId) {});
+  const auto doomed = d.submit(specFor(d, layout, 2), [](disk::RequestId) {});
+  EXPECT_EQ(d.requestState(first), disk::RequestState::kInService);
+  EXPECT_EQ(d.requestState(queued), disk::RequestState::kPending);
+
+  EXPECT_TRUE(d.cancel(doomed));
+  EXPECT_EQ(d.requestState(doomed), disk::RequestState::kCancelled);
+  EXPECT_FALSE(d.cancel(first));  // already started: cannot cancel
+
+  engine.run();
+  // Terminal + notification dispatched => slots reclaimed.
+  EXPECT_EQ(d.requestState(first), std::nullopt);
+  EXPECT_EQ(d.requestState(queued), std::nullopt);
+  EXPECT_EQ(d.liveRequestCount(), 0u);
+
+  const auto aborted = d.submit(specFor(d, layout, 3), [](disk::RequestId) {});
+  d.failStop();
+  EXPECT_EQ(d.requestState(aborted), std::nullopt);  // abort hand-off done
+  engine.run();
+  EXPECT_EQ(d.liveRequestCount(), 0u);
+}
+
+TEST(DiskRequestLifecycle, CancelStreamReclaimsSlots) {
+  // Regression: cancelStream() used to scan the full request history and
+  // cancelled entries kept their slots until trial reset. Slots must be
+  // reclaimed as soon as the queue entry dies.
+  sim::Engine engine;
+  Rng rng(9);
+  disk::Disk d(engine, disk::DiskParams{}, rng.fork(1));
+  const auto layout = smallLayout(rng, 32);
+  for (std::uint32_t b = 0; b < 32; ++b) {
+    d.submit(specFor(d, layout, b, /*stream=*/1 + (b % 2)),
+             [](disk::RequestId) {});
+  }
+  EXPECT_EQ(d.liveRequestCount(), 32u);
+  // 15 of stream 1's 16 requests are still queued (one is in service).
+  EXPECT_EQ(d.cancelStream(1), 15u);
+  EXPECT_EQ(d.liveRequestCount(), 17u);
+  engine.run();
+  EXPECT_EQ(d.liveRequestCount(), 0u);
+  EXPECT_NO_FATAL_FAILURE(d.reset());
+}
+
+TEST(DiskRequestLifecycle, FailureListenerFiresOncePerFailStop) {
+  sim::Engine engine;
+  Rng rng(10);
+  disk::Disk d(engine, disk::DiskParams{}, rng.fork(1), /*id=*/42);
+  int notices = 0;
+  std::uint32_t seen = 0;
+  d.setFailureListener([&](std::uint32_t id) {
+    ++notices;
+    seen = id;
+  });
+  d.failStop();
+  d.failStop();  // idempotent: no second notice
+  EXPECT_EQ(notices, 1);
+  EXPECT_EQ(seen, 42u);
+  d.recover();
+  d.failStop();
+  EXPECT_EQ(notices, 2);
+}
+
+// --- experiment integration ----------------------------------------------
+
+core::ExperimentConfig faultyConfig() {
+  core::ExperimentConfig cfg;
+  cfg.num_servers = 2;
+  cfg.disks_per_server = 4;
+  cfg.disks_per_access = 8;
+  cfg.access.k = 16;
+  cfg.access.block_bytes = 128 * kKiB;
+  cfg.access.redundancy = 3.0;
+  cfg.access.timeout = 60.0;
+  cfg.access.request_timeout = 20.0;
+  cfg.trials = 6;
+  cfg.seed = 97;
+  cfg.faults.model.crash_prob = 0.3;
+  cfg.faults.model.mean_outage = 0.05;
+  cfg.faults.model.stall_prob = 0.3;
+  cfg.faults.model.horizon = 0.1;
+  return cfg;
+}
+
+TEST(ExperimentFaults, StochasticFaultsAreBitIdenticalAcrossThreads) {
+  core::ExperimentRunner runner(faultyConfig());
+  core::RunOptions serial;
+  serial.threads = 1;
+  core::RunOptions wide;
+  wide.threads = 4;
+  const auto a = runner.run(client::SchemeKind::kRobuStore, serial);
+  const auto b = runner.run(client::SchemeKind::kRobuStore, wide);
+  EXPECT_EQ(a.trials(), b.trials());
+  EXPECT_EQ(a.incompleteCount(), b.incompleteCount());
+  EXPECT_DOUBLE_EQ(a.meanBandwidthMBps(), b.meanBandwidthMBps());
+  EXPECT_DOUBLE_EQ(a.meanLatency(), b.meanLatency());
+  EXPECT_DOUBLE_EQ(a.meanFailuresSurvived(), b.meanFailuresSurvived());
+  EXPECT_DOUBLE_EQ(a.meanReissuedRequests(), b.meanReissuedRequests());
+  EXPECT_DOUBLE_EQ(a.meanTimeLostToFailures(), b.meanTimeLostToFailures());
+}
+
+TEST(ExperimentFaults, ScriptedFailStopDegradesRobuStoreGracefully) {
+  auto cfg = faultyConfig();
+  cfg.faults.model = {};  // scripted only
+  cfg.faults.scripted = {{0, fault::FaultKind::kFailStop, 0.01, 0.0, 1.0}};
+  core::ExperimentRunner runner(cfg);
+  const auto agg = runner.run(client::SchemeKind::kRobuStore);
+  EXPECT_EQ(agg.incompleteCount(), 0u);  // reads through the failure
+  EXPECT_GT(agg.meanFailuresSurvived(), 0.0);
+}
+
+TEST(ExperimentFaults, ScriptedSpecsMustTargetAccessDisks) {
+  auto cfg = faultyConfig();
+  cfg.faults.model = {};
+  cfg.faults.scripted = {{99, fault::FaultKind::kFailStop, 0.0, 0.0, 1.0}};
+  EXPECT_DEATH(
+      {
+        const auto m = core::ExperimentRunner::runTrial(
+            cfg, client::SchemeKind::kRaid0, 0);
+        (void)m;
+      },
+      "outside the access");
+}
+
+}  // namespace
+}  // namespace robustore

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -131,6 +132,31 @@ TEST(SampleSet, MergeWithEmptySets) {
   target.merge(filled);
   EXPECT_EQ(target.count(), 2u);
   EXPECT_DOUBLE_EQ(target.percentile(0), 1.0);
+}
+
+TEST(SampleSet, ConcurrentPercentileReadsAreSafe) {
+  // Regression (exercised under TSan): percentile() used to lazily sort a
+  // mutable buffer inside a const method, so two threads reading the same
+  // aggregate — e.g. a reporter thread and the main thread — raced on the
+  // sort. Samples are now kept sorted at insertion; percentile() is a
+  // pure read and any number of readers may share a SampleSet.
+  SampleSet s;
+  Rng rng(123);
+  for (int i = 0; i < 4096; ++i) s.add(rng.uniform());
+  const double expected_p50 = s.percentile(50.0);
+  const double expected_p99 = s.percentile(99.0);
+  std::vector<std::thread> readers;
+  std::vector<int> mismatches(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&s, &mismatches, t, expected_p50, expected_p99] {
+      for (int i = 0; i < 1000; ++i) {
+        if (s.percentile(50.0) != expected_p50) ++mismatches[t];
+        if (s.percentile(99.0) != expected_p99) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(mismatches[t], 0);
 }
 
 }  // namespace
