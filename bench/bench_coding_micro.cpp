@@ -51,7 +51,25 @@ void BM_XorKernel2(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
                           2);
 }
-BENCHMARK(BM_XorKernel2)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_XorKernel2)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// The fusion baseline xorInto2 is meant to beat: the same two sources
+// folded in with two single-source passes (twice the destination
+// traffic). Same Arg set as BM_XorKernel2 so the comparison lines up.
+void BM_XorKernel2TwoPasses(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = randomBytes(n, 1);
+  const auto a = randomBytes(n, 2);
+  const auto b = randomBytes(n, 3);
+  for (auto _ : state) {
+    xorInto(dst, a);
+    xorInto(dst, b);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          2);
+}
+BENCHMARK(BM_XorKernel2TwoPasses)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
 void BM_GfMulAdd(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -73,6 +73,14 @@ inline core::ExperimentConfig baselineConfig() {
   core::ExperimentConfig cfg;
   cfg.trials = defaultTrials();
   cfg.seed = 20070613;  // arbitrary but fixed: results are reproducible
+  // ROBUSTORE_TRACE=1 turns on per-stage latency decomposition for every
+  // bench (stage_* fields in the JSON trajectory, stage tables in the
+  // human output). Tracing never touches a random stream, so the paper
+  // metrics are bit-identical either way.
+  if (const char* t = std::getenv("ROBUSTORE_TRACE");
+      t != nullptr && std::string(t) != "0") {
+    cfg.trace = true;
+  }
   return cfg;
 }
 

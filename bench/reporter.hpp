@@ -33,6 +33,9 @@ struct ReportRow {
   double failures_survived_mean = 0.0;
   double reissued_requests_mean = 0.0;
   double time_lost_s = 0.0;
+  // Per-stage latency decomposition, mean seconds per completed access
+  // (all zero unless the run traced; see ExperimentConfig::trace).
+  double stage_mean_s[trace::kNumStages] = {};
   std::size_t trials = 0;
   std::size_t incomplete = 0;
 };
@@ -59,6 +62,10 @@ class Reporter {
     row.failures_survived_mean = agg.meanFailuresSurvived();
     row.reissued_requests_mean = agg.meanReissuedRequests();
     row.time_lost_s = agg.meanTimeLostToFailures();
+    for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+      row.stage_mean_s[s] =
+          agg.meanStageSeconds(static_cast<trace::Stage>(s));
+    }
     row.trials = agg.trials();
     row.incomplete = agg.incompleteCount();
     add(std::move(row));
@@ -91,12 +98,20 @@ class Reporter {
                   r.reissued_requests_mean > 0.0;
     }
     if (degraded) {
-      printTable("Failures survived (mean per completed access)", " %12.2f",
+      printTable("Failures survived (mean per access)", " %12.2f",
                  [](const ReportRow& r) { return r.failures_survived_mean; });
-      printTable("Re-issued requests (mean per completed access)", " %12.2f",
+      printTable("Re-issued requests (mean per access)", " %12.2f",
                  [](const ReportRow& r) { return r.reissued_requests_mean; });
       printTable("Time lost to failures (s, mean)", " %12.3f",
                  [](const ReportRow& r) { return r.time_lost_s; });
+    }
+    for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+      if (!stageUsed(s)) continue;
+      char title[80];
+      std::snprintf(title, sizeof(title), "Mean %s per access (s)",
+                    trace::stageName(static_cast<trace::Stage>(s)));
+      printTable(title, " %12.4f",
+                 [s](const ReportRow& r) { return r.stage_mean_s[s]; });
     }
     printIncompleteNote();
     if (std::getenv("ROBUSTORE_CSV") != nullptr) emitCsv(stdout);
@@ -143,6 +158,12 @@ class Reporter {
       appendNumber(out, "failures_survived_mean", r.failures_survived_mean);
       appendNumber(out, "reissued_requests_mean", r.reissued_requests_mean);
       appendNumber(out, "time_lost_s", r.time_lost_s);
+      // Stage fields appear only in traced runs, keeping untraced output
+      // byte-identical to pre-tracing reports.
+      for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+        if (!stageUsed(s)) continue;
+        appendNumber(out, stageKey(s).c_str(), r.stage_mean_s[s]);
+      }
       out += ", \"trials\": " + std::to_string(r.trials);
       out += ", \"incomplete\": " + std::to_string(r.incomplete);
       out += i + 1 < rows_.size() ? "},\n" : "}\n";
@@ -160,6 +181,25 @@ class Reporter {
   }
 
  private:
+  /// A stage is reported once any row observed time in it.
+  [[nodiscard]] bool stageUsed(std::uint8_t s) const {
+    for (const auto& r : rows_) {
+      if (r.stage_mean_s[s] > 0.0) return true;
+    }
+    return false;
+  }
+
+  /// JSON key for a stage: "disk.queue_wait" -> "stage_disk_queue_wait_s".
+  [[nodiscard]] static std::string stageKey(std::uint8_t s) {
+    std::string key = "stage_";
+    for (const char* p = trace::stageName(static_cast<trace::Stage>(s));
+         *p != '\0'; ++p) {
+      key.push_back(*p == '.' ? '_' : *p);
+    }
+    key += "_s";
+    return key;
+  }
+
   static void noteUnique(std::vector<std::string>& seen,
                          const std::string& value) {
     for (const auto& s : seen) {

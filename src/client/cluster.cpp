@@ -79,6 +79,11 @@ bool Cluster::backgroundConfigured() const {
   return false;
 }
 
+void Cluster::attachTracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& s : servers_) s->setTracer(tracer);
+}
+
 void Cluster::resetDisks() {
   for (std::uint32_t d = 0; d < numDisks(); ++d) disk(d).reset();
 }

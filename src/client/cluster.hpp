@@ -86,6 +86,11 @@ class Cluster {
   [[nodiscard]] std::vector<std::uint32_t> selectDisks(std::uint32_t count,
                                                        Rng& rng) const;
 
+  /// Attaches a tracer to every server (and through them every disk and
+  /// NIC/downlink). Null (the default) = tracing off.
+  void attachTracer(trace::Tracer* tracer);
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
+
   /// The cluster's metadata server (§4.2): every disk registers at
   /// construction (static info: site, capacity, peak bandwidth); clients
   /// may use it for §5.3.1 load/space/diversity-aware disk selection
@@ -100,6 +105,7 @@ class Cluster {
   std::vector<std::unique_ptr<workload::BackgroundGenerator>> background_;
   meta::MetadataServer metadata_;
   Rng bg_rng_;
+  trace::Tracer* tracer_ = nullptr;
   disk::StreamId next_stream_ = 1;
   std::uint64_t next_file_ = 1;
 };

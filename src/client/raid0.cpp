@@ -54,7 +54,13 @@ void Raid0Scheme::startRead(Session& session, StoredFile& file,
                        },
                        // Every block is unique: one unrecoverable block
                        // fails the whole access, immediately.
-                       [this, &session] { fail(session); });
+                       [this, &session] {
+                         if (auto* t = tracer(); t != nullptr) {
+                           t->instant("client.failfast", engine().now(),
+                                      session.stream, trace::kClientTrack);
+                         }
+                         fail(session);
+                       });
     }
   }
 }

@@ -241,6 +241,10 @@ void RobuStoreScheme::submitNextWrite(Session& session, StoredFile& out,
         state->dead[p] = 1;
         --state->outstanding;
         ++session.reissued_requests;
+        if (auto* t = tracer(); t != nullptr) {
+          t->instant("client.write_reroute", engine().now(), session.stream,
+                     trace::kClientTrack, out.placements[p].global_disk);
+        }
         submitNextWrite(session, out, p);
       });
 }

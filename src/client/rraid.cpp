@@ -129,6 +129,11 @@ void RRaidScheme::adaptiveRequest(Session& session, StoredFile& file,
           const auto it = state->block_to_pos[q].find(block);
           if (it == state->block_to_pos[q].end()) continue;
           if (state->pending[q].contains(it->second)) return;  // in flight
+          if (auto* t = tracer(); t != nullptr) {
+            t->instant("client.redispatch", engine().now(), session.stream,
+                       trace::kClientTrack, file.placements[q].global_disk,
+                       block);
+          }
           adaptiveRequest(session, file, config, q, it->second);
           return;
         }
@@ -192,6 +197,11 @@ void RRaidScheme::adaptiveSteal(Session& session, StoredFile& file,
     }
   }
   if (victim == h || victim_count < 2) return;  // nothing worth stealing
+  if (auto* t = tracer(); t != nullptr) {
+    t->instant("client.steal", engine().now(), session.stream,
+               trace::kClientTrack,
+               file.placements[idle_placement].global_disk, victim_count / 2);
+  }
 
   // Collect the steal candidates in the victim's stored order and take
   // the second half (the blocks it would reach last).

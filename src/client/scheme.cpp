@@ -40,6 +40,13 @@ void Scheme::finish(Session& session) {
   ROBUSTORE_EXPECTS(!session.complete, "access finished twice");
   session.complete = true;
   session.finish_time = engine().now();
+  if (auto* t = tracer(); t != nullptr && session.extra_latency > 0.0) {
+    // The decode tail the pipeline cannot hide (§6.2.5): charged after
+    // the last arrival.
+    t->span(trace::Stage::kClientDecode, session.finish_time,
+            session.finish_time + session.extra_latency, session.stream,
+            trace::kClientTrack);
+  }
   if (session.on_complete) {
     session.on_complete();
   } else {
@@ -51,6 +58,10 @@ void Scheme::fail(Session& session) {
   if (session.complete || session.failed) return;
   session.failed = true;
   session.finish_time = engine().now();
+  if (auto* t = tracer(); t != nullptr) {
+    t->instant("client.access_failed", session.finish_time, session.stream,
+               trace::kClientTrack);
+  }
   if (session.on_complete) {
     session.on_complete();
   } else {
@@ -97,6 +108,9 @@ metrics::AccessMetrics Scheme::collect(const Session& session,
   m.failures_survived = session.failures_observed;
   m.reissued_requests = session.reissued_requests;
   m.time_lost_to_failures = session.time_lost_to_failures;
+  if (const trace::Tracer* t = cluster_->tracer(); t != nullptr) {
+    m.stages = t->breakdown(session.stream);
+  }
   return m;
 }
 
@@ -187,6 +201,12 @@ void Scheme::onTrackedAttemptLost(Session& session,
   }
   if (tracked->attempts > config.max_reissues) {
     settleTracked(session, tracked);
+    if (auto* t = tracer(); t != nullptr) {
+      t->instant("client.block_lost", engine().now(), session.stream,
+                 trace::kClientTrack,
+                 tracked->file->placements[tracked->placement].global_disk,
+                 tracked->stored_pos);
+    }
     if (tracked->on_lost) tracked->on_lost();
     checkFailFast(session);
     return;
@@ -201,6 +221,12 @@ void Scheme::onTrackedAttemptLost(Session& session,
                     : config.reissue_delay *
                           std::pow(config.reissue_backoff,
                                    static_cast<double>(tracked->attempts - 1));
+  if (auto* t = tracer(); t != nullptr) {
+    t->span(trace::Stage::kClientReissue, engine().now(),
+            engine().now() + delay, session.stream, trace::kClientTrack,
+            tracked->file->placements[tracked->placement].global_disk,
+            tracked->stored_pos);
+  }
   tracked->retry =
       engine().schedule(delay, [this, &session, tracked, &config] {
         tracked->retry = {};
@@ -273,6 +299,15 @@ metrics::AccessMetrics Scheme::settle(Session& session, Bytes data_bytes,
   // A timed-out access is failed from here on: retry/watchdog events
   // still queued must no-op during the drain below.
   if (!session.complete) session.failed = true;
+  if (auto* t = tracer(); t != nullptr) {
+    // The whole-access envelope span (start through completion + decode
+    // tail, or through the run boundary for failed/timed-out accesses).
+    const SimTime end = session.finish_time > 0.0
+                            ? session.finish_time + session.extra_latency
+                            : engine().now();
+    t->namedSpan("client.access", session.start, end, session.stream,
+                 trace::kClientTrack);
+  }
   // Cancel whatever speculative work is still queued, then let in-flight
   // service and deliveries drain so the byte accounting is final.
   cancelOutstanding(session);

@@ -229,6 +229,9 @@ class Scheme {
 
   [[nodiscard]] Cluster& cluster() { return *cluster_; }
   [[nodiscard]] sim::Engine& engine() { return cluster_->engine(); }
+  /// The cluster's tracer, or null when tracing is off — schemes guard
+  /// every trace emission on this single pointer test.
+  [[nodiscard]] trace::Tracer* tracer() { return cluster_->tracer(); }
 
  private:
   metrics::AccessMetrics settle(Session& session, Bytes data_bytes,

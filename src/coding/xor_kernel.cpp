@@ -54,6 +54,20 @@ void xorInto2(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
   const std::uint8_t* pb = b.data();
   std::size_t n = dst.size();
 
+  while (n >= kUnroll * kLane) {
+    std::uint64_t dw[kUnroll];
+    std::uint64_t aw[kUnroll];
+    std::uint64_t bw[kUnroll];
+    std::memcpy(dw, d, sizeof dw);
+    std::memcpy(aw, pa, sizeof aw);
+    std::memcpy(bw, pb, sizeof bw);
+    for (std::size_t i = 0; i < kUnroll; ++i) dw[i] ^= aw[i] ^ bw[i];
+    std::memcpy(d, dw, sizeof dw);
+    d += kUnroll * kLane;
+    pa += kUnroll * kLane;
+    pb += kUnroll * kLane;
+    n -= kUnroll * kLane;
+  }
   while (n >= kLane) {
     std::uint64_t dw;
     std::uint64_t aw;

@@ -107,13 +107,22 @@ std::uint32_t ExperimentRunner::trialsFromEnv(std::uint32_t fallback) {
 
 metrics::AccessMetrics ExperimentRunner::runTrial(
     const ExperimentConfig& config, client::SchemeKind kind,
-    std::uint32_t trial_index) {
+    std::uint32_t trial_index, trace::Tracer* trace_out) {
   ROBUSTORE_EXPECTS(!trialsAreCoupled(config),
                     "coupled experiments cannot run as independent trials");
   sim::Engine engine;
   client::Cluster cluster = makeCluster(config, engine);
   applyExperimentBackground(config, cluster);
   auto scheme = client::makeScheme(kind, cluster, config.lt, config.codec);
+
+  // The trial-local tracer keeps records out of shared state; the caller
+  // merges per-trial tracers in trial order, which is what makes traced
+  // parallel runs byte-identical to serial ones.
+  std::optional<trace::Tracer> tracer;
+  if (config.trace || trace_out != nullptr) {
+    tracer.emplace();
+    cluster.attachTracer(&*tracer);
+  }
 
   Rng trial_rng = trialRng(config, trial_index);
   if (config.background == ExperimentConfig::Background::kHeterogeneous) {
@@ -123,28 +132,36 @@ metrics::AccessMetrics ExperimentRunner::runTrial(
   const auto disks = cluster.selectDisks(config.disks_per_access, trial_rng);
   std::optional<fault::FaultInjector> injector;
   armFaults(config, trial_index, cluster, disks, injector);
+  if (tracer && injector) injector->setTracer(&*tracer);
 
+  metrics::AccessMetrics m;
   switch (config.op) {
     case ExperimentConfig::Op::kRead: {
       client::StoredFile file =
           scheme->planFile(config.access, disks, config.layout, trial_rng);
-      return scheme->read(file, config.access);
+      m = scheme->read(file, config.access);
+      break;
     }
     case ExperimentConfig::Op::kWrite:
-      return scheme->write(config.access, disks, config.layout, trial_rng);
+      m = scheme->write(config.access, disks, config.layout, trial_rng);
+      break;
     case ExperimentConfig::Op::kReadAfterWrite: {
       client::StoredFile file;
       const metrics::AccessMetrics wm = scheme->write(
           config.access, disks, config.layout, trial_rng, &file);
-      if (!wm.complete) return wm;
+      if (!wm.complete) {
+        m = wm;
+        break;
+      }
       if (config.redraw_layout_after_write) {
         file.redrawLayouts(config.layout, trial_rng);
       }
-      return scheme->read(file, config.access);
+      m = scheme->read(file, config.access);
+      break;
     }
   }
-  ROBUSTORE_EXPECTS(false, "unknown experiment operation");
-  return {};
+  if (trace_out != nullptr && tracer) trace_out->append(*tracer);
+  return m;
 }
 
 unsigned ExperimentRunner::resolveThreads(const RunOptions& options,
@@ -227,6 +244,14 @@ metrics::AccessAggregate ExperimentRunner::runCoupled(
   client::Cluster cluster = makeCluster(config_, engine);
   applyExperimentBackground(config_, cluster);
   auto scheme = client::makeScheme(kind, cluster, config_.lt, config_.codec);
+
+  // Coupled trials share one cluster, so they share one tracer; per-access
+  // breakdowns still separate cleanly because records carry the stream id.
+  std::optional<trace::Tracer> tracer;
+  if (config_.trace) {
+    tracer.emplace();
+    cluster.attachTracer(&*tracer);
+  }
 
   metrics::AccessAggregate agg;
   std::optional<client::StoredFile> reused;

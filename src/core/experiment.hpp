@@ -11,6 +11,7 @@
 #include "coding/lt_graph.hpp"
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace robustore::core {
 
@@ -83,6 +84,13 @@ struct ExperimentConfig {
   /// of earlier trials, so it also couples trials (sequential execution).
   bool metadata_disk_selection = false;
 
+  // --- observability -----------------------------------------------------
+  /// Attach a trace::Tracer to every trial's cluster so per-access stage
+  /// breakdowns land in AccessMetrics::stages (and from there in the
+  /// aggregate / reports). Tracing never touches a random stream, so
+  /// results are bit-identical with it on or off.
+  bool trace = false;
+
   // --- trials ------------------------------------------------------------
   std::uint32_t trials = 20;
   std::uint64_t seed = 42;
@@ -140,9 +148,15 @@ class ExperimentRunner {
   /// is the unit of work the pool executes; it is also the serial
   /// semantics, which is why parallel runs reproduce serial runs exactly.
   /// Requires !trialsAreCoupled(config).
+  ///
+  /// `trace_out` (optional) receives the trial's full trace: a tracer is
+  /// attached for the trial (even when config.trace is off) and its
+  /// records appended to `trace_out` when the trial ends. Callers merging
+  /// several trials into one tracer must append in trial order to keep
+  /// the byte-identical-across-thread-counts guarantee.
   [[nodiscard]] static metrics::AccessMetrics runTrial(
       const ExperimentConfig& config, client::SchemeKind kind,
-      std::uint32_t trial_index);
+      std::uint32_t trial_index, trace::Tracer* trace_out = nullptr);
 
   /// True when trials share cluster state by design (warm filer caches
   /// via reuse_file, or load learning via metadata_disk_selection) and

@@ -48,6 +48,10 @@ RequestId Disk::submit(DiskRequestSpec spec, CompletionFn done,
   if (failed_) {
     // Fail-fast path: the submitter learns at once (plus whatever network
     // delay its own callback models), not after a global timeout.
+    if (tracer_ != nullptr) {
+      tracer_->instant("fault.abort", engine_->now(), spec.stream,
+                       trace::diskTrack(id_), id_);
+    }
     if (failed) {
       engine_->schedule(0.0, [fn = std::move(failed)] { fn(kInvalidRequest); });
     }
@@ -71,6 +75,7 @@ RequestId Disk::submit(DiskRequestSpec spec, CompletionFn done,
   r.on_failed = std::move(failed);
   r.bytes = bytes;
   r.state = RequestState::kPending;
+  if (tracer_ != nullptr) r.submitted = engine_->now();
   if (r.spec.priority == Priority::kBackground) {
     bg_queue_.push_back(id);
   } else {
@@ -85,6 +90,10 @@ RequestId Disk::submit(DiskRequestSpec spec, CompletionFn done,
 void Disk::abortRequest(RequestId id) {
   Request& r = slots_[slotOf(id)];
   r.state = RequestState::kAborted;
+  if (tracer_ != nullptr) {
+    tracer_->instant("fault.abort", engine_->now(), r.spec.stream,
+                     trace::diskTrack(id_), id_, id);
+  }
   FailureFn fn = std::move(r.on_failed);
   release(id);  // the event below is self-contained; reset() stays safe
   if (fn) {
@@ -95,6 +104,10 @@ void Disk::abortRequest(RequestId id) {
 void Disk::failStop() {
   if (failed_) return;
   failed_ = true;
+  if (tracer_ != nullptr) {
+    tracer_->instant("fault.fail_stop", engine_->now(), 0,
+                     trace::diskTrack(id_), id_);
+  }
   if (failure_listener_) failure_listener_(id_);
   if (in_service_ != kInvalidRequest) {
     // Refund the unserved remainder: service time was charged up front at
@@ -136,6 +149,10 @@ void Disk::failStop() {
 void Disk::recover() {
   if (!failed_) return;
   failed_ = false;
+  if (tracer_ != nullptr) {
+    tracer_->instant("fault.recover", engine_->now(), 0,
+                     trace::diskTrack(id_), id_);
+  }
   if (!busy()) serveNext();
 }
 
@@ -146,6 +163,10 @@ void Disk::stall(SimTime duration) {
   stalled_until_ = std::max(stalled_until_, now + duration);
   const SimTime extension = stalled_until_ - pause_from;
   if (extension <= 0.0) return;
+  if (tracer_ != nullptr) {
+    tracer_->namedSpan("fault.stall", pause_from, stalled_until_, 0,
+                       trace::diskTrack(id_), id_);
+  }
   if (in_service_ != kInvalidRequest) {
     service_end_ += extension;
     if (completion_event_.valid()) engine_->cancel(completion_event_);
@@ -156,6 +177,10 @@ void Disk::stall(SimTime duration) {
 void Disk::setServiceMultiplier(double multiplier) {
   ROBUSTORE_EXPECTS(multiplier > 0.0, "service multiplier must be positive");
   service_multiplier_ = multiplier;
+  if (tracer_ != nullptr) {
+    tracer_->instant(multiplier > 1.0 ? "fault.slow_disk" : "fault.recover",
+                     engine_->now(), 0, trace::diskTrack(id_), id_);
+  }
 }
 
 bool Disk::cancel(RequestId id) {
@@ -280,12 +305,51 @@ void Disk::startService(RequestId id) {
   in_service_ = id;
   Request& r = slots_[slotOf(id)];
   r.state = RequestState::kInService;
-  const SimTime service = serviceTime(r) * service_multiplier_;
+  const ServiceParts parts = serviceParts(r);
+  const SimTime service = parts.total * service_multiplier_;
   busy_time_[static_cast<std::size_t>(r.spec.priority)] += service;
   // A service that starts inside a stall window only begins once the
   // window ends; the wait is not charged as busy time.
-  service_end_ = std::max(engine_->now(), stalled_until_) + service;
+  const SimTime start = std::max(engine_->now(), stalled_until_);
+  service_end_ = start + service;
+  if (tracer_ != nullptr) {
+    r.service_start = start;
+    // Scale now: the straggler multiplier may change before completion,
+    // but it applies to what *starts* service under it.
+    r.parts.overhead = parts.overhead * service_multiplier_;
+    r.parts.seek = parts.seek * service_multiplier_;
+    r.parts.rotate = parts.rotate * service_multiplier_;
+    r.parts.transfer = parts.transfer * service_multiplier_;
+    r.parts.total = service;
+  }
   scheduleCompletion();
+}
+
+void Disk::traceCompletion(const Request& r, RequestId id) {
+  // Stage spans are laid out backwards from the completion time in
+  // canonical overhead -> seek -> rotate -> transfer order (the model
+  // interleaves them per extent; the trace collapses them per request).
+  // A stall that hit mid-service shows up as the gap between the queue
+  // wait and the first positioning span.
+  const SimTime end = engine_->now();
+  const SimTime transfer = r.parts.transfer;
+  const SimTime rotate = r.parts.rotate;
+  const SimTime seek = r.parts.seek;
+  const SimTime overhead = r.parts.overhead;
+  SimTime t = end - transfer - rotate - seek - overhead;
+  const std::uint64_t access = r.spec.stream;
+  const std::uint32_t track = trace::diskTrack(id_);
+  tracer_->span(trace::Stage::kDiskQueueWait, r.submitted, r.service_start,
+                access, track, id_, id);
+  tracer_->span(trace::Stage::kDiskOverhead, t, t + overhead, access, track,
+                id_, id);
+  t += overhead;
+  tracer_->span(trace::Stage::kDiskSeek, t, t + seek, access, track, id_, id);
+  t += seek;
+  tracer_->span(trace::Stage::kDiskRotate, t, t + rotate, access, track, id_,
+                id);
+  t += rotate;
+  tracer_->span(trace::Stage::kDiskTransfer, t, end, access, track, id_, id);
 }
 
 void Disk::scheduleCompletion() {
@@ -300,6 +364,7 @@ void Disk::scheduleCompletion() {
             req.bytes;
         last_stream_ = req.spec.stream;
         has_served_ = true;
+        if (tracer_ != nullptr) traceCompletion(req, id);
         // Move out and reclaim the slot first: completion handlers may
         // re-enter submit(), which can recycle slots_ storage.
         CompletionFn done = std::move(req.done);
@@ -309,26 +374,45 @@ void Disk::scheduleCompletion() {
       });
 }
 
-SimTime Disk::serviceTime(const Request& r) {
+Disk::ServiceParts Disk::serviceParts(const Request& r) {
+  // `total` accumulates term-by-term in the historical order; the
+  // component fields just regroup the same values. Both the rng draw
+  // sequence and the floating-point sum are bit-identical to the
+  // undecomposed model, so attaching a tracer never moves a timestamp.
+  ServiceParts p;
   SimTime t = 0.0;
   const SimTime rev = params_.revolution();
   bool prior_is_same_stream = has_served_ && last_stream_ == r.spec.stream;
   for (const auto& e : r.spec.extents) {
     t += params_.command_overhead;
+    p.overhead += params_.command_overhead;
     const bool sequential = e.continues_previous && prior_is_same_stream;
     if (sequential) {
-      if (rng_.bernoulli(params_.seq_miss_prob)) t += rng_.uniform() * rev;
+      if (rng_.bernoulli(params_.seq_miss_prob)) {
+        const SimTime rot = rng_.uniform() * rev;
+        t += rot;
+        p.rotate += rot;
+      }
     } else {
-      t += r.spec.seek_scale *
-               rng_.uniform(params_.seek_min, params_.seek_max) +
-           rng_.uniform() * rev;
+      const SimTime seek =
+          r.spec.seek_scale * rng_.uniform(params_.seek_min, params_.seek_max);
+      const SimTime rot = rng_.uniform() * rev;
+      t += seek + rot;
+      p.seek += seek;
+      p.rotate += rot;
     }
-    t += static_cast<double>(e.bytes) / r.spec.media_rate;
-    t += static_cast<double>(e.bytes) /
-         static_cast<double>(params_.track_bytes) * params_.track_switch;
+    const SimTime xfer = static_cast<double>(e.bytes) / r.spec.media_rate;
+    t += xfer;
+    p.transfer += xfer;
+    const SimTime track_switch =
+        static_cast<double>(e.bytes) /
+        static_cast<double>(params_.track_bytes) * params_.track_switch;
+    t += track_switch;
+    p.overhead += track_switch;
     prior_is_same_stream = true;  // later extents follow our own head state
   }
-  return t;
+  p.total = t;
+  return p;
 }
 
 }  // namespace robustore::disk

@@ -12,6 +12,7 @@
 #include "disk/layout.hpp"
 #include "disk/params.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace robustore::disk {
 
@@ -192,7 +193,24 @@ class Disk {
     failure_listener_ = std::move(listener);
   }
 
+  /// Attaches a tracer (null = tracing off, the default). When set, every
+  /// completed request emits its queue-wait/overhead/seek/rotate/transfer
+  /// spans and every fault verb emits a fault.* event.
+  void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
+  /// Decomposed service time of one request. `total` is accumulated in
+  /// the exact term order the model always used, so enabling the
+  /// decomposition cannot perturb a single timestamp; the component
+  /// fields regroup the same terms for the trace.
+  struct ServiceParts {
+    SimTime overhead = 0.0;  // command overhead + track switches
+    SimTime seek = 0.0;
+    SimTime rotate = 0.0;
+    SimTime transfer = 0.0;
+    SimTime total = 0.0;
+  };
+
   struct Request {
     DiskRequestSpec spec;
     CompletionFn done;
@@ -200,6 +218,10 @@ class Disk {
     Bytes bytes = 0;
     RequestState state = RequestState::kPending;
     std::uint32_t generation = 0;
+    /// Trace bookkeeping (only maintained while a tracer is attached).
+    SimTime submitted = 0.0;
+    SimTime service_start = 0.0;
+    ServiceParts parts;
   };
 
   static constexpr RequestId makeId(std::uint32_t slot, std::uint32_t gen) {
@@ -225,7 +247,9 @@ class Disk {
   void startService(RequestId id);
   /// (Re)schedules the in-service completion event at `service_end_`.
   void scheduleCompletion();
-  [[nodiscard]] SimTime serviceTime(const Request& r);
+  [[nodiscard]] ServiceParts serviceParts(const Request& r);
+  /// Emits the per-stage spans of a request that just completed.
+  void traceCompletion(const Request& r, RequestId id);
 
   sim::Engine* engine_;
   DiskParams params_;
@@ -248,6 +272,7 @@ class Disk {
   Bytes bytes_served_[2] = {0, 0};
   SimTime busy_time_[2] = {0.0, 0.0};
   FailureListener failure_listener_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace robustore::disk

@@ -26,6 +26,14 @@ void FaultInjector::schedule(const FaultSpec& spec) {
 void FaultInjector::apply(const FaultSpec& spec) {
   disk::Disk& d = resolve_(spec.disk);
   ++injected_[static_cast<std::size_t>(spec.kind)];
+  if (tracer_ != nullptr) {
+    static const char* const kInjectNames[] = {
+        "fault.inject.fail_stop", "fault.inject.crash_recover",
+        "fault.inject.transient_stall", "fault.inject.slow_disk"};
+    tracer_->instant(kInjectNames[static_cast<std::size_t>(spec.kind)],
+                     engine_->now(), /*access=*/0, trace::kFaultTrack,
+                     d.id());
+  }
   switch (spec.kind) {
     case FaultKind::kFailStop:
       d.failStop();

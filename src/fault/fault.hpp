@@ -8,6 +8,7 @@
 #include "common/units.hpp"
 #include "disk/disk.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace robustore::fault {
 
@@ -106,6 +107,9 @@ class FaultInjector {
   [[nodiscard]] static std::vector<FaultSpec> drawSchedule(
       const FaultModel& model, std::uint32_t num_disks, Rng& rng);
 
+  /// Records a "fault.inject" instant per applied fault. Null = off.
+  void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   /// Faults whose injection time arrived (per kind, cumulative).
   [[nodiscard]] std::uint32_t injected(FaultKind kind) const {
     return injected_[static_cast<std::size_t>(kind)];
@@ -117,6 +121,7 @@ class FaultInjector {
 
   sim::Engine* engine_;
   DiskResolver resolve_;
+  trace::Tracer* tracer_ = nullptr;
   std::uint32_t injected_[4] = {0, 0, 0, 0};
 };
 

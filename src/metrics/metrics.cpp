@@ -12,9 +12,23 @@ void AccessAggregate::merge(const AccessAggregate& other) {
   reissued_requests_.merge(other.reissued_requests_);
   time_lost_.merge(other.time_lost_);
   incomplete_ += other.incomplete_;
+  stages_ += other.stages_;
+}
+
+double AccessAggregate::meanStageSeconds(trace::Stage stage) const {
+  const std::size_t n = latency_.count();
+  return n == 0 ? 0.0 : stages_.stageSeconds(stage) / static_cast<double>(n);
 }
 
 void AccessAggregate::add(const AccessMetrics& m) {
+  // The degraded-mode ledger accumulates over *all* accesses: a failed
+  // access is exactly the kind these counters exist to explain (a
+  // fail-fast RAID-0 access dies *because* of the failure it observed).
+  // Restricting them to completed accesses — as the performance figures
+  // below must be — silently biases the means toward survivors.
+  failures_survived_.add(m.failures_survived);
+  reissued_requests_.add(m.reissued_requests);
+  time_lost_.add(m.time_lost_to_failures);
   if (!m.complete) {
     ++incomplete_;
     return;
@@ -24,9 +38,7 @@ void AccessAggregate::add(const AccessMetrics& m) {
   latency_samples_.add(m.latency);
   io_overhead_.add(m.ioOverhead());
   reception_.add(m.receptionOverhead());
-  failures_survived_.add(m.failures_survived);
-  reissued_requests_.add(m.reissued_requests);
-  time_lost_.add(m.time_lost_to_failures);
+  stages_ += m.stages;
 }
 
 }  // namespace robustore::metrics

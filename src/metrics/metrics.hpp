@@ -4,6 +4,7 @@
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "trace/trace.hpp"
 
 namespace robustore::metrics {
 
@@ -28,6 +29,9 @@ struct AccessMetrics {
   std::uint32_t failures_survived = 0;
   std::uint32_t reissued_requests = 0;
   SimTime time_lost_to_failures = 0.0;
+  /// Per-stage latency decomposition of the access (all zero unless the
+  /// trial ran with tracing enabled).
+  trace::StageBreakdown stages;
 
   /// Delivered bandwidth: original data size over access latency (MB/s).
   [[nodiscard]] double bandwidthMBps() const {
@@ -78,8 +82,10 @@ class AccessAggregate {
   [[nodiscard]] const RunningStats& ioOverhead() const { return io_overhead_; }
   [[nodiscard]] std::size_t incompleteCount() const { return incomplete_; }
 
-  /// Degraded-mode figures over the *completed* accesses: how much
-  /// failure each access rode through, and what that cost.
+  /// Degraded-mode figures over *all* accesses, completed or not: how
+  /// much failure each access rode through (or died to), and what that
+  /// cost. Failed accesses are included on purpose — they are the ones
+  /// the ledger exists to explain.
   [[nodiscard]] double meanFailuresSurvived() const {
     return failures_survived_.mean();
   }
@@ -89,6 +95,14 @@ class AccessAggregate {
   [[nodiscard]] double meanTimeLostToFailures() const {
     return time_lost_.mean();
   }
+
+  /// Per-stage latency totals over the completed accesses (completed
+  /// only, so the stage sums decompose the latency mean above).
+  [[nodiscard]] const trace::StageBreakdown& stageTotals() const {
+    return stages_;
+  }
+  /// Mean span time per completed access for one stage.
+  [[nodiscard]] double meanStageSeconds(trace::Stage stage) const;
 
   /// Latency distribution view: percentile of per-access latency. The
   /// robustness story is really about the latency *tail*, which the
@@ -106,6 +120,7 @@ class AccessAggregate {
   RunningStats failures_survived_;
   RunningStats reissued_requests_;
   RunningStats time_lost_;
+  trace::StageBreakdown stages_;
   std::size_t incomplete_ = 0;
 };
 

@@ -25,6 +25,21 @@ SimTime Link::reserveSendFrom(SimTime earliest, Bytes bytes) {
   return busy_until_ + oneWayLatency();
 }
 
+SimTime Link::reserveSend(Bytes bytes, std::uint64_t stream) {
+  return reserveSendFrom(engine_->now(), bytes, stream);
+}
+
+SimTime Link::reserveSendFrom(SimTime earliest, Bytes bytes,
+                              std::uint64_t stream) {
+  const SimTime start =
+      std::max({engine_->now(), earliest, busy_until_});
+  const SimTime arrival = reserveSendFrom(earliest, bytes);
+  if (tracer_ != nullptr) {
+    tracer_->span(trace::Stage::kNetTransfer, start, arrival, stream, track_);
+  }
+  return arrival;
+}
+
 SimTime Link::controlArrival() const { return engine_->now() + oneWayLatency(); }
 
 }  // namespace robustore::net

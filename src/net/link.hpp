@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
+
 #include "common/units.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace robustore::net {
 
@@ -31,14 +34,30 @@ class Link {
   /// chain links: server NIC then the shared client downlink.
   [[nodiscard]] SimTime reserveSendFrom(SimTime earliest, Bytes bytes);
 
+  /// Stream-attributed variants: identical arithmetic, but when a tracer
+  /// is attached the reservation emits a net.transfer span for `stream`
+  /// covering serialisation start through arrival.
+  [[nodiscard]] SimTime reserveSend(Bytes bytes, std::uint64_t stream);
+  [[nodiscard]] SimTime reserveSendFrom(SimTime earliest, Bytes bytes,
+                                        std::uint64_t stream);
+
   /// Arrival time of a zero-payload control message sent now.
   [[nodiscard]] SimTime controlArrival() const;
+
+  /// Attaches a tracer and the display track this link's transfers render
+  /// on (null tracer = tracing off, the default).
+  void setTrace(trace::Tracer* tracer, std::uint32_t track) {
+    tracer_ = tracer;
+    track_ = track;
+  }
 
  private:
   sim::Engine* engine_;
   SimTime rtt_;
   double bandwidth_;
   SimTime busy_until_ = 0.0;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 }  // namespace robustore::net

@@ -23,13 +23,22 @@ StorageServer::StorageServer(sim::Engine& engine, const ServerConfig& config,
   }
 }
 
+void StorageServer::setTracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  link_.setTrace(tracer, trace::serverNicTrack(id_));
+  if (client_link_ != nullptr) {
+    client_link_->setTrace(tracer, trace::kClientLinkTrack);
+  }
+  for (auto& d : disks_) d->setTracer(tracer);
+}
+
 void StorageServer::dispatchToClient(disk::StreamId stream, Bytes bytes,
                                      bool cache_hit,
                                      const DeliveryFn& on_delivered) {
   network_bytes_[stream] += bytes;
-  SimTime arrival = link_.reserveSend(bytes);
+  SimTime arrival = link_.reserveSend(bytes, stream);
   if (client_link_ != nullptr) {
-    arrival = client_link_->reserveSendFrom(arrival, bytes);
+    arrival = client_link_->reserveSendFrom(arrival, bytes, stream);
   }
   engine_->scheduleAt(arrival, [on_delivered, cache_hit] {
     on_delivered(cache_hit);
@@ -46,15 +55,28 @@ StorageServer::ReadHandle StorageServer::readBlock(const BlockRead& req,
       cache_.enabled() ? cache_.linesPerBlock(block_bytes) : 0;
   auto handle = std::make_shared<ReadTicket>();
   handle->disk_index = req.disk_index;
+  const SimTime issued = engine_->now();
 
   // Request control message travels to the filer first.
   engine_->schedule(link_.oneWayLatency(),
-                    [this, req, block_bytes, lines, handle,
+                    [this, req, block_bytes, lines, handle, issued,
                      cb = std::move(on_delivered),
                      fail = std::move(on_failed)]() mutable {
     if (handle->cancelled) return;
+    if (tracer_ != nullptr) {
+      // Forward stage: client issue through the filer's dispatch decision
+      // (cache probe or disk hand-off, both immediate once here).
+      tracer_->span(trace::Stage::kServerForward, issued, engine_->now(),
+                    req.stream, trace::serverNicTrack(id_),
+                    disks_[req.disk_index]->id());
+    }
     if (cache_.enabled() && cache_.containsBlock(req.cache_key, lines)) {
       handle->dispatched = true;
+      if (tracer_ != nullptr) {
+        tracer_->instant("server.cache_hit", engine_->now(), req.stream,
+                         trace::serverNicTrack(id_),
+                         disks_[req.disk_index]->id(), req.cache_key);
+      }
       dispatchToClient(req.stream, block_bytes, /*cache_hit=*/true, cb);
       return;
     }
@@ -118,11 +140,16 @@ void StorageServer::writeBlock(const BlockWrite& req, AckFn on_ack,
   const Bytes block_bytes = req.layout->blockBytes();
   // The payload must cross the network in full regardless of outcome.
   network_bytes_[req.stream] += block_bytes;
+  const SimTime issued = engine_->now();
 
   engine_->schedule(link_.oneWayLatency(),
-                    [this, req, cb = std::move(on_ack),
+                    [this, req, issued, cb = std::move(on_ack),
                      fail = std::move(on_failed)]() mutable {
     disk::Disk& d = *disks_[req.disk_index];
+    if (tracer_ != nullptr) {
+      tracer_->span(trace::Stage::kServerForward, issued, engine_->now(),
+                    req.stream, trace::serverNicTrack(id_), d.id());
+    }
     disk::DiskRequestSpec spec;
     spec.stream = req.stream;
     spec.priority = disk::Priority::kForeground;

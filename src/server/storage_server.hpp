@@ -105,6 +105,10 @@ class StorageServer {
   /// bandwidth, the paper's assumption.
   void setClientLink(net::Link* link) { client_link_ = link; }
 
+  /// Attaches a tracer to this server, its NIC link, and every attached
+  /// disk (null = tracing off, the default).
+  void setTracer(trace::Tracer* tracer);
+
   /// Issues a block read from the client side, now. `on_failed` (optional)
   /// fires instead of `on_delivered` if the serving disk fails first.
   ReadHandle readBlock(const BlockRead& req, DeliveryFn on_delivered,
@@ -146,6 +150,7 @@ class StorageServer {
   AdmissionController admission_;
   std::vector<std::unique_ptr<disk::Disk>> disks_;
   std::unordered_map<disk::StreamId, Bytes> network_bytes_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace robustore::server

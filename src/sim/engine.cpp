@@ -57,7 +57,27 @@ std::size_t Engine::run() {
   return runLoop(std::numeric_limits<SimTime>::infinity());
 }
 
-std::size_t Engine::runUntil(SimTime deadline) { return runLoop(deadline); }
+std::size_t Engine::runUntil(SimTime deadline) {
+  const std::size_t fired = runLoop(deadline);
+  // Advance the clock to the boundary the bounded run actually reached:
+  // min(deadline, next live event). Without this, now() reports the last
+  // *fired* event's time, and callers that schedule relative to "now"
+  // after a bounded run (multi-client pacing, background workload) are
+  // silently early. stop() interrupts mid-run, so it must not advance.
+  if (!stopped_) {
+    SimTime target = deadline;
+    while (!queue_.empty() && resolve(queue_.top().handle) == nullptr) {
+      queue_.pop();  // discard cancelled events blocking the peek
+    }
+    if (!queue_.empty() && queue_.top().time < target) {
+      target = queue_.top().time;
+    }
+    if (target > now_ && target < std::numeric_limits<SimTime>::infinity()) {
+      now_ = target;
+    }
+  }
+  return fired;
+}
 
 std::size_t Engine::runLoop(SimTime deadline) {
   stopped_ = false;

@@ -1,0 +1,221 @@
+#include "trace/chrome_trace.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+namespace robustore::trace {
+namespace {
+
+constexpr double kMicros = 1e6;
+
+void appendMicros(std::string& out, SimTime seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * kMicros);
+  out += buf;
+}
+
+/// Category = the component prefix of the record name ("disk.seek" ->
+/// "disk"); groups lanes in the Perfetto UI.
+std::string_view categoryOf(std::string_view name) {
+  const auto dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+std::string trackLabel(std::uint32_t track) {
+  if (track == kClientTrack) return "client";
+  if (track == kFaultTrack) return "faults";
+  if (track == kClientLinkTrack) return "client downlink";
+  if (track >= serverNicTrack(0)) {
+    return "server " + std::to_string(track - serverNicTrack(0)) + " nic";
+  }
+  return "disk " + std::to_string(track - diskTrack(0));
+}
+
+void appendMeta(std::string& out, const char* kind, std::uint64_t pid,
+                const std::uint32_t* tid, const std::string& label) {
+  out += "{\"name\":\"";
+  out += kind;
+  out += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  if (tid != nullptr) out += ",\"tid\":" + std::to_string(*tid);
+  out += ",\"args\":{\"name\":\"" + label + "\"}}";
+}
+
+}  // namespace
+
+std::string toChromeTraceJson(const Tracer& tracer, std::uint64_t access) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Metadata first: name each access "process" and track "thread" in
+  // first-seen record order (deterministic — no hashing involved).
+  std::vector<std::uint64_t> pids;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> tids;
+  for (const Record& r : tracer.records()) {
+    if (access != 0 && r.access != access) continue;
+    bool new_pid = true;
+    for (const auto p : pids) new_pid &= p != r.access;
+    if (new_pid) {
+      pids.push_back(r.access);
+      comma();
+      appendMeta(out, "process_name", r.access, nullptr,
+                 r.access == 0 ? "system" : "access " +
+                                                std::to_string(r.access));
+    }
+    bool new_tid = true;
+    for (const auto& [p, t] : tids) new_tid &= p != r.access || t != r.track;
+    if (new_tid) {
+      tids.emplace_back(r.access, r.track);
+      comma();
+      appendMeta(out, "thread_name", r.access, &r.track,
+                 trackLabel(r.track));
+    }
+  }
+
+  for (const Record& r : tracer.records()) {
+    if (access != 0 && r.access != access) continue;
+    comma();
+    out += "{\"name\":\"";
+    out += r.name;
+    out += "\",\"cat\":\"";
+    out += categoryOf(r.name);
+    out += "\",\"ph\":\"";
+    out += r.instant ? "i" : "X";
+    out += "\",\"ts\":";
+    appendMicros(out, r.begin);
+    if (r.instant) {
+      out += ",\"s\":\"t\"";
+    } else {
+      out += ",\"dur\":";
+      appendMicros(out, r.end - r.begin);
+    }
+    out += ",\"pid\":" + std::to_string(r.access);
+    out += ",\"tid\":" + std::to_string(r.track);
+    out += ",\"args\":{";
+    bool first_arg = true;
+    if (r.disk != kNoDisk) {
+      out += "\"disk\":" + std::to_string(r.disk);
+      first_arg = false;
+    }
+    if (r.ref != 0) {
+      if (!first_arg) out += ",";
+      out += "\"ref\":" + std::to_string(r.ref);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool writeChromeTraceJson(const Tracer& tracer, const std::string& path,
+                          std::uint64_t access) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = toChromeTraceJson(tracer, access);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+namespace {
+
+struct JsonCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+  void skipWs() {
+    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) ++pos;
+  }
+  bool consume(char c) {
+    if (done() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+  bool consumeLiteral(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool value(int depth);
+  bool string();
+  bool number();
+};
+
+bool JsonCursor::string() {
+  if (!consume('"')) return false;
+  while (!done()) {
+    const char c = text[pos++];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (done()) return false;
+      ++pos;  // accept any escape; structural validity is all we check
+    }
+  }
+  return false;
+}
+
+bool JsonCursor::number() {
+  const std::size_t start = pos;
+  if (!done() && peek() == '-') ++pos;
+  while (!done() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                     peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                     peek() == '+' || peek() == '-')) {
+    ++pos;
+  }
+  return pos > start;
+}
+
+bool JsonCursor::value(int depth) {
+  if (depth > 64) return false;
+  skipWs();
+  if (done()) return false;
+  const char c = peek();
+  if (c == '{') {
+    ++pos;
+    skipWs();
+    if (consume('}')) return true;
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (!consume(':')) return false;
+      if (!value(depth + 1)) return false;
+      skipWs();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  if (c == '[') {
+    ++pos;
+    skipWs();
+    if (consume(']')) return true;
+    while (true) {
+      if (!value(depth + 1)) return false;
+      skipWs();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  if (c == '"') return string();
+  if (c == 't') return consumeLiteral("true");
+  if (c == 'f') return consumeLiteral("false");
+  if (c == 'n') return consumeLiteral("null");
+  return number();
+}
+
+}  // namespace
+
+bool validJson(std::string_view text) {
+  JsonCursor cur{text};
+  if (!cur.value(0)) return false;
+  cur.skipWs();
+  return cur.done();
+}
+
+}  // namespace robustore::trace

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace robustore::trace {
+
+/// Serialises a tracer to Chrome `trace_event` JSON (the format Perfetto
+/// and chrome://tracing load): one process per access, one thread per
+/// display track, complete ("X") events for spans and "i" events for
+/// instants. Timestamps are microseconds with fixed 3-decimal formatting,
+/// so equal inputs serialise byte-identically. `access` filters to one
+/// access id (0 = everything the tracer recorded).
+[[nodiscard]] std::string toChromeTraceJson(const Tracer& tracer,
+                                            std::uint64_t access = 0);
+
+/// Writes toChromeTraceJson to `path`; false on I/O failure.
+[[nodiscard]] bool writeChromeTraceJson(const Tracer& tracer,
+                                        const std::string& path,
+                                        std::uint64_t access = 0);
+
+/// Minimal structural JSON validator (objects, arrays, strings, numbers,
+/// literals). Backs the trace smoke test and the CLI's self-check; not a
+/// general-purpose parser.
+[[nodiscard]] bool validJson(std::string_view text);
+
+}  // namespace robustore::trace

@@ -1,0 +1,96 @@
+#include "trace/trace.hpp"
+
+#include "common/expects.hpp"
+
+namespace robustore::trace {
+
+const char* stageName(Stage stage) {
+  switch (stage) {
+    case Stage::kDiskQueueWait:
+      return "disk.queue_wait";
+    case Stage::kDiskOverhead:
+      return "disk.overhead";
+    case Stage::kDiskSeek:
+      return "disk.seek";
+    case Stage::kDiskRotate:
+      return "disk.rotate";
+    case Stage::kDiskTransfer:
+      return "disk.transfer";
+    case Stage::kNetTransfer:
+      return "net.transfer";
+    case Stage::kServerForward:
+      return "server.forward";
+    case Stage::kClientDecode:
+      return "client.decode";
+    case Stage::kClientReissue:
+      return "client.reissue";
+  }
+  return "?";
+}
+
+void Tracer::span(Stage stage, SimTime begin, SimTime end,
+                  std::uint64_t access, std::uint32_t track,
+                  std::uint32_t disk, std::uint64_t ref) {
+  if (!enabled_) return;
+  ROBUSTORE_EXPECTS(end >= begin, "span ends before it begins");
+  Record r;
+  r.name = stageName(stage);
+  r.stage = static_cast<std::uint8_t>(stage);
+  r.begin = begin;
+  r.end = end;
+  r.access = access;
+  r.track = track;
+  r.disk = disk;
+  r.ref = ref;
+  records_.push_back(r);
+}
+
+void Tracer::namedSpan(const char* name, SimTime begin, SimTime end,
+                       std::uint64_t access, std::uint32_t track,
+                       std::uint32_t disk, std::uint64_t ref) {
+  if (!enabled_) return;
+  ROBUSTORE_EXPECTS(end >= begin, "span ends before it begins");
+  Record r;
+  r.name = name;
+  r.begin = begin;
+  r.end = end;
+  r.access = access;
+  r.track = track;
+  r.disk = disk;
+  r.ref = ref;
+  records_.push_back(r);
+}
+
+void Tracer::instant(const char* name, SimTime at, std::uint64_t access,
+                     std::uint32_t track, std::uint32_t disk,
+                     std::uint64_t ref) {
+  if (!enabled_) return;
+  Record r;
+  r.name = name;
+  r.instant = true;
+  r.begin = at;
+  r.end = at;
+  r.access = access;
+  r.track = track;
+  r.disk = disk;
+  r.ref = ref;
+  records_.push_back(r);
+}
+
+void Tracer::append(const Tracer& other) {
+  if (!enabled_) return;
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+}
+
+StageBreakdown Tracer::breakdown(std::uint64_t access) const {
+  StageBreakdown out;
+  for (const Record& r : records_) {
+    if (r.instant || r.stage == kNoStage) continue;
+    if (access != 0 && r.access != access) continue;
+    out.addSpan(static_cast<Stage>(r.stage), r.end - r.begin);
+  }
+  return out;
+}
+
+}  // namespace robustore::trace

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace robustore::trace {
+
+/// The latency stages of an access (§6.2.3's decomposition: where does
+/// access time go?). Every span the instrumentation emits is either one
+/// of these stages or a named event outside the taxonomy (fault.*,
+/// scheme-specific markers).
+enum class Stage : std::uint8_t {
+  kDiskQueueWait,  // submit -> service start (queueing behind other work)
+  kDiskOverhead,   // command overhead + track switches
+  kDiskSeek,       // head positioning
+  kDiskRotate,     // rotational delay
+  kDiskTransfer,   // media transfer
+  kNetTransfer,    // NIC serialisation + one-way latency
+  kServerForward,  // client request issue -> filer dispatch decision
+  kClientDecode,   // LT decode tail after the last arrival
+  kClientReissue,  // backoff window before a failure-triggered re-issue
+};
+
+inline constexpr std::size_t kNumStages = 9;
+inline constexpr std::uint8_t kNoStage = 0xff;
+inline constexpr std::uint32_t kNoDisk = ~std::uint32_t{0};
+
+[[nodiscard]] const char* stageName(Stage stage);
+
+/// Display tracks (Chrome trace_event "threads"): one per disk, one per
+/// server NIC, one for the client and one for fault injection, so a
+/// single access renders as parallel swim lanes.
+inline constexpr std::uint32_t kClientTrack = 0;
+inline constexpr std::uint32_t kFaultTrack = 1;
+inline constexpr std::uint32_t kClientLinkTrack = 2;
+[[nodiscard]] constexpr std::uint32_t diskTrack(std::uint32_t disk) {
+  return 10 + disk;
+}
+[[nodiscard]] constexpr std::uint32_t serverNicTrack(std::uint32_t server) {
+  return 5000 + server;
+}
+
+/// Per-access sum of span time (and span count) per stage — the paper's
+/// latency decomposition, folded through AccessMetrics into the bench
+/// reports.
+struct StageBreakdown {
+  double seconds[kNumStages] = {};
+  std::uint32_t spans[kNumStages] = {};
+
+  void addSpan(Stage stage, double duration) {
+    seconds[static_cast<std::size_t>(stage)] += duration;
+    ++spans[static_cast<std::size_t>(stage)];
+  }
+  [[nodiscard]] double stageSeconds(Stage stage) const {
+    return seconds[static_cast<std::size_t>(stage)];
+  }
+  [[nodiscard]] std::uint32_t stageSpans(Stage stage) const {
+    return spans[static_cast<std::size_t>(stage)];
+  }
+  [[nodiscard]] bool empty() const {
+    for (const auto s : spans) {
+      if (s != 0) return false;
+    }
+    return true;
+  }
+  StageBreakdown& operator+=(const StageBreakdown& other) {
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      seconds[i] += other.seconds[i];
+      spans[i] += other.spans[i];
+    }
+    return *this;
+  }
+};
+
+/// One recorded span or instant. `name` must point at static storage
+/// (string literals / stageName) — records are plain data, never owners.
+struct Record {
+  const char* name = "";
+  std::uint8_t stage = kNoStage;  // Stage index, or kNoStage for named events
+  bool instant = false;
+  SimTime begin = 0.0;
+  SimTime end = 0.0;
+  /// Access (stream) id the record belongs to; 0 = system-wide.
+  std::uint64_t access = 0;
+  /// Display track (see diskTrack / serverNicTrack).
+  std::uint32_t track = kClientTrack;
+  /// Global disk id when the record is about one disk, else kNoDisk.
+  std::uint32_t disk = kNoDisk;
+  /// Free-form correlation key (disk request handle, block position...).
+  std::uint64_t ref = 0;
+};
+
+/// Sim-time-aware structured tracer. Owned by the trial (one tracer per
+/// engine): components hold a `Tracer*` that is null when tracing is off,
+/// so every instrumentation site is a single pointer test on the hot
+/// path. Timestamps are passed in explicitly — the tracer knows nothing
+/// about the engine, which keeps `trace` a leaf module.
+///
+/// Determinism: records are appended in event-execution order, which the
+/// engine already makes deterministic; the tracer draws no randomness and
+/// per-trial tracers merge in trial order (append()), so traced output is
+/// byte-identical for any thread count.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void span(Stage stage, SimTime begin, SimTime end, std::uint64_t access,
+            std::uint32_t track, std::uint32_t disk = kNoDisk,
+            std::uint64_t ref = 0);
+  /// Span outside the stage taxonomy (e.g. the whole-access envelope).
+  void namedSpan(const char* name, SimTime begin, SimTime end,
+                 std::uint64_t access, std::uint32_t track,
+                 std::uint32_t disk = kNoDisk, std::uint64_t ref = 0);
+  void instant(const char* name, SimTime at, std::uint64_t access,
+               std::uint32_t track, std::uint32_t disk = kNoDisk,
+               std::uint64_t ref = 0);
+
+  /// Appends another tracer's records after this one's (trial-order
+  /// merge; ordering is the caller's contract).
+  void append(const Tracer& other);
+
+  /// Sums span time per stage for one access (0 = every access).
+  [[nodiscard]] StageBreakdown breakdown(std::uint64_t access = 0) const;
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  bool enabled_ = true;
+  std::vector<Record> records_;
+};
+
+}  // namespace robustore::trace

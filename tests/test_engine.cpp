@@ -130,5 +130,73 @@ TEST(Engine, PendingEventsCountsLiveOnly) {
   EXPECT_EQ(e.pendingEvents(), 1u);
 }
 
+TEST(Engine, RunUntilAdvancesClockToDeadlineWhenQueueDrains) {
+  Engine e;
+  e.schedule(1.0, [] {});
+  e.runUntil(5.0);
+  // The bounded run covered [0, 5]: the clock must say so even though the
+  // last event fired at 1.0.
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, RunUntilWithPendingFutureEventStopsAtDeadline) {
+  Engine e;
+  e.schedule(1.0, [] {});
+  e.schedule(10.0, [] {});
+  e.runUntil(5.0);
+  // Time passed up to the deadline; the event at 10.0 was not reached and
+  // stays pending for a later run.
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_EQ(e.pendingEvents(), 1u);
+  e.runUntil(8.0);  // nothing fires in (5, 8], but time still passes
+  EXPECT_DOUBLE_EQ(e.now(), 8.0);
+  int late = 0;
+  e.schedule(0.5, [&] { ++late; });  // relative to 8.0, not to 1.0
+  e.runUntil(9.0);
+  EXPECT_EQ(late, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(Engine, RunUntilOnEmptyQueueAdvancesToDeadline) {
+  Engine e;
+  EXPECT_EQ(e.runUntil(3.0), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  // Deadlines are absolute: an earlier one is a no-op.
+  e.runUntil(2.0);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, RunUntilSkipsCancelledEventsWhenAdvancing) {
+  Engine e;
+  const EventId a = e.schedule(2.0, [] {});
+  e.cancel(a);
+  e.runUntil(5.0);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_EQ(e.pendingEvents(), 0u);
+}
+
+TEST(Engine, StopDuringRunUntilDoesNotAdvanceToDeadline) {
+  Engine e;
+  e.schedule(1.0, [&] { e.stop(); });
+  e.schedule(2.0, [] {});
+  e.runUntil(5.0);
+  // stop() interrupts the run mid-way: the clock stays at the stopping
+  // event, and the remaining event is still pending.
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+  EXPECT_EQ(e.pendingEvents(), 1u);
+}
+
+TEST(Engine, ScheduleAfterRunUntilIsRelativeToDeadline) {
+  Engine e;
+  e.schedule(1.0, [] {});
+  e.runUntil(5.0);
+  SimTime fired_at = -1.0;
+  e.schedule(1.0, [&] { fired_at = e.now(); });
+  e.run();
+  // Pre-fix, now() was stuck at 1.0 and this event fired at 2.0 — in the
+  // past relative to the window runUntil had already consumed.
+  EXPECT_DOUBLE_EQ(fired_at, 6.0);
+}
+
 }  // namespace
 }  // namespace robustore::sim

@@ -209,6 +209,32 @@ TEST_F(FailureToleranceFixture, StragglersSlowButCompleteEveryScheme) {
   }
 }
 
+TEST_F(FailureToleranceFixture, FailFastLedgerSurvivesAggregation) {
+  // Survivor-bias regression (aggregate level): a RAID-0 access killed by
+  // a fail-stop is incomplete, but its failure count and retry cost must
+  // still show up in the aggregated degraded-mode means.
+  access.request_timeout = 10.0;
+  access.max_reissues = 2;
+  access.reissue_delay = 0.05;
+  sim::Engine engine;
+  client::Cluster cluster(engine, config, Rng(90));
+  client::Raid0Scheme scheme(cluster);
+  Rng trial(12);
+  auto file = scheme.planFile(access, allDisks(), policy, trial);
+  engine.schedule(0.01, [&] { cluster.disk(2).failStop(); });
+  const auto m = scheme.read(file, access);
+  ASSERT_FALSE(m.complete);
+  ASSERT_GT(m.failures_survived, 0u);
+  ASSERT_GT(m.reissued_requests, 0u);
+
+  metrics::AccessAggregate agg;
+  agg.add(m);
+  EXPECT_EQ(agg.incompleteCount(), 1u);
+  EXPECT_GT(agg.meanFailuresSurvived(), 0.0);
+  EXPECT_GT(agg.meanReissuedRequests(), 0.0);
+  EXPECT_GT(agg.meanTimeLostToFailures(), 0.0);
+}
+
 TEST_F(FailureToleranceFixture, RobuStoreReissuesAreBounded) {
   // A fail-stopped disk triggers at most max_reissues re-issues per
   // tracked request it held; the access completes without a retry storm.

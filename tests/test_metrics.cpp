@@ -137,5 +137,67 @@ TEST(AccessAggregate, MergeAccumulatesIncompleteCounts) {
   EXPECT_EQ(a.trials(), 0u);
 }
 
+TEST(AccessAggregate, DegradedLedgerIncludesFailedAccesses) {
+  // Survivor-bias regression: an access that *died* to failures used to
+  // fall out of the degraded-mode means entirely, under-reporting exactly
+  // the accesses those figures exist to explain.
+  AccessAggregate agg;
+  AccessMetrics survivor;
+  survivor.complete = true;
+  survivor.latency = 1.0;
+  survivor.data_bytes = 1'000'000;
+  survivor.failures_survived = 1;
+  survivor.reissued_requests = 2;
+  survivor.time_lost_to_failures = 0.5;
+  agg.add(survivor);
+
+  AccessMetrics casualty;
+  casualty.complete = false;
+  casualty.failures_survived = 3;
+  casualty.reissued_requests = 4;
+  casualty.time_lost_to_failures = 1.5;
+  agg.add(casualty);
+
+  // Ledger means run over all accesses (2); paper metrics over the one
+  // completed access only.
+  EXPECT_EQ(agg.trials(), 1u);
+  EXPECT_EQ(agg.incompleteCount(), 1u);
+  EXPECT_DOUBLE_EQ(agg.meanFailuresSurvived(), 2.0);
+  EXPECT_DOUBLE_EQ(agg.meanReissuedRequests(), 3.0);
+  EXPECT_DOUBLE_EQ(agg.meanTimeLostToFailures(), 1.0);
+  EXPECT_DOUBLE_EQ(agg.meanLatency(), 1.0);
+}
+
+TEST(AccessAggregate, StageTotalsComeFromCompletedAccessesOnly) {
+  AccessAggregate agg;
+  AccessMetrics done;
+  done.complete = true;
+  done.latency = 2.0;
+  done.data_bytes = 1'000'000;
+  done.stages.addSpan(trace::Stage::kDiskSeek, 0.5);
+  done.stages.addSpan(trace::Stage::kDiskSeek, 0.5);
+  done.stages.addSpan(trace::Stage::kNetTransfer, 0.25);
+  agg.add(done);
+  agg.add(done);
+
+  AccessMetrics timed_out;
+  timed_out.complete = false;
+  timed_out.stages.addSpan(trace::Stage::kDiskSeek, 100.0);
+  agg.add(timed_out);
+
+  // Stage means decompose the completed-access latency mean, so the
+  // timed-out access must not leak into them.
+  EXPECT_DOUBLE_EQ(agg.meanStageSeconds(trace::Stage::kDiskSeek), 1.0);
+  EXPECT_DOUBLE_EQ(agg.meanStageSeconds(trace::Stage::kNetTransfer), 0.25);
+  EXPECT_EQ(agg.stageTotals().stageSpans(trace::Stage::kDiskSeek), 4u);
+
+  // merge() folds stage totals too.
+  AccessAggregate other;
+  other.add(done);
+  agg.merge(other);
+  EXPECT_DOUBLE_EQ(agg.stageTotals().stageSeconds(trace::Stage::kDiskSeek),
+                   3.0);
+}
+
 }  // namespace
 }  // namespace robustore::metrics

@@ -54,18 +54,30 @@ TEST_P(XorSizeTest, DoubleXorIsIdentity) {
   EXPECT_EQ(dst, original);
 }
 
-// Sizes straddle every code path: empty, sub-lane, unaligned tails,
-// unroll-boundary, and large buffers.
+// Sizes straddle every code path: empty, sub-lane, unaligned tails, the
+// 32-byte unroll boundary (and its multiples), and large buffers.
 INSTANTIATE_TEST_SUITE_P(Sizes, XorSizeTest,
                          ::testing::Values(0, 1, 3, 7, 8, 9, 15, 16, 31, 32,
-                                           33, 63, 64, 65, 255, 1024, 4097,
-                                           65536, 1048576));
+                                           33, 63, 64, 65, 95, 96, 97, 127,
+                                           128, 129, 255, 1024, 4097, 65536,
+                                           1048576));
 
 TEST(XorKernel, SelfXorZeroes) {
   Rng rng(3);
   auto buf = randomBytes(1000, rng);
   xorInto(buf, buf);
   for (const auto b : buf) EXPECT_EQ(b, 0);
+}
+
+TEST(XorKernel, XorInto2WithEqualSourcesIsIdentity) {
+  // a ^ a cancels, so the destination must come back untouched — true in
+  // the unrolled, single-lane, and byte-tail paths alike.
+  Rng rng(5);
+  auto buf = randomBytes(1000, rng);
+  const auto original = buf;
+  const auto src = randomBytes(1000, rng);
+  xorInto2(buf, src, src);
+  EXPECT_EQ(buf, original);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "trace/chrome_trace.hpp"
 
 namespace {
 
@@ -46,8 +47,16 @@ void usage(const char* argv0) {
       "                       cores / ROBUSTORE_THREADS; results are\n"
       "                       identical for every value)\n"
       "  --seed S             master RNG seed             (default 42)\n"
-      "  --csv                machine-readable output\n",
-      argv0);
+      "  --csv                machine-readable output\n"
+      "\n"
+      "subcommand: %s trace [options] [--trial N] [--out PATH]\n"
+      "  Runs ONE trial with structured tracing and writes the trace in\n"
+      "  Chrome trace_event JSON (load in Perfetto / chrome://tracing).\n"
+      "  Takes the options above except --trials/--threads/--csv and the\n"
+      "  trial-coupling flags; --scheme all defaults to robustore. The\n"
+      "  per-stage breakdown summary goes to stderr; the JSON goes to\n"
+      "  --out PATH, or stdout when --out is omitted.\n",
+      argv0, argv0);
 }
 
 struct Options {
@@ -199,9 +208,87 @@ std::optional<Options> parse(int argc, char** argv) {
   return opt;
 }
 
+/// `robustore_cli trace`: one traced trial, exported as Chrome
+/// trace_event JSON. Returns the process exit code.
+int traceMain(int argc, char** argv) {
+  std::uint32_t trial = 0;
+  std::string out_path;
+  // Extract the subcommand-only flags, hand the rest to parse().
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trial" && i + 1 < argc) {
+      trial = static_cast<std::uint32_t>(std::atof(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const auto options = parse(static_cast<int>(rest.size()), rest.data());
+  if (!options) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (core::ExperimentRunner::trialsAreCoupled(options->config)) {
+    std::fprintf(stderr,
+                 "trace: --reuse-file / --metadata-selection couple trials "
+                 "and cannot be traced one trial at a time\n");
+    return 2;
+  }
+  // A single trial of a single scheme: the paper's workhorse is the
+  // natural default when none was picked.
+  const client::SchemeKind kind =
+      options->scheme.value_or(client::SchemeKind::kRobuStore);
+  if (trial >= options->config.trials) {
+    std::fprintf(stderr, "trace: --trial %u out of range (trials=%u)\n",
+                 trial, options->config.trials);
+    return 2;
+  }
+
+  trace::Tracer tracer;
+  const metrics::AccessMetrics m =
+      core::ExperimentRunner::runTrial(options->config, kind, trial, &tracer);
+
+  const std::string json = trace::toChromeTraceJson(tracer);
+  if (!trace::validJson(json)) {
+    std::fprintf(stderr, "trace: exporter produced invalid JSON\n");
+    return 1;
+  }
+  if (out_path.empty()) {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  } else if (!trace::writeChromeTraceJson(tracer, out_path)) {
+    std::fprintf(stderr, "trace: cannot write %s\n", out_path.c_str());
+    return 1;
+  } else {
+    std::fprintf(stderr, "trace written to %s (%zu records)\n",
+                 out_path.c_str(), tracer.records().size());
+  }
+
+  std::fprintf(stderr,
+               "\n%s trial %u: %s, latency %.3fs, %u blocks received\n",
+               client::schemeName(kind), trial,
+               m.complete ? "complete" : "INCOMPLETE", m.latency,
+               m.blocks_received);
+  std::fprintf(stderr, "per-stage breakdown (seconds of span time):\n");
+  const trace::StageBreakdown all = tracer.breakdown(0);
+  for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+    const auto stage = static_cast<trace::Stage>(s);
+    if (all.stageSpans(stage) == 0) continue;
+    std::fprintf(stderr, "  %-16s %12.4f  (%u spans)\n",
+                 trace::stageName(stage), all.stageSeconds(stage),
+                 all.stageSpans(stage));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+    return traceMain(argc, argv);
+  }
   const auto options = parse(argc, argv);
   if (!options) {
     usage(argv[0]);
