@@ -81,6 +81,10 @@ inline core::ExperimentConfig baselineConfig() {
       t != nullptr && std::string(t) != "0") {
     cfg.trace = true;
   }
+  // ROBUSTORE_SAMPLE_DT=<ms> turns on per-trial telemetry sampling. The
+  // sampler rides the engine's time observer (zero events, zero rng
+  // draws), so every figure is bit-identical with sampling on or off.
+  cfg.sample_dt = telemetry::sampleDtFromEnv();
   return cfg;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "metrics/metrics.hpp"
+#include "telemetry/host_profiler.hpp"
 
 namespace robustore::bench {
 
@@ -29,6 +30,8 @@ struct ReportRow {
   double latency_p95_s = 0.0;
   double io_overhead = 0.0;
   double reception_overhead = 0.0;
+  // Filer-cache hits per completed access (zero when caches are off).
+  double cache_hits_mean = 0.0;
   // Degraded-mode telemetry (zero when the run saw no faults).
   double failures_survived_mean = 0.0;
   double reissued_requests_mean = 0.0;
@@ -59,6 +62,7 @@ class Reporter {
     row.latency_p95_s = agg.latencyPercentile(95.0);
     row.io_overhead = agg.meanIoOverhead();
     row.reception_overhead = agg.meanReceptionOverhead();
+    row.cache_hits_mean = agg.meanCacheHits();
     row.failures_survived_mean = agg.meanFailuresSurvived();
     row.reissued_requests_mean = agg.meanReissuedRequests();
     row.time_lost_s = agg.meanTimeLostToFailures();
@@ -91,6 +95,10 @@ class Reporter {
     if (include_reception) {
       printTable("Reception overhead (blocks received / K - 1)", " %12.2f",
                  [](const ReportRow& r) { return r.reception_overhead; });
+    }
+    if (cacheUsed()) {
+      printTable("Filer cache hits (mean per access)", " %12.1f",
+                 [](const ReportRow& r) { return r.cache_hits_mean; });
     }
     bool degraded = false;
     for (const auto& r : rows_) {
@@ -128,16 +136,21 @@ class Reporter {
     std::printf("\n");
   }
 
-  /// CSV rows (stable format: plotting pipelines depend on the columns).
+  /// CSV rows (stable format: plotting pipelines depend on the columns;
+  /// the cache_hits_mean column appears only when some access hit a
+  /// cache, keeping cache-free pipelines unchanged).
   void emitCsv(std::FILE* out) const {
+    const bool cache = cacheUsed();
     std::fprintf(out,
                  "\ncsv,%s,scheme,bandwidth_mbps,latency_stddev_s,"
-                 "io_overhead,reception_overhead\n",
-                 xlabel_.c_str());
+                 "io_overhead,reception_overhead%s\n",
+                 xlabel_.c_str(), cache ? ",cache_hits_mean" : "");
     for (const auto& r : rows_) {
-      std::fprintf(out, "csv,%s,%s,%.3f,%.4f,%.4f,%.4f\n", r.label.c_str(),
+      std::fprintf(out, "csv,%s,%s,%.3f,%.4f,%.4f,%.4f", r.label.c_str(),
                    r.scheme.c_str(), r.bandwidth_mbps, r.latency_stddev_s,
                    r.io_overhead, r.reception_overhead);
+      if (cache) std::fprintf(out, ",%.2f", r.cache_hits_mean);
+      std::fprintf(out, "\n");
     }
   }
 
@@ -155,6 +168,11 @@ class Reporter {
       appendNumber(out, "latency_p95_s", r.latency_p95_s);
       appendNumber(out, "io_overhead", r.io_overhead);
       appendNumber(out, "reception_overhead", r.reception_overhead);
+      // Like the stage fields below: emitted only when observed, so
+      // cache-free reports stay byte-identical to earlier versions.
+      if (cacheUsed()) {
+        appendNumber(out, "cache_hits_mean", r.cache_hits_mean);
+      }
       appendNumber(out, "failures_survived_mean", r.failures_survived_mean);
       appendNumber(out, "reissued_requests_mean", r.reissued_requests_mean);
       appendNumber(out, "time_lost_s", r.time_lost_s);
@@ -168,7 +186,28 @@ class Reporter {
       out += ", \"incomplete\": " + std::to_string(r.incomplete);
       out += i + 1 < rows_.size() ? "},\n" : "}\n";
     }
-    out += "  ]\n}\n";
+    out += "  ]";
+    // Simulator self-profile: present only when trials ran with
+    // ROBUSTORE_HOST_PROFILE, so default reports stay byte-identical.
+    const telemetry::HostProfile hp = telemetry::HostProfiler::globalSnapshot();
+    if (!hp.empty()) {
+      out += ",\n  \"host_profile\": {";
+      out += "\"trials\": " + std::to_string(hp.trials);
+      appendNumber(out, "wall_s", hp.wall_seconds);
+      out += ", \"scopes\": {";
+      for (std::size_t s = 0; s < telemetry::kNumHostScopes; ++s) {
+        if (s > 0) out += ", ";
+        out += "\"";
+        out += telemetry::hostScopeName(static_cast<telemetry::HostScope>(s));
+        out += "\": {\"seconds\": ";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", hp.seconds[s]);
+        out += buf;
+        out += ", \"calls\": " + std::to_string(hp.calls[s]) + "}";
+      }
+      out += "}}";
+    }
+    out += "\n}\n";
     return out;
   }
 
@@ -181,6 +220,14 @@ class Reporter {
   }
 
  private:
+  /// Cache hits are reported once any row observed one.
+  [[nodiscard]] bool cacheUsed() const {
+    for (const auto& r : rows_) {
+      if (r.cache_hits_mean > 0.0) return true;
+    }
+    return false;
+  }
+
   /// A stage is reported once any row observed time in it.
   [[nodiscard]] bool stageUsed(std::uint8_t s) const {
     for (const auto& r : rows_) {

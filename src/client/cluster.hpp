@@ -91,6 +91,12 @@ class Cluster {
   void attachTracer(trace::Tracer* tracer);
   [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
 
+  /// The shared client downlink, or null when client bandwidth is
+  /// plentiful (the paper's assumption). Telemetry probe.
+  [[nodiscard]] const net::Link* clientLink() const {
+    return client_link_.get();
+  }
+
   /// The cluster's metadata server (§4.2): every disk registers at
   /// construction (static info: site, capacity, peak bandwidth); clients
   /// may use it for §5.3.1 load/space/diversity-aware disk selection

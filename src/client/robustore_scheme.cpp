@@ -10,31 +10,56 @@ namespace robustore::client {
 namespace {
 
 /// Codec-agnostic incremental decoder: the schemes only need "feed a
-/// received coded id, tell me when reconstruction completes".
+/// received coded id, tell me when reconstruction completes" — plus the
+/// progress counters the telemetry sampler plots.
 class DecoderAdapter {
  public:
   virtual ~DecoderAdapter() = default;
   virtual bool addSymbol(std::uint32_t id) = 0;
   [[nodiscard]] virtual bool complete() const = 0;
+  /// Distinct coded symbols accepted so far.
+  [[nodiscard]] virtual std::uint32_t received() const = 0;
+  /// Originals the reconstruction needs (K).
+  [[nodiscard]] virtual std::uint32_t needed() const = 0;
+  /// Originals recovered so far.
+  [[nodiscard]] virtual std::uint32_t ready() const = 0;
 };
 
 class LtAdapter final : public DecoderAdapter {
  public:
-  explicit LtAdapter(const coding::LtGraph& graph) : decoder_(graph) {}
+  explicit LtAdapter(const coding::LtGraph& graph)
+      : k_(graph.k()), decoder_(graph) {}
   bool addSymbol(std::uint32_t id) override { return decoder_.addSymbol(id); }
   [[nodiscard]] bool complete() const override { return decoder_.complete(); }
+  [[nodiscard]] std::uint32_t received() const override {
+    return decoder_.symbolsUsed();
+  }
+  [[nodiscard]] std::uint32_t needed() const override { return k_; }
+  [[nodiscard]] std::uint32_t ready() const override {
+    return decoder_.recoveredCount();
+  }
 
  private:
+  std::uint32_t k_;
   coding::LtDecoder decoder_;
 };
 
 class RaptorAdapter final : public DecoderAdapter {
  public:
-  explicit RaptorAdapter(const coding::RaptorCode& code) : decoder_(code) {}
+  explicit RaptorAdapter(const coding::RaptorCode& code)
+      : k_(code.k()), decoder_(code) {}
   bool addSymbol(std::uint32_t id) override { return decoder_.addSymbol(id); }
   [[nodiscard]] bool complete() const override { return decoder_.complete(); }
+  [[nodiscard]] std::uint32_t received() const override {
+    return decoder_.symbolsUsed();
+  }
+  [[nodiscard]] std::uint32_t needed() const override { return k_; }
+  [[nodiscard]] std::uint32_t ready() const override {
+    return decoder_.recoveredSourceCount();
+  }
 
  private:
+  std::uint32_t k_;
   coding::RaptorCode::Decoder decoder_;
 };
 
@@ -69,6 +94,23 @@ struct RobuStoreScheme::WriteState {
   std::vector<char> dead;
   Rng layout_rng{0};
 };
+
+std::optional<Scheme::DecoderProgress> RobuStoreScheme::decoderProgress()
+    const {
+  const DecoderAdapter* decoder = nullptr;
+  if (read_state_ != nullptr && read_state_->decoder != nullptr) {
+    decoder = read_state_->decoder.get();
+  } else if (write_state_ != nullptr && write_state_->committed != nullptr) {
+    decoder = write_state_->committed.get();
+  }
+  if (decoder == nullptr) return std::nullopt;
+  DecoderProgress p;
+  p.received = decoder->received();
+  p.needed = decoder->needed();
+  p.ready = decoder->ready();
+  p.buffered = p.received > p.ready ? p.received - p.ready : 0;
+  return p;
+}
 
 void RobuStoreScheme::attachCodec(StoredFile& file, std::uint32_t k,
                                   std::uint32_t n, Rng& rng) const {

@@ -41,6 +41,11 @@ class RobuStoreScheme final : public Scheme {
                                     const LayoutPolicy& policy,
                                     Rng& rng) override;
 
+  /// Live decoder counters: the read decoder when a read is (or was last)
+  /// in flight, else the write path's committed-set decoder.
+  [[nodiscard]] std::optional<DecoderProgress> decoderProgress()
+      const override;
+
  protected:
   void startRead(Session& session, StoredFile& file,
                  const AccessConfig& config) override;

@@ -263,6 +263,7 @@ void Scheme::cancelTracked(Session& session, const TrackedHandle& tracked) {
 metrics::AccessMetrics Scheme::read(StoredFile& file,
                                     const AccessConfig& config) {
   Session session;
+  active_session_ = &session;
   cluster_->startBackground();
   beginRead(session, file, config);
   engine().runUntil(session.start + config.timeout);
@@ -275,6 +276,7 @@ metrics::AccessMetrics Scheme::write(const AccessConfig& config,
                                      StoredFile* out) {
   ROBUSTORE_EXPECTS(!disks.empty(), "write needs at least one disk");
   Session session;
+  active_session_ = &session;
   session.stream = cluster_->nextStream();
   cluster_->startBackground();
   session.start = engine().now();
@@ -314,6 +316,7 @@ metrics::AccessMetrics Scheme::settle(Session& session, Bytes data_bytes,
   cluster_->stopBackground();
   engine().run();
   cluster_->resetDisks();
+  active_session_ = nullptr;  // the session dies with the caller's frame
   return collect(session, data_bytes, k);
 }
 

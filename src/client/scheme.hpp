@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "client/cluster.hpp"
@@ -178,6 +179,32 @@ class Scheme {
                                                Bytes data_bytes,
                                                std::uint32_t k) const;
 
+  /// The session of the access currently driven through the synchronous
+  /// read()/write() wrappers, or null between accesses. Observation hook
+  /// for the telemetry sampler (live request count, block arrivals);
+  /// multi-client drivers own their sessions and are not reflected here.
+  [[nodiscard]] const Session* activeSession() const {
+    return active_session_;
+  }
+
+  /// Decoder state of the access in flight, for schemes that decode
+  /// (RobuSTore's LT/Raptor read path). Read-only telemetry view.
+  struct DecoderProgress {
+    /// Distinct coded symbols the decoder accepted.
+    std::uint32_t received = 0;
+    /// Original block count K the reconstruction needs.
+    std::uint32_t needed = 0;
+    /// Originals recovered so far.
+    std::uint32_t ready = 0;
+    /// Received symbols not (yet) resolved into an original — buffered
+    /// redundancy waiting for the ripple.
+    std::uint32_t buffered = 0;
+  };
+  [[nodiscard]] virtual std::optional<DecoderProgress> decoderProgress()
+      const {
+    return std::nullopt;
+  }
+
  protected:
 
   /// Issues the scheme's initial read requests. Called `metadata_latency`
@@ -249,6 +276,10 @@ class Scheme {
   void checkFailFast(Session& session);
 
   Cluster* cluster_;
+  /// Synchronous-access observation pointer (see activeSession()): set
+  /// for the duration of read()/write() including the post-access drain,
+  /// cleared before they return.
+  const Session* active_session_ = nullptr;
 };
 
 /// Which rateless code backs the RobuSTore data plane. LT is the paper's

@@ -5,6 +5,7 @@
 
 #include "coding/xor_kernel.hpp"
 #include "common/expects.hpp"
+#include "telemetry/host_profiler.hpp"
 
 namespace robustore::coding {
 
@@ -73,6 +74,8 @@ LtDecoder::LtDecoder(const LtGraph& graph, Bytes block_size,
 
 bool LtDecoder::addSymbol(std::uint32_t coded_id,
                           std::span<const std::uint8_t> payload) {
+  const telemetry::HostProfiler::Scope profile(
+      telemetry::HostScope::kDecode);
   ROBUSTORE_EXPECTS(coded_id < graph_->n(), "coded id out of range");
   if (received_[coded_id] || complete()) return complete();
   if (block_size_ > 0) {

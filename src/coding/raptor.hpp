@@ -73,6 +73,10 @@ class RaptorCode {
     [[nodiscard]] bool complete() const { return inner_.prefixComplete(); }
     [[nodiscard]] std::uint32_t symbolsUsed() const { return symbols_used_; }
     [[nodiscard]] std::uint64_t edgesUsed() const { return inner_.edgesUsed(); }
+    /// Source blocks recovered so far (the watched intermediate prefix).
+    [[nodiscard]] std::uint32_t recoveredSourceCount() const {
+      return inner_.recoveredPrefixCount();
+    }
 
     /// Data mode: the k reconstructed source blocks, concatenated.
     [[nodiscard]] std::vector<std::uint8_t> takeData();

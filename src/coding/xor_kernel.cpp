@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/expects.hpp"
+#include "telemetry/host_profiler.hpp"
 
 namespace robustore::coding {
 namespace {
@@ -15,6 +16,8 @@ constexpr std::size_t kUnroll = 4;
 }  // namespace
 
 void xorInto(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src) {
+  const telemetry::HostProfiler::Scope profile(
+      telemetry::HostScope::kXorKernel);
   ROBUSTORE_EXPECTS(dst.size() == src.size(), "xorInto size mismatch");
   std::uint8_t* d = dst.data();
   const std::uint8_t* s = src.data();
@@ -47,6 +50,8 @@ void xorInto(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src) {
 
 void xorInto2(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
               std::span<const std::uint8_t> b) {
+  const telemetry::HostProfiler::Scope profile(
+      telemetry::HostScope::kXorKernel);
   ROBUSTORE_EXPECTS(dst.size() == a.size() && dst.size() == b.size(),
                     "xorInto2 size mismatch");
   std::uint8_t* d = dst.data();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/expects.hpp"
+#include "core/telemetry_probes.hpp"
 #include "core/trial_pool.hpp"
 
 namespace robustore::core {
@@ -107,9 +108,14 @@ std::uint32_t ExperimentRunner::trialsFromEnv(std::uint32_t fallback) {
 
 metrics::AccessMetrics ExperimentRunner::runTrial(
     const ExperimentConfig& config, client::SchemeKind kind,
-    std::uint32_t trial_index, trace::Tracer* trace_out) {
+    std::uint32_t trial_index, trace::Tracer* trace_out,
+    telemetry::TrialTelemetry* telemetry_out) {
   ROBUSTORE_EXPECTS(!trialsAreCoupled(config),
                     "coupled experiments cannot run as independent trials");
+  // One trial = one worker thread: the guard scopes the host profile of
+  // everything below to this trial and merges it into the global snapshot
+  // on exit (no-op unless ROBUSTORE_HOST_PROFILE is set).
+  const telemetry::HostProfiler::TrialGuard host_profile;
   sim::Engine engine;
   client::Cluster cluster = makeCluster(config, engine);
   applyExperimentBackground(config, cluster);
@@ -133,6 +139,27 @@ metrics::AccessMetrics ExperimentRunner::runTrial(
   std::optional<fault::FaultInjector> injector;
   armFaults(config, trial_index, cluster, disks, injector);
   if (tracer && injector) injector->setTracer(&*tracer);
+
+  // Telemetry sampling: driven purely through the engine's time observer,
+  // so it consumes zero events and zero rng draws — the simulated results
+  // are bitwise identical with it on or off.
+  SimTime sample_dt = config.sample_dt;
+  if (telemetry_out != nullptr && sample_dt <= 0.0) {
+    sample_dt = 10.0 * kMilliseconds;
+  }
+  telemetry::Timeline discard_timeline;
+  std::optional<telemetry::PeriodicSampler> sampler;
+  if (sample_dt > 0.0) {
+    telemetry::Timeline& timeline = telemetry_out != nullptr
+                                        ? telemetry_out->timeline
+                                        : discard_timeline;
+    sampler.emplace(sample_dt, timeline, tracer ? &*tracer : nullptr);
+    attachStandardProbes(*sampler, cluster, *scheme, disks,
+                         injector ? &*injector : nullptr);
+    engine.setTimeObserver(
+        [&s = *sampler](SimTime now) { s.onTimeAdvance(now); });
+    sampler->sampleNow(engine.now());  // t=0 baseline
+  }
 
   metrics::AccessMetrics m;
   switch (config.op) {
@@ -158,6 +185,15 @@ metrics::AccessMetrics ExperimentRunner::runTrial(
       }
       m = scheme->read(file, config.access);
       break;
+    }
+  }
+  if (sampler) {
+    sampler->sampleNow(engine.now());  // final drained state
+    engine.setTimeObserver(nullptr);
+    if (telemetry_out != nullptr) {
+      telemetry_out->sample_dt = sample_dt;
+      telemetry::snapshotToRegistry(telemetry_out->timeline,
+                                    telemetry_out->registry);
     }
   }
   if (trace_out != nullptr && tracer) trace_out->append(*tracer);

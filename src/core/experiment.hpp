@@ -11,6 +11,7 @@
 #include "coding/lt_graph.hpp"
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace robustore::core {
@@ -90,6 +91,13 @@ struct ExperimentConfig {
   /// aggregate / reports). Tracing never touches a random stream, so
   /// results are bit-identical with it on or off.
   bool trace = false;
+  /// Telemetry sampling interval in simulated seconds; 0 = off. When set,
+  /// every trial attaches a PeriodicSampler through the engine's time
+  /// observer — zero events, zero rng draws, so figure results stay
+  /// bitwise identical whether sampling is on or off (the determinism
+  /// guard test pins this). Usually populated from ROBUSTORE_SAMPLE_DT
+  /// (milliseconds) via telemetry::sampleDtFromEnv().
+  SimTime sample_dt = 0.0;
 
   // --- trials ------------------------------------------------------------
   std::uint32_t trials = 20;
@@ -154,9 +162,17 @@ class ExperimentRunner {
   /// records appended to `trace_out` when the trial ends. Callers merging
   /// several trials into one tracer must append in trial order to keep
   /// the byte-identical-across-thread-counts guarantee.
+  ///
+  /// `telemetry_out` (optional) receives the trial's sampled time series
+  /// and the registry snapshot derived from them; it implies sampling
+  /// even when config.sample_dt is 0 (a 10 ms default applies then).
+  /// With config.sample_dt set and `telemetry_out` null the series are
+  /// sampled into trial-local storage and dropped — exercised only so
+  /// traced runs still get their counter tracks.
   [[nodiscard]] static metrics::AccessMetrics runTrial(
       const ExperimentConfig& config, client::SchemeKind kind,
-      std::uint32_t trial_index, trace::Tracer* trace_out = nullptr);
+      std::uint32_t trial_index, trace::Tracer* trace_out = nullptr,
+      telemetry::TrialTelemetry* telemetry_out = nullptr);
 
   /// True when trials share cluster state by design (warm filer caches
   /// via reuse_file, or load learning via metadata_disk_selection) and

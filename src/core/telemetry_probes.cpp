@@ -1,0 +1,160 @@
+#include "core/telemetry_probes.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace robustore::core {
+namespace {
+
+/// Interval utilization of one busy-time source: the fraction of the time
+/// since the previous sample the source spent serving. Carries its own
+/// previous-sample state, so each probe instance differences its own
+/// stream.
+class UtilizationProbe {
+ public:
+  explicit UtilizationProbe(std::function<SimTime()> busy)
+      : busy_(std::move(busy)) {}
+
+  double operator()(SimTime at) {
+    const SimTime busy = busy_();
+    const SimTime elapsed = at - prev_t_;
+    double u = 0.0;
+    if (elapsed > 0.0) {
+      const SimTime delta = busy - prev_busy_;
+      u = delta > 0.0 ? delta / elapsed : 0.0;
+      if (u > 1.0) u = 1.0;
+    }
+    prev_t_ = at;
+    prev_busy_ = busy;
+    return u;
+  }
+
+ private:
+  std::function<SimTime()> busy_;
+  SimTime prev_t_ = 0.0;
+  SimTime prev_busy_ = 0.0;
+};
+
+SimTime totalBusy(disk::Disk& d) {
+  return d.busyTime(disk::Priority::kForeground) +
+         d.busyTime(disk::Priority::kBackground);
+}
+
+}  // namespace
+
+void attachStandardProbes(telemetry::PeriodicSampler& sampler,
+                          client::Cluster& cluster,
+                          const client::Scheme& scheme,
+                          std::span<const std::uint32_t> roster,
+                          const fault::FaultInjector* injector) {
+  const auto disks = std::make_shared<const std::vector<std::uint32_t>>(
+      roster.begin(), roster.end());
+  client::Cluster* c = &cluster;
+
+  sampler.addProbe("disk.queue_depth", [c, disks](SimTime) {
+    double sum = 0.0;
+    for (const auto d : *disks) {
+      sum += static_cast<double>(c->disk(d).queueDepth());
+    }
+    return sum;
+  });
+  sampler.addProbe("disk.outstanding", [c, disks](SimTime) {
+    double sum = 0.0;
+    for (const auto d : *disks) {
+      sum += static_cast<double>(c->disk(d).liveRequestCount());
+    }
+    return sum;
+  });
+  sampler.addProbe(
+      "disk.utilization",
+      [c, disks, probe = UtilizationProbe([c, disks] {
+         SimTime busy = 0.0;
+         for (const auto d : *disks) busy += totalBusy(c->disk(d));
+         return disks->empty()
+                    ? busy
+                    : busy / static_cast<double>(disks->size());
+       })](SimTime at) mutable { return probe(at); });
+
+  for (const auto d : *disks) {
+    const std::string prefix = "disk.d" + std::to_string(d) + ".";
+    sampler.addProbe(prefix + "queue_depth", [c, d](SimTime) {
+      return static_cast<double>(c->disk(d).queueDepth());
+    });
+    sampler.addProbe(
+        prefix + "utilization",
+        [probe = UtilizationProbe([c, d] { return totalBusy(c->disk(d)); })](
+            SimTime at) mutable { return probe(at); });
+  }
+
+  sampler.addProbe("link.inflight_bytes", [c](SimTime) {
+    Bytes inflight = 0;
+    for (std::uint32_t s = 0; s < c->numServers(); ++s) {
+      inflight += c->server(s).link().inFlightBytes();
+    }
+    if (c->clientLink() != nullptr) {
+      inflight += c->clientLink()->inFlightBytes();
+    }
+    return static_cast<double>(inflight);
+  });
+  sampler.addProbe("net.bytes_total", [c](SimTime) {
+    Bytes total = 0;
+    for (std::uint32_t s = 0; s < c->numServers(); ++s) {
+      total += c->server(s).networkBytesTotal();
+    }
+    return static_cast<double>(total);
+  });
+
+  const client::Scheme* sch = &scheme;
+  sampler.addProbe("scheme.live_requests", [sch](SimTime) {
+    const auto* session = sch->activeSession();
+    return session != nullptr ? static_cast<double>(session->live_requests)
+                              : 0.0;
+  });
+  sampler.addProbe("scheme.blocks_received", [sch](SimTime) {
+    const auto* session = sch->activeSession();
+    return session != nullptr ? static_cast<double>(session->blocks_received)
+                              : 0.0;
+  });
+
+  const auto decoderField =
+      [sch](std::uint32_t client::Scheme::DecoderProgress::* field) {
+        return [sch, field](SimTime) {
+          const auto p = sch->decoderProgress();
+          return p ? static_cast<double>((*p).*field) : 0.0;
+        };
+      };
+  sampler.addProbe("decoder.blocks_received",
+                   decoderField(&client::Scheme::DecoderProgress::received));
+  sampler.addProbe("decoder.blocks_needed",
+                   decoderField(&client::Scheme::DecoderProgress::needed));
+  sampler.addProbe("decoder.ready_symbols",
+                   decoderField(&client::Scheme::DecoderProgress::ready));
+  sampler.addProbe("decoder.buffered_symbols",
+                   decoderField(&client::Scheme::DecoderProgress::buffered));
+
+  if (injector != nullptr) {
+    sampler.addProbe("fault.failed_disks", [c, disks](SimTime) {
+      double n = 0.0;
+      for (const auto d : *disks) {
+        if (c->disk(d).failed()) n += 1.0;
+      }
+      return n;
+    });
+    sampler.addProbe("fault.stalled_disks", [c, disks](SimTime) {
+      double n = 0.0;
+      for (const auto d : *disks) {
+        if (c->disk(d).stalled()) n += 1.0;
+      }
+      return n;
+    });
+    sampler.addProbe("fault.injected_total", [injector](SimTime) {
+      return static_cast<double>(injector->injectedTotal());
+    });
+    sampler.addProbe("fault.pending", [injector](SimTime) {
+      return static_cast<double>(injector->pendingFaults());
+    });
+  }
+}
+
+}  // namespace robustore::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "client/cluster.hpp"
+#include "client/scheme.hpp"
+#include "fault/fault.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace robustore::core {
+
+/// Registers the standard trial probe set on `sampler`:
+///
+///   disk.queue_depth / disk.outstanding / disk.utilization  — summed (or
+///       averaged, for utilization) over the trial's selected access
+///       disks; utilization differences busyTime between samples.
+///   disk.d<gid>.queue_depth / disk.d<gid>.utilization        — the same,
+///       per roster disk, named by global disk index.
+///   link.inflight_bytes  — bytes in flight across every server NIC plus
+///       the shared client downlink (when capped).
+///   net.bytes_total      — cumulative payload bytes moved cluster-wide.
+///   scheme.live_requests / scheme.blocks_received — the active access.
+///   decoder.blocks_received / blocks_needed / ready_symbols /
+///       buffered_symbols — decoder progress (zero for non-coded schemes).
+///   fault.failed_disks / stalled_disks / injected_total / pending —
+///       only when `injector` is non-null.
+///
+/// Probes only read state: registering them cannot change simulation
+/// results (see the PeriodicSampler contract). `roster` is copied; the
+/// cluster, scheme, and injector must outlive the sampler.
+void attachStandardProbes(telemetry::PeriodicSampler& sampler,
+                          client::Cluster& cluster,
+                          const client::Scheme& scheme,
+                          std::span<const std::uint32_t> roster,
+                          const fault::FaultInjector* injector = nullptr);
+
+}  // namespace robustore::core

@@ -4,12 +4,15 @@
 #include <utility>
 
 #include "common/expects.hpp"
+#include "telemetry/host_profiler.hpp"
 
 namespace robustore::disk {
 
 Disk::Disk(sim::Engine& engine, const DiskParams& params, Rng rng,
            std::uint32_t id)
     : engine_(&engine), params_(params), rng_(rng), id_(id) {}
+
+bool Disk::stalled() const { return stalled_until_ > engine_->now(); }
 
 double Disk::mediaRate(double zone) const {
   return params_.media_rate_min +
@@ -276,6 +279,8 @@ RequestId Disk::popLive(std::deque<RequestId>& queue) {
 }
 
 void Disk::serveNext() {
+  const telemetry::HostProfiler::Scope profile(
+      telemetry::HostScope::kDiskService);
   if (failed_) return;
   // Background first (see Priority docs)...
   if (const RequestId id = popLive(bg_queue_); id != kInvalidRequest) {
@@ -302,6 +307,8 @@ void Disk::serveNext() {
 }
 
 void Disk::startService(RequestId id) {
+  const telemetry::HostProfiler::Scope profile(
+      telemetry::HostScope::kDiskService);
   in_service_ = id;
   Request& r = slots_[slotOf(id)];
   r.state = RequestState::kInService;

@@ -126,6 +126,9 @@ class Disk {
   [[nodiscard]] std::uint32_t id() const { return id_; }
   [[nodiscard]] bool busy() const { return in_service_ != kInvalidRequest; }
   [[nodiscard]] std::size_t queueDepth() const;
+  /// Inside a transient-stall window right now (telemetry probe; the
+  /// service path uses the window end directly).
+  [[nodiscard]] bool stalled() const;
 
   /// State of a request, or nullopt once its slot has been reclaimed
   /// (terminal notification dispatched) or for handles that never existed.

@@ -20,6 +20,7 @@ const char* faultKindName(FaultKind kind) {
 
 void FaultInjector::schedule(const FaultSpec& spec) {
   ROBUSTORE_EXPECTS(spec.at >= 0.0, "fault scheduled in the past");
+  ++scheduled_;
   engine_->schedule(spec.at, [this, spec] { apply(spec); });
 }
 

@@ -116,12 +116,19 @@ class FaultInjector {
   }
   [[nodiscard]] std::uint32_t injectedTotal() const;
 
+  /// Scheduled faults whose injection time has not arrived yet
+  /// (telemetry probe: the countdown the timeline plots).
+  [[nodiscard]] std::uint32_t pendingFaults() const {
+    return scheduled_ - injectedTotal();
+  }
+
  private:
   void apply(const FaultSpec& spec);
 
   sim::Engine* engine_;
   DiskResolver resolve_;
   trace::Tracer* tracer_ = nullptr;
+  std::uint32_t scheduled_ = 0;
   std::uint32_t injected_[4] = {0, 0, 0, 0};
 };
 

@@ -8,6 +8,7 @@ void AccessAggregate::merge(const AccessAggregate& other) {
   latency_samples_.merge(other.latency_samples_);
   io_overhead_.merge(other.io_overhead_);
   reception_.merge(other.reception_);
+  cache_hits_.merge(other.cache_hits_);
   failures_survived_.merge(other.failures_survived_);
   reissued_requests_.merge(other.reissued_requests_);
   time_lost_.merge(other.time_lost_);
@@ -38,6 +39,7 @@ void AccessAggregate::add(const AccessMetrics& m) {
   latency_samples_.add(m.latency);
   io_overhead_.add(m.ioOverhead());
   reception_.add(m.receptionOverhead());
+  cache_hits_.add(m.cache_hits);
   stages_ += m.stages;
 }
 

@@ -77,6 +77,9 @@ class AccessAggregate {
   [[nodiscard]] double meanReceptionOverhead() const {
     return reception_.mean();
   }
+  /// Mean filer-cache hits per completed access (the §6.3.3 cache
+  /// experiments' payoff figure).
+  [[nodiscard]] double meanCacheHits() const { return cache_hits_.mean(); }
   [[nodiscard]] const RunningStats& bandwidth() const { return bandwidth_; }
   [[nodiscard]] const RunningStats& latency() const { return latency_; }
   [[nodiscard]] const RunningStats& ioOverhead() const { return io_overhead_; }
@@ -117,6 +120,7 @@ class AccessAggregate {
   SampleSet latency_samples_;
   RunningStats io_overhead_;
   RunningStats reception_;
+  RunningStats cache_hits_;
   RunningStats failures_survived_;
   RunningStats reissued_requests_;
   RunningStats time_lost_;

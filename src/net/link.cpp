@@ -22,6 +22,8 @@ SimTime Link::reserveSendFrom(SimTime earliest, Bytes bytes) {
   const SimTime xfer =
       bandwidth_ > 0 ? static_cast<double>(bytes) / bandwidth_ : 0.0;
   busy_until_ = start + xfer;
+  // Counted here only: the traced overload delegates to this one.
+  bytes_sent_ += bytes;
   return busy_until_ + oneWayLatency();
 }
 
@@ -41,5 +43,10 @@ SimTime Link::reserveSendFrom(SimTime earliest, Bytes bytes,
 }
 
 SimTime Link::controlArrival() const { return engine_->now() + oneWayLatency(); }
+
+Bytes Link::inFlightBytes() const {
+  if (bandwidth_ <= 0.0 || busy_until_ <= engine_->now()) return 0;
+  return static_cast<Bytes>((busy_until_ - engine_->now()) * bandwidth_);
+}
 
 }  // namespace robustore::net

@@ -44,6 +44,14 @@ class Link {
   /// Arrival time of a zero-payload control message sent now.
   [[nodiscard]] SimTime controlArrival() const;
 
+  /// Bytes still serialising through this link right now (reserved work
+  /// beyond the current clock, at the link rate). Unlimited links always
+  /// report 0 — nothing ever waits on them. Telemetry probe.
+  [[nodiscard]] Bytes inFlightBytes() const;
+
+  /// Cumulative payload bytes ever reserved through this link.
+  [[nodiscard]] Bytes bytesSent() const { return bytes_sent_; }
+
   /// Attaches a tracer and the display track this link's transfers render
   /// on (null tracer = tracing off, the default).
   void setTrace(trace::Tracer* tracer, std::uint32_t track) {
@@ -56,6 +64,7 @@ class Link {
   SimTime rtt_;
   double bandwidth_;
   SimTime busy_until_ = 0.0;
+  Bytes bytes_sent_ = 0;
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t track_ = 0;
 };

@@ -36,6 +36,7 @@ void StorageServer::dispatchToClient(disk::StreamId stream, Bytes bytes,
                                      bool cache_hit,
                                      const DeliveryFn& on_delivered) {
   network_bytes_[stream] += bytes;
+  network_bytes_total_ += bytes;
   SimTime arrival = link_.reserveSend(bytes, stream);
   if (client_link_ != nullptr) {
     arrival = client_link_->reserveSendFrom(arrival, bytes, stream);
@@ -140,6 +141,7 @@ void StorageServer::writeBlock(const BlockWrite& req, AckFn on_ack,
   const Bytes block_bytes = req.layout->blockBytes();
   // The payload must cross the network in full regardless of outcome.
   network_bytes_[req.stream] += block_bytes;
+  network_bytes_total_ += block_bytes;
   const SimTime issued = engine_->now();
 
   engine_->schedule(link_.oneWayLatency(),

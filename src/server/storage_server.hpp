@@ -134,6 +134,9 @@ class StorageServer {
   /// numerator of the paper's I/O-overhead metric.
   [[nodiscard]] Bytes networkBytes(disk::StreamId stream) const;
 
+  /// Same accounting summed over every stream (telemetry probe; O(1)).
+  [[nodiscard]] Bytes networkBytesTotal() const { return network_bytes_total_; }
+
  private:
   void serveFromDisk(const BlockRead& req, Bytes block_bytes,
                      std::uint32_t lines, const ReadHandle& handle,
@@ -150,6 +153,7 @@ class StorageServer {
   AdmissionController admission_;
   std::vector<std::unique_ptr<disk::Disk>> disks_;
   std::unordered_map<disk::StreamId, Bytes> network_bytes_;
+  Bytes network_bytes_total_ = 0;
   trace::Tracer* tracer_ = nullptr;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/expects.hpp"
+#include "telemetry/host_profiler.hpp"
 
 namespace robustore::sim {
 
@@ -74,6 +75,7 @@ std::size_t Engine::runUntil(SimTime deadline) {
     }
     if (target > now_ && target < std::numeric_limits<SimTime>::infinity()) {
       now_ = target;
+      if (time_observer_) time_observer_(now_);
     }
   }
   return fired;
@@ -91,10 +93,17 @@ std::size_t Engine::runLoop(SimTime deadline) {
     }
     if (ev.time > deadline) break;
     queue_.pop();
-    now_ = ev.time;
+    if (ev.time > now_) {
+      now_ = ev.time;
+      if (time_observer_) time_observer_(now_);
+    }
     Callback cb = std::move(slot->cb);
     release(slotOf(ev.handle));
-    cb();
+    {
+      const telemetry::HostProfiler::Scope profile(
+          telemetry::HostScope::kEngineDispatch);
+      cb();
+    }
     ++fired;
   }
   return fired;

@@ -52,6 +52,19 @@ class Engine {
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] std::size_t pendingEvents() const { return live_events_; }
 
+  using TimeObserver = std::function<void(SimTime)>;
+
+  /// Observer invoked whenever the clock advances: before the event that
+  /// moved it executes, and on the runUntil boundary advance. This is the
+  /// telemetry sampler's hook — it sees every distinct timestamp without
+  /// consuming an event or perturbing the queue, so observed runs stay
+  /// bit-identical to unobserved ones. The observer must only *read*
+  /// simulation state: scheduling or cancelling from it is undefined.
+  /// Empty (the default) disables the hook.
+  void setTimeObserver(TimeObserver observer) {
+    time_observer_ = std::move(observer);
+  }
+
  private:
   struct Slot {
     Callback cb;
@@ -90,6 +103,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::size_t live_events_ = 0;
   bool stopped_ = false;
+  TimeObserver time_observer_;
 };
 
 }  // namespace robustore::sim

@@ -1,0 +1,127 @@
+#include "telemetry/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace robustore::telemetry {
+
+void Histogram::observe(double value) {
+  if (value < 0.0 || std::isnan(value)) value = 0.0;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  std::size_t bucket = 0;
+  double edge = least_;
+  while (bucket + 1 < kNumBuckets && value > edge) {
+    edge *= 2.0;
+    ++bucket;
+  }
+  ++buckets_[bucket];
+}
+
+double Histogram::bucketEdge(std::size_t i) const {
+  return least_ * std::exp2(static_cast<double>(i));
+}
+
+template <typename T, typename... Args>
+T& MetricRegistry::getOrCreate(Family<T>& family, std::string_view name,
+                               Args&&... args) {
+  if (const auto it = family.index.find(name); it != family.index.end()) {
+    return *it->second;
+  }
+  auto& entry = family.entries.emplace_back(std::string(name),
+                                            T(std::forward<Args>(args)...));
+  family.index.emplace(entry.first, &entry.second);
+  return entry.second;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  return getOrCreate(counters_, name);
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  return getOrCreate(gauges_, name);
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name, double least) {
+  return getOrCreate(histograms_, name, least);
+}
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (our component
+/// separator) and anything else illegal become '_'.
+void appendPromName(std::string& out, std::string_view name) {
+  out += "robustore_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+}
+
+void appendPromValue(std::string& out, double value) {
+  if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricRegistry::prometheusText() const {
+  std::string out;
+  for (const auto& [name, c] : counters_.entries) {
+    out += "# TYPE ";
+    appendPromName(out, name);
+    out += " counter\n";
+    appendPromName(out, name);
+    out += ' ';
+    out += std::to_string(c.value());
+    out += '\n';
+  }
+  for (const auto& [name, g] : gauges_.entries) {
+    out += "# TYPE ";
+    appendPromName(out, name);
+    out += " gauge\n";
+    appendPromName(out, name);
+    out += ' ';
+    appendPromValue(out, g.value());
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_.entries) {
+    out += "# TYPE ";
+    appendPromName(out, name);
+    out += " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += h.bucketCount(i);
+      appendPromName(out, name);
+      out += "_bucket{le=\"";
+      if (i + 1 == Histogram::kNumBuckets) {
+        out += "+Inf";
+      } else {
+        appendPromValue(out, h.bucketEdge(i));
+      }
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    appendPromName(out, name);
+    out += "_sum ";
+    appendPromValue(out, h.sum());
+    out += '\n';
+    appendPromName(out, name);
+    out += "_count ";
+    out += std::to_string(h.count());
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace robustore::telemetry

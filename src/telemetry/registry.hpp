@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace robustore::telemetry {
+
+/// Monotonic event counter. Cheap enough to stay enabled: increments are
+/// one integer add, no locking (metrics are per-trial, like everything
+/// else in a trial's simulation state).
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value (queue depth, utilization...).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram over non-negative values: bucket i holds
+/// observations in (2^(i-1) * least, 2^i * least] with bucket 0 covering
+/// [0, least]. Power-of-two edges make observe() a handful of shifts —
+/// no floating-point log on the hot path — while still spanning nine
+/// decades with the default 32 buckets.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 32;
+
+  /// `least` is the upper edge of the first bucket (default 1.0).
+  explicit Histogram(double least = 1.0) : least_(least > 0 ? least : 1.0) {}
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const {
+    return buckets_[i];
+  }
+  /// Upper edge of bucket i (the last bucket is unbounded).
+  [[nodiscard]] double bucketEdge(std::size_t i) const;
+
+ private:
+  double least_;
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Central name -> metric registry. Names are dotted component paths
+/// ("disk.queue_depth"); registration is get-or-create and the iteration
+/// order is insertion order, so exports serialise deterministically — no
+/// hash-order leaks into output bytes.
+class MetricRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     double least = 1.0);
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Prometheus text exposition format (final snapshot for future live
+  /// serving): one `robustore_`-prefixed family per metric, dots and
+  /// other illegal characters mapped to '_'. Histograms emit cumulative
+  /// `_bucket{le=...}` series plus `_sum` / `_count`.
+  [[nodiscard]] std::string prometheusText() const;
+
+ private:
+  template <typename T>
+  struct Family {
+    std::deque<std::pair<std::string, T>> entries;  // insertion order
+    std::unordered_map<std::string_view, T*> index;
+    [[nodiscard]] std::size_t size() const { return entries.size(); }
+  };
+
+  template <typename T, typename... Args>
+  T& getOrCreate(Family<T>& family, std::string_view name, Args&&... args);
+
+  Family<Counter> counters_;
+  Family<Gauge> gauges_;
+  Family<Histogram> histograms_;
+};
+
+}  // namespace robustore::telemetry

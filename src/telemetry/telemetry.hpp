@@ -1,0 +1,22 @@
+#pragma once
+
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace robustore::telemetry {
+
+/// Everything one trial's sampling produced: the raw time series plus the
+/// registry snapshot (final gauges, per-series histograms) derived from
+/// them. Handed to ExperimentRunner::runTrial by callers that want the
+/// telemetry back (the CLI's `timeline` subcommand); bench sweeps leave
+/// it unset and the per-trial series are dropped on the trial's floor.
+struct TrialTelemetry {
+  MetricRegistry registry;
+  Timeline timeline;
+  /// The interval the series were sampled at (seconds; 0 = sampler off).
+  SimTime sample_dt = 0.0;
+};
+
+}  // namespace robustore::telemetry

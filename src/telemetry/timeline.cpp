@@ -1,0 +1,94 @@
+#include "telemetry/timeline.hpp"
+
+#include <cstdio>
+
+#include "telemetry/registry.hpp"
+
+namespace robustore::telemetry {
+namespace {
+
+void appendNumber(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  out += buf;
+}
+
+}  // namespace
+
+Timeline::Series& Timeline::series(std::string_view name) {
+  if (const auto it = index_.find(name); it != index_.end()) {
+    return *it->second;
+  }
+  Series& s = series_.emplace_back();
+  s.name = name;
+  index_.emplace(s.name, &s);
+  return s;
+}
+
+std::size_t Timeline::totalPoints() const {
+  std::size_t total = 0;
+  for (const Series& s : series_) total += s.size();
+  return total;
+}
+
+std::string Timeline::toCsv() const {
+  std::string out = "t_s,series,value\n";
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      appendNumber(out, s.t[i]);
+      out += ',';
+      out += s.name;
+      out += ',';
+      appendNumber(out, s.v[i]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string Timeline::toJson(SimTime sample_dt) const {
+  std::string out = "{";
+  if (sample_dt > 0.0) {
+    out += "\"sample_dt_s\":";
+    appendNumber(out, sample_dt);
+    out += ",";
+  }
+  out += "\"series\":[";
+  bool first = true;
+  for (const Series& s : series_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    out += s.name;  // series names are dotted identifiers, no escaping needed
+    out += "\",\"points\":[";
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (i != 0) out += ",";
+      out += '[';
+      appendNumber(out, s.t[i]);
+      out += ',';
+      appendNumber(out, s.v[i]);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void Timeline::clear() {
+  series_.clear();
+  index_.clear();
+}
+
+void snapshotToRegistry(const Timeline& timeline, MetricRegistry& registry) {
+  registry.counter("telemetry.series").increment(timeline.numSeries());
+  registry.counter("telemetry.samples").increment(timeline.totalPoints());
+  for (const auto& s : timeline.allSeries()) {
+    if (s.size() == 0) continue;
+    registry.gauge(s.name).set(s.last());
+    Histogram& h = registry.histogram(s.name);
+    for (const double v : s.v) h.observe(v);
+  }
+}
+
+}  // namespace robustore::telemetry

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace robustore::telemetry {
+
+class MetricRegistry;
+
+/// Named time series collected by the periodic sampler: per-series arrays
+/// of (sim-time, value) points. Series creation is get-or-create and
+/// iteration order is insertion order, so every export serialises
+/// deterministically.
+class Timeline {
+ public:
+  struct Series {
+    std::string name;
+    std::vector<SimTime> t;
+    std::vector<double> v;
+
+    void add(SimTime at, double value) {
+      t.push_back(at);
+      v.push_back(value);
+    }
+    [[nodiscard]] std::size_t size() const { return t.size(); }
+    [[nodiscard]] double last() const { return v.empty() ? 0.0 : v.back(); }
+  };
+
+  /// Get-or-create; the reference stays valid for the Timeline's lifetime
+  /// (deque storage never relocates on growth).
+  [[nodiscard]] Series& series(std::string_view name);
+
+  [[nodiscard]] const std::deque<Series>& allSeries() const { return series_; }
+  [[nodiscard]] std::size_t numSeries() const { return series_.size(); }
+  [[nodiscard]] std::size_t totalPoints() const;
+  [[nodiscard]] bool empty() const { return totalPoints() == 0; }
+
+  /// Long-form CSV: `t_s,series,value` rows in series order (series order
+  /// is registration order, point order is time order).
+  [[nodiscard]] std::string toCsv() const;
+
+  /// JSON: {"sample_dt_s": dt, "series": [{"name", "points": [[t, v]...]}]}.
+  /// `sample_dt` 0 omits the interval field (sampling was explicit-only).
+  [[nodiscard]] std::string toJson(SimTime sample_dt = 0.0) const;
+
+  void clear();
+
+ private:
+  std::deque<Series> series_;
+  std::unordered_map<std::string_view, Series*> index_;
+};
+
+/// Folds a finished timeline into a registry: per-series gauges hold the
+/// final value, per-series histograms the full point distribution, and a
+/// `telemetry.series` / `telemetry.samples` counter pair sizes the
+/// collection. Runs once per trial at collection end, keeping the
+/// sampling hot path free of registry lookups.
+void snapshotToRegistry(const Timeline& timeline, MetricRegistry& registry);
+
+}  // namespace robustore::telemetry

@@ -15,6 +15,46 @@ void appendMicros(std::string& out, SimTime seconds) {
   out += buf;
 }
 
+void appendNumber(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  out += buf;
+}
+
+/// JSON string-body escaping: quotes, backslashes, and control
+/// characters. Record names are normally dotted identifiers, but nothing
+/// enforces that — the exporter must never emit invalid JSON.
+void appendEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
 /// Category = the component prefix of the record name ("disk.seek" ->
 /// "disk"); groups lanes in the Perfetto UI.
 std::string_view categoryOf(std::string_view name) {
@@ -26,6 +66,7 @@ std::string trackLabel(std::uint32_t track) {
   if (track == kClientTrack) return "client";
   if (track == kFaultTrack) return "faults";
   if (track == kClientLinkTrack) return "client downlink";
+  if (track == kTelemetryTrack) return "telemetry";
   if (track >= serverNicTrack(0)) {
     return "server " + std::to_string(track - serverNicTrack(0)) + " nic";
   }
@@ -38,7 +79,9 @@ void appendMeta(std::string& out, const char* kind, std::uint64_t pid,
   out += kind;
   out += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid);
   if (tid != nullptr) out += ",\"tid\":" + std::to_string(*tid);
-  out += ",\"args\":{\"name\":\"" + label + "\"}}";
+  out += ",\"args\":{\"name\":\"";
+  appendEscaped(out, label);
+  out += "\"}}";
 }
 
 }  // namespace
@@ -80,14 +123,16 @@ std::string toChromeTraceJson(const Tracer& tracer, std::uint64_t access) {
     if (access != 0 && r.access != access) continue;
     comma();
     out += "{\"name\":\"";
-    out += r.name;
+    appendEscaped(out, r.name);
     out += "\",\"cat\":\"";
-    out += categoryOf(r.name);
+    appendEscaped(out, categoryOf(r.name));
     out += "\",\"ph\":\"";
-    out += r.instant ? "i" : "X";
+    out += r.counter ? "C" : (r.instant ? "i" : "X");
     out += "\",\"ts\":";
     appendMicros(out, r.begin);
-    if (r.instant) {
+    if (r.counter) {
+      // Counter tracks: Perfetto plots args values keyed by event name.
+    } else if (r.instant) {
       out += ",\"s\":\"t\"";
     } else {
       out += ",\"dur\":";
@@ -97,7 +142,13 @@ std::string toChromeTraceJson(const Tracer& tracer, std::uint64_t access) {
     out += ",\"tid\":" + std::to_string(r.track);
     out += ",\"args\":{";
     bool first_arg = true;
+    if (r.counter) {
+      out += "\"value\":";
+      appendNumber(out, r.value);
+      first_arg = false;
+    }
     if (r.disk != kNoDisk) {
+      if (!first_arg) out += ",";
       out += "\"disk\":" + std::to_string(r.disk);
       first_arg = false;
     }

@@ -77,10 +77,37 @@ void Tracer::instant(const char* name, SimTime at, std::uint64_t access,
   records_.push_back(r);
 }
 
+void Tracer::counter(const char* name, SimTime at, double value,
+                     std::uint32_t track) {
+  if (!enabled_) return;
+  Record r;
+  r.name = name;
+  r.counter = true;
+  r.value = value;
+  r.begin = at;
+  r.end = at;
+  r.track = track;
+  records_.push_back(r);
+}
+
+const char* Tracer::intern(std::string_view name) {
+  if (const auto it = interned_.find(name); it != interned_.end()) {
+    return it->second;
+  }
+  const std::string& pooled = name_pool_.emplace_back(name);
+  interned_.emplace(std::string_view(pooled), pooled.c_str());
+  return pooled.c_str();
+}
+
 void Tracer::append(const Tracer& other) {
   if (!enabled_) return;
-  records_.insert(records_.end(), other.records_.begin(),
-                  other.records_.end());
+  records_.reserve(records_.size() + other.records_.size());
+  for (Record r : other.records_) {
+    // Re-intern: the copied record may point into the source tracer's
+    // name pool, which dies with it. Static names round-trip unchanged.
+    r.name = intern(r.name);
+    records_.push_back(r);
+  }
 }
 
 StageBreakdown Tracer::breakdown(std::uint64_t access) const {

@@ -1,6 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -35,6 +39,9 @@ inline constexpr std::uint32_t kNoDisk = ~std::uint32_t{0};
 inline constexpr std::uint32_t kClientTrack = 0;
 inline constexpr std::uint32_t kFaultTrack = 1;
 inline constexpr std::uint32_t kClientLinkTrack = 2;
+/// Telemetry counter series (queue depths, decoder progress...) render on
+/// their own lane; Perfetto additionally groups counter events by name.
+inline constexpr std::uint32_t kTelemetryTrack = 3;
 [[nodiscard]] constexpr std::uint32_t diskTrack(std::uint32_t disk) {
   return 10 + disk;
 }
@@ -74,12 +81,17 @@ struct StageBreakdown {
   }
 };
 
-/// One recorded span or instant. `name` must point at static storage
-/// (string literals / stageName) — records are plain data, never owners.
+/// One recorded span, instant, or counter sample. `name` must point at
+/// storage that outlives the record: string literals / stageName for
+/// spans and instants, the owning tracer's intern pool for counters —
+/// records are plain data, never owners.
 struct Record {
   const char* name = "";
   std::uint8_t stage = kNoStage;  // Stage index, or kNoStage for named events
   bool instant = false;
+  /// Counter sample (Chrome trace_event "C" phase): `value` at `begin`.
+  bool counter = false;
+  double value = 0.0;
   SimTime begin = 0.0;
   SimTime end = 0.0;
   /// Access (stream) id the record belongs to; 0 = system-wide.
@@ -120,8 +132,23 @@ class Tracer {
                std::uint32_t track, std::uint32_t disk = kNoDisk,
                std::uint64_t ref = 0);
 
+  /// One counter sample: `name` at time `at` had `value`. The exporter
+  /// turns these into Chrome trace_event counter tracks. `name` follows
+  /// the Record storage contract — pass intern() results for names built
+  /// at runtime (telemetry series names).
+  void counter(const char* name, SimTime at, double value,
+               std::uint32_t track = kTelemetryTrack);
+
+  /// Copies `name` into the tracer-owned name pool and returns a pointer
+  /// that stays valid for the tracer's lifetime (deduplicated). This is
+  /// how dynamically-built record names satisfy the Record storage
+  /// contract; append() re-interns, so merged records never dangle.
+  const char* intern(std::string_view name);
+
   /// Appends another tracer's records after this one's (trial-order
-  /// merge; ordering is the caller's contract).
+  /// merge; ordering is the caller's contract). Every copied record's
+  /// name is re-interned into this tracer's pool, so the source tracer
+  /// may be destroyed afterwards.
   void append(const Tracer& other);
 
   /// Sums span time per stage for one access (0 = every access).
@@ -133,6 +160,10 @@ class Tracer {
  private:
   bool enabled_ = true;
   std::vector<Record> records_;
+  /// Name intern pool: deque for stable storage, the map for dedup. Keys
+  /// are views into the pooled strings themselves.
+  std::deque<std::string> name_pool_;
+  std::unordered_map<std::string_view, const char*> interned_;
 };
 
 }  // namespace robustore::trace

@@ -1,0 +1,136 @@
+// The simulator's wall-clock self-profiler: exclusive scope accounting
+// (scope sums never exceed trial wall time), thread-local activation, the
+// global merge the bench reporter snapshots, and the environment toggle.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "telemetry/host_profiler.hpp"
+
+namespace robustore::telemetry {
+namespace {
+
+void spin(double seconds) {
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+TEST(HostProfiler, ScopesAreNoOpsWithoutATrialGuard) {
+  HostProfiler::resetGlobal();
+  {
+    const HostProfiler::Scope s(HostScope::kDecode);
+    spin(0.001);
+  }
+  EXPECT_TRUE(HostProfiler::globalSnapshot().empty());
+}
+
+TEST(HostProfiler, InactiveGuardRecordsNothing) {
+  HostProfiler::resetGlobal();
+  {
+    const HostProfiler::TrialGuard guard(/*active=*/false);
+    const HostProfiler::Scope s(HostScope::kDecode);
+    spin(0.001);
+  }
+  EXPECT_TRUE(HostProfiler::globalSnapshot().empty());
+}
+
+TEST(HostProfiler, ExclusiveAccountingSumsToAtMostWallTime) {
+  HostProfiler::resetGlobal();
+  {
+    const HostProfiler::TrialGuard guard(/*active=*/true);
+    const HostProfiler::Scope outer(HostScope::kEngineDispatch);
+    spin(0.002);
+    {
+      const HostProfiler::Scope inner(HostScope::kDecode);
+      spin(0.002);
+      {
+        const HostProfiler::Scope innermost(HostScope::kXorKernel);
+        spin(0.002);
+      }
+    }
+    spin(0.002);
+  }
+  const HostProfile p = HostProfiler::globalSnapshot();
+  ASSERT_FALSE(p.empty());
+  EXPECT_EQ(p.trials, 1u);
+  EXPECT_EQ(p.calls[static_cast<std::size_t>(HostScope::kEngineDispatch)], 1u);
+  EXPECT_EQ(p.calls[static_cast<std::size_t>(HostScope::kDecode)], 1u);
+  EXPECT_EQ(p.calls[static_cast<std::size_t>(HostScope::kXorKernel)], 1u);
+  // Every scope got real exclusive time...
+  EXPECT_GT(p.scopeSeconds(HostScope::kEngineDispatch), 0.0);
+  EXPECT_GT(p.scopeSeconds(HostScope::kDecode), 0.0);
+  EXPECT_GT(p.scopeSeconds(HostScope::kXorKernel), 0.0);
+  // ...and exclusive accounting keeps the sum within the wall clock: the
+  // outer scope is NOT charged for its children a second time.
+  EXPECT_LE(p.totalScopeSeconds(), p.wall_seconds);
+}
+
+TEST(HostProfiler, RepeatedScopesAccumulateCalls) {
+  HostProfiler::resetGlobal();
+  {
+    const HostProfiler::TrialGuard guard(/*active=*/true);
+    for (int i = 0; i < 10; ++i) {
+      const HostProfiler::Scope s(HostScope::kDiskService);
+    }
+  }
+  const HostProfile p = HostProfiler::globalSnapshot();
+  EXPECT_EQ(p.calls[static_cast<std::size_t>(HostScope::kDiskService)], 10u);
+}
+
+TEST(HostProfiler, MergesAcrossWorkerThreads) {
+  HostProfiler::resetGlobal();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([] {
+      const HostProfiler::TrialGuard guard(/*active=*/true);
+      const HostProfiler::Scope s(HostScope::kDecode);
+      spin(0.001);
+    });
+  }
+  for (auto& t : workers) t.join();
+  const HostProfile p = HostProfiler::globalSnapshot();
+  EXPECT_EQ(p.trials, 4u);
+  EXPECT_EQ(p.calls[static_cast<std::size_t>(HostScope::kDecode)], 4u);
+  EXPECT_GT(p.scopeSeconds(HostScope::kDecode), 0.0);
+  EXPECT_LE(p.totalScopeSeconds(), p.wall_seconds);
+}
+
+TEST(HostProfiler, EnabledFollowsTheEnvironmentVariable) {
+  unsetenv("ROBUSTORE_HOST_PROFILE");
+  EXPECT_FALSE(HostProfiler::enabled());
+  setenv("ROBUSTORE_HOST_PROFILE", "1", 1);
+  EXPECT_TRUE(HostProfiler::enabled());
+  setenv("ROBUSTORE_HOST_PROFILE", "0", 1);
+  EXPECT_FALSE(HostProfiler::enabled());
+  unsetenv("ROBUSTORE_HOST_PROFILE");
+}
+
+TEST(HostProfiler, ScopeNamesAreStable) {
+  EXPECT_STREQ(hostScopeName(HostScope::kEngineDispatch), "engine.dispatch");
+  EXPECT_STREQ(hostScopeName(HostScope::kDiskService), "disk.service");
+  EXPECT_STREQ(hostScopeName(HostScope::kDecode), "client.decode");
+  EXPECT_STREQ(hostScopeName(HostScope::kXorKernel), "coding.xor");
+}
+
+TEST(HostProfile, MergeAddsFields) {
+  HostProfile a;
+  a.seconds[0] = 1.0;
+  a.calls[0] = 2;
+  a.wall_seconds = 3.0;
+  a.trials = 1;
+  HostProfile b = a;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds[0], 2.0);
+  EXPECT_EQ(a.calls[0], 4u);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 6.0);
+  EXPECT_EQ(a.trials, 2u);
+}
+
+}  // namespace
+}  // namespace robustore::telemetry

@@ -168,6 +168,36 @@ TEST(AccessAggregate, DegradedLedgerIncludesFailedAccesses) {
   EXPECT_DOUBLE_EQ(agg.meanLatency(), 1.0);
 }
 
+TEST(AccessAggregate, CacheHitsAggregateAndMerge) {
+  // Regression: AccessMetrics::cache_hits was recorded per access but
+  // never folded into the aggregate, so the filer-cache figures silently
+  // reported nothing.
+  AccessAggregate agg;
+  AccessMetrics m;
+  m.complete = true;
+  m.latency = 1.0;
+  m.data_bytes = 1'000'000;
+  m.cache_hits = 10;
+  agg.add(m);
+  m.cache_hits = 20;
+  agg.add(m);
+  EXPECT_DOUBLE_EQ(agg.meanCacheHits(), 15.0);
+
+  // Completed accesses only: a timed-out access contributes nothing.
+  AccessMetrics bad;
+  bad.complete = false;
+  bad.cache_hits = 1000;
+  agg.add(bad);
+  EXPECT_DOUBLE_EQ(agg.meanCacheHits(), 15.0);
+
+  // merge() folds the partition's cache-hit stats like every other field.
+  AccessAggregate other;
+  m.cache_hits = 30;
+  other.add(m);
+  agg.merge(other);
+  EXPECT_DOUBLE_EQ(agg.meanCacheHits(), 20.0);
+}
+
 TEST(AccessAggregate, StageTotalsComeFromCompletedAccessesOnly) {
   AccessAggregate agg;
   AccessMetrics done;

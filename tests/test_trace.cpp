@@ -139,6 +139,77 @@ TEST(ChromeTrace, ExportFiltersToOneAccess) {
   EXPECT_TRUE(trace::validJson(only_two));
 }
 
+TEST(Tracer, InternDeduplicatesAndSurvivesAppend) {
+  trace::Tracer t;
+  const std::string built = std::string("disk.d") + "7" + ".queue_depth";
+  const char* a = t.intern(built);
+  const char* b = t.intern("disk.d7.queue_depth");
+  EXPECT_EQ(a, b);  // same pooled pointer, not just equal bytes
+
+  trace::Tracer donor;
+  donor.counter(donor.intern("scratch.series"), 0.5, 3.0);
+  t.append(donor);
+  // append() re-interned the name into t's pool; the donor may die.
+  const trace::Record moved = t.records().back();
+  trace::Tracer().append(donor);  // unrelated churn
+  EXPECT_STREQ(moved.name, "scratch.series");
+}
+
+TEST(Tracer, CounterRecordsCarryValueAndTrack) {
+  trace::Tracer t;
+  t.counter("disk.queue_depth", 0.25, 4.0);
+  ASSERT_EQ(t.records().size(), 1u);
+  const trace::Record& r = t.records()[0];
+  EXPECT_TRUE(r.counter);
+  EXPECT_FALSE(r.instant);
+  EXPECT_STREQ(r.name, "disk.queue_depth");
+  EXPECT_DOUBLE_EQ(r.value, 4.0);
+  EXPECT_DOUBLE_EQ(r.begin, 0.25);
+  EXPECT_EQ(r.track, trace::kTelemetryTrack);
+
+  trace::Tracer off(false);
+  off.counter("disk.queue_depth", 0.25, 4.0);
+  EXPECT_TRUE(off.records().empty());
+}
+
+TEST(ChromeTrace, CounterRecordsExportAsCounterTracks) {
+  trace::Tracer t;
+  t.counter("decoder.blocks_received", 0.010, 12.0);
+  t.counter("decoder.blocks_received", 0.020, 31.0);
+  const std::string json = trace::toChromeTraceJson(t);
+  EXPECT_TRUE(trace::validJson(json));
+  // Chrome's counter phase with the sampled value as the plotted arg.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"decoder.blocks_received\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"value\":31"), std::string::npos) << json;
+  // The telemetry lane is labelled so Perfetto shows a named track.
+  EXPECT_NE(json.find("\"name\":\"telemetry\""), std::string::npos) << json;
+}
+
+TEST(ChromeTrace, EscapesHostileRecordNames) {
+  trace::Tracer t;
+  t.instant(t.intern("weird \"name\" \\ with\nnewline\ttab"), 0.001, 0,
+            trace::kFaultTrack);
+  const std::string json = trace::toChromeTraceJson(t);
+  EXPECT_TRUE(trace::validJson(json)) << json;
+  EXPECT_NE(json.find("weird \\\"name\\\" \\\\ with\\nnewline\\ttab"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ChromeTrace, EmptyTracerExportsValidJson) {
+  const trace::Tracer empty;
+  const std::string json = trace::toChromeTraceJson(empty);
+  EXPECT_TRUE(trace::validJson(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  trace::Tracer disabled(false);
+  disabled.instant("fault.fail_stop", 0.5, 0, trace::kFaultTrack);
+  EXPECT_TRUE(trace::validJson(trace::toChromeTraceJson(disabled)));
+}
+
 TEST(ChromeTrace, ValidatorAcceptsAndRejects) {
   EXPECT_TRUE(trace::validJson("{}"));
   EXPECT_TRUE(trace::validJson("[1, 2.5, -3e4, \"x\", true, false, null]"));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/chrome_trace.hpp"
 
 namespace {
@@ -55,8 +56,22 @@ void usage(const char* argv0) {
       "  Takes the options above except --trials/--threads/--csv and the\n"
       "  trial-coupling flags; --scheme all defaults to robustore. The\n"
       "  per-stage breakdown summary goes to stderr; the JSON goes to\n"
-      "  --out PATH, or stdout when --out is omitted.\n",
-      argv0, argv0);
+      "  --out PATH, or stdout when --out is omitted. Telemetry counter\n"
+      "  tracks (queue depths, decoder progress, ...) ride along on the\n"
+      "  ROBUSTORE_SAMPLE_DT grid (default 10 ms).\n"
+      "\n"
+      "subcommand: %s timeline [options] [--trial N] [--dt-ms X]\n"
+      "                        [--format csv|json] [--out PATH]\n"
+      "                        [--prom PATH]\n"
+      "  Runs ONE trial with periodic telemetry sampling and dumps the\n"
+      "  time series (per-disk queue depth and utilization, link bytes in\n"
+      "  flight, decoder progress, fault state, ...) as CSV (default) or\n"
+      "  JSON to --out PATH / stdout. --dt-ms sets the sampling grid\n"
+      "  (default: ROBUSTORE_SAMPLE_DT, else 10 ms). --prom PATH\n"
+      "  additionally writes the final metric snapshot in Prometheus text\n"
+      "  format. Sampling reads state only: the simulated results are\n"
+      "  bitwise identical with it on or off.\n",
+      argv0, argv0, argv0);
 }
 
 struct Options {
@@ -66,7 +81,7 @@ struct Options {
   bool csv = false;
 };
 
-std::optional<Options> parse(int argc, char** argv) {
+std::optional<Options> parse(int argc, char** argv, bool& help) {
   Options opt;
   Bytes data_mb = 1024;
   const auto next = [&](int& i) -> const char* {
@@ -192,6 +207,7 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--csv") {
       opt.csv = true;
     } else if (arg == "--help" || arg == "-h") {
+      help = true;
       return std::nullopt;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -226,7 +242,12 @@ int traceMain(int argc, char** argv) {
       rest.push_back(argv[i]);
     }
   }
-  const auto options = parse(static_cast<int>(rest.size()), rest.data());
+  bool help = false;
+  const auto options = parse(static_cast<int>(rest.size()), rest.data(), help);
+  if (help) {
+    usage(argv[0]);
+    return 0;
+  }
   if (!options) {
     usage(argv[0]);
     return 2;
@@ -247,9 +268,15 @@ int traceMain(int argc, char** argv) {
     return 2;
   }
 
+  // Counter tracks ride along with the spans: enable sampling on the env
+  // grid (default 10 ms) so Perfetto shows the curves next to the events.
+  core::ExperimentConfig config = options->config;
+  config.sample_dt = telemetry::sampleDtFromEnv();
+  if (config.sample_dt <= 0.0) config.sample_dt = 10.0 * kMilliseconds;
+
   trace::Tracer tracer;
   const metrics::AccessMetrics m =
-      core::ExperimentRunner::runTrial(options->config, kind, trial, &tracer);
+      core::ExperimentRunner::runTrial(config, kind, trial, &tracer);
 
   const std::string json = trace::toChromeTraceJson(tracer);
   if (!trace::validJson(json)) {
@@ -283,13 +310,136 @@ int traceMain(int argc, char** argv) {
   return 0;
 }
 
+/// Writes `text` to `path`, or to stdout when `path` is empty.
+bool writeTextOutput(const std::string& text, const std::string& path) {
+  if (path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+/// `robustore_cli timeline`: one sampled trial, dumped as time-series
+/// CSV/JSON (plus an optional Prometheus-text final snapshot). Returns
+/// the process exit code.
+int timelineMain(int argc, char** argv) {
+  std::uint32_t trial = 0;
+  double dt_ms = 0.0;
+  std::string format = "csv";
+  std::string out_path;
+  std::string prom_path;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trial" && i + 1 < argc) {
+      trial = static_cast<std::uint32_t>(std::atof(argv[++i]));
+    } else if (arg == "--dt-ms" && i + 1 < argc) {
+      dt_ms = std::atof(argv[++i]);
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--prom" && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (format != "csv" && format != "json") {
+    std::fprintf(stderr, "timeline: --format must be csv or json\n");
+    return 2;
+  }
+  bool help = false;
+  const auto options = parse(static_cast<int>(rest.size()), rest.data(), help);
+  if (help) {
+    usage(argv[0]);
+    return 0;
+  }
+  if (!options) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (core::ExperimentRunner::trialsAreCoupled(options->config)) {
+    std::fprintf(stderr,
+                 "timeline: --reuse-file / --metadata-selection couple "
+                 "trials and cannot be sampled one trial at a time\n");
+    return 2;
+  }
+  const client::SchemeKind kind =
+      options->scheme.value_or(client::SchemeKind::kRobuStore);
+  if (trial >= options->config.trials) {
+    std::fprintf(stderr, "timeline: --trial %u out of range (trials=%u)\n",
+                 trial, options->config.trials);
+    return 2;
+  }
+
+  core::ExperimentConfig config = options->config;
+  config.sample_dt =
+      dt_ms > 0.0 ? dt_ms * kMilliseconds : telemetry::sampleDtFromEnv();
+  // runTrial falls back to a 10 ms grid when telemetry is requested with
+  // no interval set.
+  telemetry::TrialTelemetry telemetry;
+  const metrics::AccessMetrics m = core::ExperimentRunner::runTrial(
+      config, kind, trial, /*trace_out=*/nullptr, &telemetry);
+
+  const std::string text = format == "json"
+                               ? telemetry.timeline.toJson(telemetry.sample_dt)
+                               : telemetry.timeline.toCsv();
+  if (!writeTextOutput(text, out_path)) {
+    std::fprintf(stderr, "timeline: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!out_path.empty()) {
+    std::fprintf(stderr, "timeline written to %s\n", out_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    if (!writeTextOutput(telemetry.registry.prometheusText(), prom_path)) {
+      std::fprintf(stderr, "timeline: cannot write %s\n", prom_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "prometheus snapshot written to %s\n",
+                 prom_path.c_str());
+  }
+
+  std::fprintf(stderr,
+               "\n%s trial %u: %s, latency %.3fs, %u blocks received\n",
+               client::schemeName(kind), trial,
+               m.complete ? "complete" : "INCOMPLETE", m.latency,
+               m.blocks_received);
+  std::fprintf(stderr,
+               "sampled %zu series, %zu points, dt = %.1f ms\n",
+               telemetry.timeline.numSeries(),
+               telemetry.timeline.totalPoints(),
+               telemetry.sample_dt / kMilliseconds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
     return traceMain(argc, argv);
   }
-  const auto options = parse(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "timeline") == 0) {
+    return timelineMain(argc, argv);
+  }
+  // A bare word in subcommand position is a typo'd subcommand, not an
+  // experiment option: fail with usage instead of misparsing it.
+  if (argc > 1 && argv[1][0] != '-') {
+    std::fprintf(stderr, "unknown subcommand: %s\n", argv[1]);
+    usage(argv[0]);
+    return 2;
+  }
+  bool help = false;
+  const auto options = parse(argc, argv, help);
+  if (help) {
+    usage(argv[0]);
+    return 0;
+  }
   if (!options) {
     usage(argv[0]);
     return 2;
