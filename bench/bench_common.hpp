@@ -4,12 +4,12 @@
 // headers, row formatting, and the standard four-scheme sweep loop.
 
 #include <cstdio>
-#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/run_env.hpp"
 #include "reporter.hpp"
 
 namespace robustore::bench {
@@ -77,10 +77,7 @@ inline core::ExperimentConfig baselineConfig() {
   // bench (stage_* fields in the JSON trajectory, stage tables in the
   // human output). Tracing never touches a random stream, so the paper
   // metrics are bit-identical either way.
-  if (const char* t = std::getenv("ROBUSTORE_TRACE");
-      t != nullptr && std::string(t) != "0") {
-    cfg.trace = true;
-  }
+  if (core::RunEnv::trace()) cfg.trace = true;
   // ROBUSTORE_SAMPLE_DT=<ms> turns on per-trial telemetry sampling. The
   // sampler rides the engine's time observer (zero events, zero rng
   // draws), so every figure is bit-identical with sampling on or off.

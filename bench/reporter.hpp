@@ -9,10 +9,10 @@
 //     is used as the target directory).
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/run_env.hpp"
 #include "metrics/metrics.hpp"
 #include "telemetry/host_profiler.hpp"
 
@@ -122,11 +122,9 @@ class Reporter {
                  [s](const ReportRow& r) { return r.stage_mean_s[s]; });
     }
     printIncompleteNote();
-    if (std::getenv("ROBUSTORE_CSV") != nullptr) emitCsv(stdout);
-    if (const char* json_env = std::getenv("ROBUSTORE_JSON")) {
-      const std::string dir =
-          std::string(json_env) == "1" ? "." : std::string(json_env);
-      const std::string path = dir + "/BENCH_" + id_ + ".json";
+    if (core::RunEnv::csv()) emitCsv(stdout);
+    if (const auto dir = core::RunEnv::jsonDir()) {
+      const std::string path = *dir + "/BENCH_" + id_ + ".json";
       if (writeJsonFile(path)) {
         std::printf("json trajectory written to %s\n", path.c_str());
       } else {

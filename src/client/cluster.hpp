@@ -48,6 +48,10 @@ class Cluster {
   [[nodiscard]] server::StorageServer& serverOfDisk(std::uint32_t global_disk) {
     return *servers_[global_disk / config_.server.disks_per_server];
   }
+  [[nodiscard]] std::uint32_t serverIndexOfDisk(
+      std::uint32_t global_disk) const {
+    return global_disk / config_.server.disks_per_server;
+  }
   [[nodiscard]] std::uint32_t localDiskIndex(std::uint32_t global_disk) const {
     return global_disk % config_.server.disks_per_server;
   }

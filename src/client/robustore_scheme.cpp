@@ -247,6 +247,7 @@ void RobuStoreScheme::submitNextWrite(Session& session, StoredFile& out,
   const std::uint32_t pos = state->submitted_per_disk[p]++;
   placement.layout.extendTo(pos + 1, state->layout_rng);
 
+  noteServerUsed(session, placement.global_disk);
   server::StorageServer& srv = cluster().serverOfDisk(placement.global_disk);
   server::StorageServer::BlockWrite req;
   req.stream = session.stream;

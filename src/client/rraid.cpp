@@ -253,6 +253,7 @@ void RRaidScheme::startWrite(Session& session, const AccessConfig& config,
   }
   for (std::uint32_t d = 0; d < h; ++d) {
     auto& p = out.placements[d];
+    noteServerUsed(session, p.global_disk);
     server::StorageServer& srv = cluster().serverOfDisk(p.global_disk);
     for (std::uint32_t pos = 0; pos < p.stored.size(); ++pos) {
       server::StorageServer::BlockWrite req;

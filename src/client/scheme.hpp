@@ -5,6 +5,8 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "client/cluster.hpp"
 #include "coding/lt_graph.hpp"
@@ -135,6 +137,13 @@ class Scheme {
     /// finish() stops the engine so the synchronous read()/write()
     /// wrappers return. Also invoked on fail() — check session.complete.
     std::function<void()> on_complete;
+    /// Servers this access has issued requests to, each paired with the
+    /// stream's server-side network-byte counter at first touch. Keeps
+    /// access completion O(disks touched) rather than O(cluster size):
+    /// cancelOutstanding() and collect() visit only these servers, and
+    /// the byte base scopes the network ledger to this access when a
+    /// campaign reuses one stream id across a client's accesses.
+    std::vector<std::pair<std::uint32_t, Bytes>> servers_used;
   };
 
   /// One failure-aware block read: the scheme's unit of re-issue. The
@@ -253,6 +262,12 @@ class Scheme {
   /// Does NOT run the fail-fast check: callers that re-target a block
   /// (RRAID-A stealing) cancel and re-issue in one step.
   void cancelTracked(Session& session, const TrackedHandle& tracked);
+
+  /// Records the disk's server in `session.servers_used` (first touch
+  /// snapshots the stream's byte counter). Every site that hands the
+  /// session's stream to a server MUST call this first, or completion
+  /// misses that server's queued requests and bytes.
+  void noteServerUsed(Session& session, std::uint32_t global_disk);
 
   [[nodiscard]] Cluster& cluster() { return *cluster_; }
   [[nodiscard]] sim::Engine& engine() { return cluster_->engine(); }

@@ -47,30 +47,72 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+namespace {
+
+// Pending tail grows to 1/8 of the body (but at least this much) before
+// a flush: each O(n) merge is then paid for by n/8 appends.
+constexpr std::size_t kMinPendingFlush = 64;
+
+double percentileOf(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+void SampleSet::flushPending() {
+  if (pending_.empty()) return;
+  std::sort(pending_.begin(), pending_.end());
+  const std::size_t body = samples_.size();
+  samples_.insert(samples_.end(), pending_.begin(), pending_.end());
+  std::inplace_merge(samples_.begin(),
+                     samples_.begin() + static_cast<std::ptrdiff_t>(body),
+                     samples_.end());
+  pending_.clear();
+}
+
+std::vector<double> SampleSet::mergedView() const {
+  std::vector<double> tail = pending_;
+  std::sort(tail.begin(), tail.end());
+  std::vector<double> merged;
+  merged.reserve(samples_.size() + tail.size());
+  std::merge(samples_.begin(), samples_.end(), tail.begin(), tail.end(),
+             std::back_inserter(merged));
+  return merged;
+}
+
 void SampleSet::merge(const SampleSet& other) {
   stats_.merge(other.stats_);
-  // Both inputs are sorted: merge in linear time, preserving the
-  // invariant without a mutable lazy sort (percentile() stays pure).
+  flushPending();
+  const std::vector<double> theirs = other.mergedView();
   std::vector<double> merged;
-  merged.reserve(samples_.size() + other.samples_.size());
-  std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
-             other.samples_.end(), std::back_inserter(merged));
+  merged.reserve(samples_.size() + theirs.size());
+  std::merge(samples_.begin(), samples_.end(), theirs.begin(), theirs.end(),
+             std::back_inserter(merged));
   samples_ = std::move(merged);
 }
 
 void SampleSet::add(double x) {
   stats_.add(x);
-  samples_.insert(std::upper_bound(samples_.begin(), samples_.end(), x), x);
+  pending_.push_back(x);
+  if (pending_.size() >= kMinPendingFlush &&
+      pending_.size() * 8 >= samples_.size()) {
+    flushPending();
+  }
+}
+
+std::vector<double> SampleSet::sorted() const {
+  return pending_.empty() ? samples_ : mergedView();
 }
 
 double SampleSet::percentile(double p) const {
   ROBUSTORE_EXPECTS(p >= 0.0 && p <= 100.0, "percentile out of range");
-  if (samples_.empty()) return 0.0;
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+  if (pending_.empty()) return percentileOf(samples_, p);
+  return percentileOf(mergedView(), p);
 }
 
 }  // namespace robustore

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/expects.hpp"
+#include "core/run_env.hpp"
 #include "core/telemetry_probes.hpp"
 #include "core/trial_pool.hpp"
 
@@ -101,9 +102,7 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
 }
 
 std::uint32_t ExperimentRunner::trialsFromEnv(std::uint32_t fallback) {
-  const auto v = parseEnvCount("ROBUSTORE_TRIALS");
-  if (!v || *v > std::numeric_limits<std::uint32_t>::max()) return fallback;
-  return static_cast<std::uint32_t>(*v);
+  return RunEnv::trials(fallback);
 }
 
 metrics::AccessMetrics ExperimentRunner::runTrial(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <numeric>
 
 #include "common/expects.hpp"
 #include "core/experiment.hpp"
@@ -11,14 +12,29 @@ namespace robustore::core {
 namespace {
 
 /// State of one simulated client for the lifetime of the experiment.
+///
+/// The session lives behind a pointer because in-flight callbacks bind
+/// the session by reference: when a campaign moves a client to its next
+/// access, the finished access's session is *retired* (kept alive until
+/// its last in-service disk request settles against it) rather than
+/// overwritten in place.
 struct ClientState {
   std::unique_ptr<client::Scheme> scheme;
-  client::Scheme::Session session;
+  std::unique_ptr<client::Scheme::Session> session =
+      std::make_unique<client::Scheme::Session>();
   client::StoredFile file;
   std::vector<std::uint32_t> disks;
+  /// Persistent candidate pool for fast_selection (incremental
+  /// Fisher–Yates): the prefix examined last access is re-randomised
+  /// lazily, so selection cost is O(candidates examined), not O(disks).
+  std::vector<std::uint32_t> pool;
   Rng rng{0};
   std::uint32_t retries = 0;
+  std::uint32_t accesses_done = 0;
   bool started = false;
+  /// Current session's metrics already folded into the result (campaign
+  /// mode collects at completion; the drain pass skips collected ones).
+  bool collected = false;
 };
 
 }  // namespace
@@ -26,6 +42,8 @@ struct ClientState {
 MultiClientExperiment::MultiClientExperiment(MultiClientConfig config)
     : config_(std::move(config)) {
   ROBUSTORE_EXPECTS(config_.num_clients >= 1, "need at least one client");
+  ROBUSTORE_EXPECTS(config_.accesses_per_client >= 1,
+                    "need at least one access per client");
   ROBUSTORE_EXPECTS(
       config_.disks_per_access <=
           config_.num_servers * config_.disks_per_server,
@@ -43,23 +61,48 @@ MultiClientResult MultiClientExperiment::run() {
   cc.server.admission = config_.admission;
   client::Cluster cluster(engine, cc, Rng(config_.seed ^ 0x5eedu));
 
+  const bool campaign = config_.accesses_per_client > 1;
   std::vector<ClientState> clients(config_.num_clients);
-  std::uint32_t completed = 0;
+  /// Finished campaign sessions with disk work still in service.
+  std::vector<std::unique_ptr<client::Scheme::Session>> retired;
+  MultiClientResult result;
+  std::uint32_t completed = 0;  // clients done with their full campaign
   bool experiment_over = false;
   SimTime first_start = -1.0;
   SimTime last_finish = 0.0;
 
-  // Admission-aware disk selection: walk a fresh random permutation and
+  // Admission-aware disk selection: walk a random candidate order and
   // keep disks whose server grants the stream, up to the target count.
+  // The legacy path materialises a full permutation per attempt (the
+  // historical stream, kept bit-identical); fast_selection draws the
+  // same walk incrementally, one Fisher–Yates step per candidate.
   const auto selectAdmitted = [&](ClientState& c) {
     c.disks.clear();
-    auto order = c.rng.permutation(cluster.numDisks());
-    for (const auto d : order) {
-      if (c.disks.size() >= config_.disks_per_access) break;
+    const std::uint32_t n = cluster.numDisks();
+    const auto admitTry = [&](std::uint32_t d) {
       auto& srv = cluster.serverOfDisk(d);
       if (srv.admission().admit(cluster.localDiskIndex(d),
-                                c.session.stream)) {
+                                c.session->stream)) {
         c.disks.push_back(d);
+      }
+    };
+    if (config_.fast_selection) {
+      if (c.pool.size() != n) {
+        c.pool.resize(n);
+        std::iota(c.pool.begin(), c.pool.end(), 0U);
+      }
+      for (std::uint32_t j = 0;
+           j < n && c.disks.size() < config_.disks_per_access; ++j) {
+        const auto pick =
+            j + static_cast<std::uint32_t>(c.rng.below(n - j));
+        std::swap(c.pool[j], c.pool[pick]);
+        admitTry(c.pool[j]);
+      }
+    } else {
+      auto order = c.rng.permutation(n);
+      for (const auto d : order) {
+        if (c.disks.size() >= config_.disks_per_access) break;
+        admitTry(d);
       }
     }
     if (c.disks.size() < config_.disks_per_access) {
@@ -68,7 +111,7 @@ MultiClientResult MultiClientExperiment::run() {
       if (c.disks.size() * 2 < config_.disks_per_access) {
         for (const auto d : c.disks) {
           cluster.serverOfDisk(d).admission().release(
-              cluster.localDiskIndex(d), c.session.stream);
+              cluster.localDiskIndex(d), c.session->stream);
         }
         c.disks.clear();
         return false;
@@ -91,48 +134,99 @@ MultiClientResult MultiClientExperiment::run() {
         if (first_start < 0) first_start = engine.now();
         c.file = c.scheme->planFile(config_.access, c.disks, config_.layout,
                                     c.rng);
-        c.session.on_complete = [&, index] {
+        c.session->on_complete = [&, index] {
           ClientState& done = clients[index];
-          done.scheme->cancelOutstanding(done.session);
+          done.scheme->cancelOutstanding(*done.session);
           for (const auto d : done.disks) {
             cluster.serverOfDisk(d).admission().release(
-                cluster.localDiskIndex(d), done.session.stream);
+                cluster.localDiskIndex(d), done.session->stream);
           }
           last_finish = engine.now();
-          if (++completed == config_.num_clients) engine.stop();
+          ++done.accesses_done;
+          if (done.session->complete) ++result.accesses_completed;
+          if (!campaign) {
+            // Legacy shape: one access per client, metrics collected
+            // after the global drain (byte accounting fully settled).
+            if (++completed == config_.num_clients) engine.stop();
+            return;
+          }
+          // Campaign: fold this access in now (its speculative tail was
+          // just cancelled, so its I/O ledger is final up to requests
+          // already in service) and move the client on.
+          result.accesses.add(done.scheme->collect(
+              *done.session, config_.access.dataBytes(), config_.access.k));
+          done.collected = true;
+          if (done.accesses_done < config_.accesses_per_client) {
+            if (experiment_over) return;  // deadline hit: no new work
+            const auto stream = done.session->stream;
+            // Retire the finished session: in-service disk requests from
+            // this access still hold it by reference and settle against
+            // it (as pure byte accounting) when they complete. Drained
+            // retirees are reaped here, so the list stays proportional
+            // to in-flight work, not to campaign length.
+            std::erase_if(retired, [](const auto& s) {
+              return s->live_requests == 0;
+            });
+            retired.push_back(std::move(done.session));
+            done.session = std::make_unique<client::Scheme::Session>();
+            done.session->stream = stream;  // same disk-side identity
+            done.collected = false;
+            engine.schedule(config_.think_time,
+                            [&, index] { startClient(index); });
+          } else if (++completed == config_.num_clients) {
+            engine.stop();
+          }
         };
-        c.scheme->beginRead(c.session, c.file, config_.access);
+        c.scheme->beginRead(*c.session, c.file, config_.access);
       };
 
+  // One batched start storm instead of num_clients heap inserts; at
+  // t = 0, delay == absolute time, so the event order (time, seq) is
+  // identical to the historical per-client scheduleAt calls.
+  std::vector<sim::Engine::BatchEvent> storm;
+  storm.reserve(config_.num_clients);
   for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
     ClientState& c = clients[i];
     c.scheme = client::makeScheme(config_.scheme, cluster,
                                   coding::LtParams{});
     c.rng = Rng(config_.seed * 0x9e3779b97f4a7c15ULL + i + 1);
-    c.session.stream = cluster.nextStream();
-    engine.scheduleAt(config_.stagger * i, [&, i] { startClient(i); });
+    c.session->stream = cluster.nextStream();
+    storm.push_back({config_.stagger * i, [&, i] { startClient(i); }});
   }
+  engine.scheduleBatch(storm);
 
-  engine.runUntil(config_.access.timeout);
+  const SimTime deadline = config_.run_deadline > 0.0
+                               ? config_.run_deadline
+                               : config_.access.timeout;
+  engine.runUntil(deadline);
   experiment_over = true;
   engine.run();  // drain in-flight work for final byte accounting
 
-  MultiClientResult result;
   result.clients_completed = completed;
   for (auto& c : clients) {
+    if (campaign && c.collected) continue;  // folded in at completion
     result.accesses.add(c.scheme->collect(
-        c.session, config_.access.dataBytes(), config_.access.k));
+        *c.session, config_.access.dataBytes(), config_.access.k));
   }
+  // Throughput accounting: the legacy path historically counted every
+  // finished client (complete or failed) — preserved bit-for-bit; the
+  // campaign path counts genuinely completed accesses.
+  const std::uint64_t delivered =
+      campaign ? result.accesses_completed : completed;
   result.makespan =
-      completed > 0 && first_start >= 0 ? last_finish - first_start : 0.0;
+      delivered > 0 && first_start >= 0 ? last_finish - first_start : 0.0;
   if (result.makespan > 0) {
-    result.system_throughput_mbps = toMBps(
-        static_cast<Bytes>(completed) * config_.access.dataBytes(),
-        result.makespan);
+    result.system_throughput_mbps =
+        toMBps(static_cast<Bytes>(delivered) * config_.access.dataBytes(),
+               result.makespan);
   }
   for (std::uint32_t s = 0; s < cluster.numServers(); ++s) {
     result.admission_refusals += cluster.server(s).admission().refused();
   }
+  const auto& stats = engine.stats();
+  result.events_scheduled = stats.scheduled;
+  result.events_fired = stats.fired;
+  result.peak_live_events = stats.peak_live;
   return result;
 }
 

@@ -34,17 +34,47 @@ struct MultiClientConfig {
   /// Rejected clients retry their disk selection after this long.
   SimTime retry_interval = 250 * kMilliseconds;
   std::uint64_t seed = 42;
+
+  /// Accesses each client performs back to back. 1 (the default) is the
+  /// legacy single-access experiment — bit-identical to prior releases,
+  /// with per-access metrics collected after the global drain. Larger
+  /// values run a sequential campaign per client: each completed access
+  /// is collected at completion (its in-flight speculative tail is
+  /// cancelled rather than drained) and the client re-selects disks for
+  /// the next one.
+  std::uint32_t accesses_per_client = 1;
+  /// Pause between a client's access completion and its next selection.
+  SimTime think_time = 0.0;
+  /// Incremental Fisher–Yates disk selection: draws only as many RNG
+  /// values as candidates examined instead of permuting every disk per
+  /// access (O(num_disks) — prohibitive at 10³ disks × 10⁶ accesses).
+  /// Statistically equivalent but a different RNG stream, so it changes
+  /// results vs the legacy path: opt in for datacenter-scale campaigns.
+  bool fast_selection = false;
+  /// Simulated-time bound for the whole campaign; 0 uses access.timeout
+  /// (the legacy bound, right for single accesses).
+  SimTime run_deadline = 0.0;
 };
 
 struct MultiClientResult {
-  /// Per-access metrics over the client population.
+  /// Per-access metrics over the client population (one entry per
+  /// completed access, plus one pending/incomplete access per client the
+  /// deadline caught mid-flight).
   metrics::AccessAggregate accesses;
   /// Total useful bytes over the makespan (first arrival to last
   /// completion) — the system-throughput view of §5.4.
   double system_throughput_mbps = 0.0;
   SimTime makespan = 0.0;
   std::uint64_t admission_refusals = 0;
+  /// Clients that completed their full campaign (all accesses).
   std::uint32_t clients_completed = 0;
+  std::uint64_t accesses_completed = 0;
+
+  /// Engine counters for the run — deterministic (simulation-side), used
+  /// by the scale sweep to report event volume and working-set size.
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_fired = 0;
+  std::size_t peak_live_events = 0;
 };
 
 class MultiClientExperiment {

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace robustore::core {
+
+/// Unified, strictly-parsed access to every `ROBUSTORE_*` environment
+/// knob. All run configuration flows through here: one parser, one
+/// documented table, one place that reports bad values (once per knob,
+/// to stderr, then the documented fallback applies). CLI flags override
+/// these knobs; the knobs override built-in defaults.
+///
+/// ## Knob table
+///
+/// | knob                   | type            | meaning                         |
+/// |------------------------|-----------------|---------------------------------|
+/// | ROBUSTORE_TRIALS       | count (u32)     | trials per experiment           |
+/// | ROBUSTORE_THREADS      | count ≤ 1024    | trial-pool worker threads       |
+/// | ROBUSTORE_SEED         | count (u64)     | base RNG seed override          |
+/// | ROBUSTORE_SAMPLE_DT    | positive ms     | telemetry sampling period       |
+/// |                        |                 | (unset/invalid = sampling off)  |
+/// | ROBUSTORE_HOST_PROFILE | bool-ish        | host-side profiling             |
+/// | ROBUSTORE_TRACE        | bool-ish        | per-stage latency tracing       |
+/// | ROBUSTORE_CSV          | presence        | CSV block in bench output       |
+/// | ROBUSTORE_JSON         | "1" or dir path | write BENCH_*.json ("1" = cwd)  |
+///
+/// "count" means the whole value must be a positive decimal integer
+/// ("8", not "8x", " 8", "+8", or "0") that fits the stated range —
+/// anything else falls back, it is never silently truncated. "bool-ish"
+/// means set and neither empty nor "0". "presence" means set at all,
+/// even to the empty string (legacy behavior, kept for script compat).
+///
+/// Every accessor reads the environment on each call (no caching), so
+/// tests and embedders may setenv/unsetenv between calls.
+class RunEnv {
+ public:
+  /// Strict positive decimal count from an arbitrary environment
+  /// variable; nullopt for unset/empty/malformed/zero/overflow (with the
+  /// one-time warning when set but invalid).
+  [[nodiscard]] static std::optional<std::uint64_t> count(const char* name);
+
+  /// ROBUSTORE_TRIALS, or `fallback` when unset/invalid/out of u32 range.
+  [[nodiscard]] static std::uint32_t trials(std::uint32_t fallback);
+
+  /// ROBUSTORE_THREADS, or `fallback` when unset/invalid/above the 1024
+  /// runaway guard.
+  [[nodiscard]] static unsigned threads(unsigned fallback);
+
+  /// ROBUSTORE_SEED, or `fallback` when unset/invalid.
+  [[nodiscard]] static std::uint64_t seed(std::uint64_t fallback);
+
+  /// ROBUSTORE_SAMPLE_DT in *milliseconds*, returned in seconds; 0.0
+  /// (sampling disabled) when unset, invalid, non-finite, or <= 0.
+  [[nodiscard]] static SimTime sampleDt();
+
+  /// ROBUSTORE_HOST_PROFILE as bool-ish.
+  [[nodiscard]] static bool hostProfile();
+
+  /// ROBUSTORE_TRACE as bool-ish.
+  [[nodiscard]] static bool trace();
+
+  /// ROBUSTORE_CSV as presence.
+  [[nodiscard]] static bool csv();
+
+  /// ROBUSTORE_JSON mapped to the output directory: nullopt when unset,
+  /// "." when "1", the literal value otherwise.
+  [[nodiscard]] static std::optional<std::string> jsonDir();
+
+  /// Ceiling applied by threads(): a typo'd knob must not spawn millions
+  /// of workers.
+  static constexpr unsigned kMaxThreads = 1024;
+};
+
+}  // namespace robustore::core

@@ -1,36 +1,16 @@
 #include "core/trial_pool.hpp"
 
 #include <algorithm>
-#include <charconv>
-#include <cstdlib>
-#include <cstring>
 #include <utility>
 
+#include "core/run_env.hpp"
+
 namespace robustore::core {
-namespace {
-
-// Hard ceiling on worker count: far above any real machine, it only guards
-// against a typo'd ROBUSTORE_THREADS spawning millions of threads.
-constexpr unsigned kMaxThreads = 1024;
-
-}  // namespace
-
-std::optional<std::uint64_t> parseEnvCount(const char* name) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return std::nullopt;
-  std::uint64_t value = 0;
-  const char* end = env + std::strlen(env);
-  const auto [ptr, ec] = std::from_chars(env, end, value);
-  // Strict: the whole string must be a decimal count ("8", not "8x" or
-  // " 8"), it must fit, and zero is as meaningless as unset.
-  if (ec != std::errc{} || ptr != end || value == 0) return std::nullopt;
-  return value;
-}
 
 TrialPool::TrialPool(unsigned threads) {
   unsigned n = threads == 0 ? defaultThreads() : threads;
   if (n == 0) n = 1;
-  if (n > kMaxThreads) n = kMaxThreads;
+  if (n > RunEnv::kMaxThreads) n = RunEnv::kMaxThreads;
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
@@ -102,9 +82,7 @@ unsigned TrialPool::defaultThreads() {
 }
 
 unsigned TrialPool::threadsFromEnv(unsigned fallback) {
-  const auto v = parseEnvCount("ROBUSTORE_THREADS");
-  if (!v || *v > kMaxThreads) return fallback;
-  return static_cast<unsigned>(*v);
+  return RunEnv::threads(fallback);
 }
 
 }  // namespace robustore::core

@@ -6,18 +6,10 @@
 #include <exception>
 #include <functional>
 #include <mutex>
-#include <optional>
 #include <thread>
 #include <vector>
 
 namespace robustore::core {
-
-/// Strictly parsed positive decimal count from an environment variable:
-/// the whole value must be digits, in range, and non-zero. Returns
-/// nullopt for unset, empty, malformed ("8x", " 8", "-3"), zero, or
-/// overflowing values — callers fall back to their default instead of
-/// silently truncating.
-[[nodiscard]] std::optional<std::uint64_t> parseEnvCount(const char* name);
 
 /// Fixed-size worker pool for fanning independent simulation trials out
 /// across cores.
@@ -61,9 +53,8 @@ class TrialPool {
   /// std::thread::hardware_concurrency() (minimum 1).
   [[nodiscard]] static unsigned defaultThreads();
 
-  /// Strictly parsed ROBUSTORE_THREADS override (see
-  /// ExperimentRunner::trialsFromEnv for the parsing rules); `fallback`
-  /// when unset or invalid.
+  /// Strictly parsed ROBUSTORE_THREADS override (RunEnv::threads);
+  /// `fallback` when unset or invalid.
   [[nodiscard]] static unsigned threadsFromEnv(unsigned fallback);
 
  private:

@@ -90,7 +90,8 @@ RequestId Disk::submit(DiskRequestSpec spec, CompletionFn done,
   return id;
 }
 
-void Disk::abortRequest(RequestId id) {
+void Disk::abortRequest(RequestId id,
+                        std::vector<sim::Engine::BatchEvent>& aborts) {
   Request& r = slots_[slotOf(id)];
   r.state = RequestState::kAborted;
   if (tracer_ != nullptr) {
@@ -98,9 +99,9 @@ void Disk::abortRequest(RequestId id) {
                      trace::diskTrack(id_), id_, id);
   }
   FailureFn fn = std::move(r.on_failed);
-  release(id);  // the event below is self-contained; reset() stays safe
+  release(id);  // the batched event is self-contained; reset() stays safe
   if (fn) {
-    engine_->schedule(0.0, [id, f = std::move(fn)] { f(id); });
+    aborts.push_back({0.0, [id, f = std::move(fn)] { f(id); }});
   }
 }
 
@@ -112,6 +113,10 @@ void Disk::failStop() {
                      trace::diskTrack(id_), id_);
   }
   if (failure_listener_) failure_listener_(id_);
+  // Failure notifications for everything this disk still owed are
+  // collected here and scheduled as one batch at the end — a dead disk
+  // with a deep queue is the engine's largest homogeneous burst.
+  std::vector<sim::Engine::BatchEvent> aborts;
   if (in_service_ != kInvalidRequest) {
     // Refund the unserved remainder: service time was charged up front at
     // startService, but everything past now (or past the pending stall
@@ -124,7 +129,7 @@ void Disk::failStop() {
       engine_->cancel(completion_event_);
       completion_event_ = {};
     }
-    abortRequest(in_service_);
+    abortRequest(in_service_, aborts);
     in_service_ = kInvalidRequest;
   }
   // Abort everything queued, background first, then streams in rotation
@@ -144,9 +149,10 @@ void Disk::failStop() {
     if (r->state == RequestState::kCancelled) {
       release(id);  // lazily-cancelled entry: no notification owed
     } else {
-      abortRequest(id);
+      abortRequest(id, aborts);
     }
   }
+  engine_->scheduleBatch(aborts);
 }
 
 void Disk::recover() {
@@ -195,15 +201,32 @@ bool Disk::cancel(RequestId id) {
 
 std::size_t Disk::cancelStream(StreamId stream) {
   std::size_t n = 0;
+  // A request that was still pending owes its owner a notification:
+  // without one, a tracked read whose queued attempt dies here never
+  // settles, so its session's live-request ledger never drains (and a
+  // campaign's retired-session list grows without bound). Cancelled
+  // entries (watchdog re-issues) already settled client-side and stay
+  // silent. The notice rides the failure channel; clients only ever
+  // cancel a stream after completion, so it lands as pure settle
+  // accounting.
+  std::vector<sim::Engine::BatchEvent> notices;
+  const auto reap = [&](RequestId id, Request& r) {
+    const bool was_pending = r.state == RequestState::kPending;
+    r.state = RequestState::kCancelled;
+    FailureFn fn = std::move(r.on_failed);
+    release(id);
+    if (was_pending) {
+      ++n;
+      if (fn) notices.push_back({0.0, [id, f = std::move(fn)] { f(id); }});
+    }
+  };
   // Background requests of this stream: filter the live queue in place.
   std::deque<RequestId> kept;
   for (const RequestId id : bg_queue_) {
     Request* r = resolve(id);
     if (r != nullptr && r->state == RequestState::kPending &&
         r->spec.stream == stream) {
-      r->state = RequestState::kCancelled;
-      release(id);
-      ++n;
+      reap(id, *r);
     } else {
       kept.push_back(id);
     }
@@ -215,12 +238,11 @@ std::size_t Disk::cancelStream(StreamId stream) {
     for (const RequestId id : it->second) {
       Request* r = resolve(id);
       if (r == nullptr) continue;
-      if (r->state == RequestState::kPending) ++n;
-      r->state = RequestState::kCancelled;
-      release(id);
+      reap(id, *r);
     }
     fg_queues_.erase(it);
   }
+  if (!notices.empty()) engine_->scheduleBatch(notices);
   return n;
 }
 

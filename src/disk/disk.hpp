@@ -241,7 +241,10 @@ class Disk {
   [[nodiscard]] const Request* resolve(RequestId id) const;
   void release(RequestId id);
   /// Marks `id` aborted and schedules its failure notification now.
-  void abortRequest(RequestId id);
+  /// Aborts one request, appending its failure notification to `aborts`
+  /// (failStop() schedules the whole storm in one batch).
+  void abortRequest(RequestId id,
+                    std::vector<sim::Engine::BatchEvent>& aborts);
 
   void serveNext();
   /// Pops the next live request id from `queue`, discarding cancelled and

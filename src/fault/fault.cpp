@@ -24,6 +24,17 @@ void FaultInjector::schedule(const FaultSpec& spec) {
   engine_->schedule(spec.at, [this, spec] { apply(spec); });
 }
 
+void FaultInjector::scheduleAll(const std::vector<FaultSpec>& specs) {
+  std::vector<sim::Engine::BatchEvent> batch;
+  batch.reserve(specs.size());
+  for (const FaultSpec& spec : specs) {
+    ROBUSTORE_EXPECTS(spec.at >= 0.0, "fault scheduled in the past");
+    ++scheduled_;
+    batch.push_back({spec.at, [this, spec] { apply(spec); }});
+  }
+  engine_->scheduleBatch(batch);
+}
+
 void FaultInjector::apply(const FaultSpec& spec) {
   disk::Disk& d = resolve_(spec.disk);
   ++injected_[static_cast<std::size_t>(spec.kind)];

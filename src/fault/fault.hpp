@@ -97,9 +97,9 @@ class FaultInjector {
   /// engine events, so arming before engine.run() is safe.
   void schedule(const FaultSpec& spec);
 
-  void scheduleAll(const std::vector<FaultSpec>& specs) {
-    for (const auto& s : specs) schedule(s);
-  }
+  /// Schedules a whole fault schedule in one engine batch (same event
+  /// order as calling schedule() per spec).
+  void scheduleAll(const std::vector<FaultSpec>& specs);
 
   /// Draws the stochastic schedule for `num_disks` disks from `rng`.
   /// Pure: consumes a fixed number of draws per disk regardless of

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore::sim {
+
+/// The original binary-heap engine, kept verbatim as a reference
+/// implementation. The production `Engine` is a calendar queue whose
+/// observable behavior — firing order, now() trajectory, cancel
+/// semantics — must match this one exactly; the scheduler-equivalence
+/// storm test drives both side by side, and bench_scale_sweep uses it
+/// as the dispatch-rate baseline. Not used by any simulation code.
+class ReferenceEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  EventId schedule(SimTime delay, Callback cb) {
+    return scheduleAt(now_ + (delay > 0 ? delay : 0), std::move(cb));
+  }
+
+  EventId scheduleAt(SimTime when, Callback cb) {
+    ROBUSTORE_EXPECTS(when >= now_, "event scheduled in the past");
+    ROBUSTORE_EXPECTS(static_cast<bool>(cb), "event with empty callback");
+    std::uint32_t index;
+    if (!free_slots_.empty()) {
+      index = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& slot = slots_[index];
+    slot.cb = std::move(cb);
+    const std::uint64_t handle = makeHandle(index, slot.generation);
+    queue_.push(Event{when, next_seq_++, handle});
+    ++live_events_;
+    return EventId{handle};
+  }
+
+  bool cancel(EventId id) {
+    Slot* slot = resolve(id.value);
+    if (slot == nullptr) return false;
+    release(slotOf(id.value));
+    return true;
+  }
+
+  std::size_t run() {
+    return runLoop(std::numeric_limits<SimTime>::infinity());
+  }
+
+  std::size_t runUntil(SimTime deadline) {
+    const std::size_t fired = runLoop(deadline);
+    if (!stopped_) {
+      SimTime target = deadline;
+      while (!queue_.empty() && resolve(queue_.top().handle) == nullptr) {
+        queue_.pop();
+      }
+      if (!queue_.empty() && queue_.top().time < target) {
+        target = queue_.top().time;
+      }
+      if (target > now_ &&
+          target < std::numeric_limits<SimTime>::infinity()) {
+        now_ = target;
+        if (time_observer_) time_observer_(now_);
+      }
+    }
+    return fired;
+  }
+
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pendingEvents() const { return live_events_; }
+
+  using TimeObserver = std::function<void(SimTime)>;
+  void setTimeObserver(TimeObserver observer) {
+    time_observer_ = std::move(observer);
+  }
+
+ private:
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 0;
+  };
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t handle;
+    [[nodiscard]] bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  static constexpr std::uint64_t makeHandle(std::uint32_t slot,
+                                            std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(slot) << 32) | gen;
+  }
+  static constexpr std::uint32_t slotOf(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h >> 32);
+  }
+  static constexpr std::uint32_t genOf(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h);
+  }
+
+  Slot* resolve(std::uint64_t handle) {
+    const std::uint32_t index = slotOf(handle);
+    if (index == 0 || index >= slots_.size()) return nullptr;
+    Slot& slot = slots_[index];
+    if (slot.generation != genOf(handle) || !slot.cb) return nullptr;
+    return &slot;
+  }
+
+  void release(std::uint32_t slot_index) {
+    Slot& slot = slots_[slot_index];
+    slot.cb = nullptr;
+    ++slot.generation;
+    free_slots_.push_back(slot_index);
+    --live_events_;
+  }
+
+  std::size_t runLoop(SimTime deadline) {
+    stopped_ = false;
+    std::size_t fired = 0;
+    while (!queue_.empty() && !stopped_) {
+      const Event ev = queue_.top();
+      Slot* slot = resolve(ev.handle);
+      if (slot == nullptr) {
+        queue_.pop();
+        continue;
+      }
+      if (ev.time > deadline) break;
+      queue_.pop();
+      if (ev.time > now_) {
+        now_ = ev.time;
+        if (time_observer_) time_observer_(now_);
+      }
+      Callback cb = std::move(slot->cb);
+      release(slotOf(ev.handle));
+      cb();
+      ++fired;
+    }
+    return fired;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Slot> slots_{1};
+  std::vector<std::uint32_t> free_slots_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_events_ = 0;
+  bool stopped_ = false;
+  TimeObserver time_observer_;
+};
+
+}  // namespace robustore::sim

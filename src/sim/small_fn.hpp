@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace robustore::sim {
+
+/// Move-only type-erased `void()` callable with a small-object buffer.
+///
+/// The engine's hot path schedules millions of short-lived callbacks per
+/// trial; `std::function` heap-allocates every capture larger than its
+/// (implementation-defined, typically 16-byte) internal buffer and drags
+/// a copy-constructor requirement along. SmallFn stores captures up to
+/// kInlineBytes in place — covering every per-event lambda in the disk,
+/// net, and client layers — and only falls back to the heap for the rare
+/// large capture (e.g. a whole BlockRead plus two std::functions). It is
+/// move-only, so move-only captures work too.
+///
+/// Emptiness mirrors std::function: default-constructed SmallFn is empty
+/// and falsy, and constructing from an *empty* function-like object
+/// (null function pointer, empty std::function) yields an empty SmallFn
+/// rather than one that would throw on invocation.
+class SmallFn {
+ public:
+  /// Sized so every per-event capture in the simulator's own layers
+  /// ([this, id], [this, index], one std::function plus a couple of
+  /// words) stays inline. 48 bytes + ops pointer keeps the slab node
+  /// cache-friendly.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (std::is_constructible_v<bool, const Fn&>) {
+      if (!static_cast<bool>(f)) return;  // empty function-like: stay empty
+    }
+    if constexpr (fitsInline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { moveFrom(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  SmallFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs into `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool fitsInline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static Fn* inlinePtr(void* p) {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+  template <typename Fn>
+  static Fn*& heapPtr(void* p) {
+    return *std::launder(reinterpret_cast<Fn**>(p));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*inlinePtr<Fn>(p))(); },
+      [](void* dst, void* src) {
+        Fn* s = inlinePtr<Fn>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { inlinePtr<Fn>(p)->~Fn(); },
+  };
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (*heapPtr<Fn>(p))(); },
+      [](void* dst, void* src) { ::new (dst) Fn*(heapPtr<Fn>(src)); },
+      [](void* p) { delete heapPtr<Fn>(p); },
+  };
+
+  void moveFrom(SmallFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace robustore::sim

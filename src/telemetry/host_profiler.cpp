@@ -1,8 +1,8 @@
 #include "telemetry/host_profiler.hpp"
 
-#include <cstdlib>
-#include <cstring>
 #include <mutex>
+
+#include "core/run_env.hpp"
 
 namespace robustore::telemetry {
 namespace {
@@ -49,10 +49,7 @@ double HostProfile::totalScopeSeconds() const {
   return total;
 }
 
-bool HostProfiler::enabled() {
-  const char* raw = std::getenv("ROBUSTORE_HOST_PROFILE");
-  return raw != nullptr && *raw != '\0' && std::strcmp(raw, "0") != 0;
-}
+bool HostProfiler::enabled() { return core::RunEnv::hostProfile(); }
 
 HostProfile HostProfiler::globalSnapshot() {
   const std::lock_guard<std::mutex> lock(global_mutex);

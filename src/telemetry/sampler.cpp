@@ -1,11 +1,11 @@
 #include "telemetry/sampler.hpp"
 
 #include <cmath>
-#include <cstdlib>
 #include <string>
 #include <utility>
 
 #include "common/expects.hpp"
+#include "core/run_env.hpp"
 
 namespace robustore::telemetry {
 
@@ -57,15 +57,6 @@ void PeriodicSampler::sampleAt(SimTime at) {
   }
 }
 
-SimTime sampleDtFromEnv() {
-  const char* raw = std::getenv("ROBUSTORE_SAMPLE_DT");
-  if (raw == nullptr || *raw == '\0') return 0.0;
-  char* end = nullptr;
-  const double ms = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || !std::isfinite(ms) || ms <= 0.0) {
-    return 0.0;
-  }
-  return ms * kMilliseconds;
-}
+SimTime sampleDtFromEnv() { return core::RunEnv::sampleDt(); }
 
 }  // namespace robustore::telemetry

@@ -21,6 +21,14 @@ void BackgroundGenerator::start() {
   scheduleNext();
 }
 
+bool BackgroundGenerator::prepareStart(sim::Engine::BatchEvent& out) {
+  if (active_ || !config_.enabled()) return false;
+  active_ = true;
+  out.delay = rng_.exponential(config_.mean_interval);
+  out.fn = [this] { emit(); };
+  return true;
+}
+
 void BackgroundGenerator::stop() {
   active_ = false;
   if (pending_.valid()) {

@@ -36,6 +36,15 @@ class BackgroundGenerator {
 
   /// Starts emitting requests (idempotent).
   void start();
+  /// Batched variant of start() for whole-cluster waves: draws the first
+  /// inter-arrival time and appends the arrival event to `out` instead of
+  /// scheduling it. The caller submits the wave with Engine::scheduleBatch
+  /// and hands the resulting handle back via adoptPending() so stop() can
+  /// still cancel it. Returns false (and appends nothing) when already
+  /// active or disabled. Equivalent to start() event for event.
+  bool prepareStart(sim::Engine::BatchEvent& out);
+  /// Completes prepareStart(): records the scheduled first-arrival id.
+  void adoptPending(sim::EventId id) { pending_ = id; }
   /// Stops emitting; requests already queued at the disk still complete.
   void stop();
 

@@ -1,0 +1,282 @@
+// Scheduler-equivalence storm: the calendar-queue Engine must be
+// observably indistinguishable from the binary-heap ReferenceEngine —
+// identical firing order, identical now() trajectories, identical cancel
+// results — under randomized schedule/cancel/stop/runUntil storms and
+// under the edge cases that stress each tier boundary (equal timestamps,
+// cancel-after-fire, negative-delay clamp, far-future overflow).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/reference_engine.hpp"
+
+namespace robustore::sim {
+namespace {
+
+// One pre-generated storm action, applied identically to both engines.
+struct Op {
+  enum class Kind { kSchedule, kCancel, kRunUntil, kRun } kind;
+  double delay = 0.0;       // kSchedule: event delay; kRunUntil: window
+  int logical = 0;          // kSchedule: event label; kCancel: target
+  double child_delay = -1;  // kSchedule: >=0 → callback schedules a child
+  bool stops = false;       // kSchedule: callback calls stop()
+};
+
+// Everything observable about one engine's execution of a script.
+struct Trace {
+  std::vector<std::pair<int, double>> fired;  // (label, fire time)
+  std::vector<bool> cancel_results;
+  std::vector<double> clocks;        // now() after each runUntil/run
+  std::vector<std::size_t> counts;   // fired counts returned by the runs
+  std::vector<std::size_t> pending;  // pendingEvents() after each run
+};
+
+template <typename EngineT>
+Trace applyScript(const std::vector<Op>& script) {
+  EngineT e;
+  Trace t;
+  std::vector<EventId> ids;
+  int next_child = 1 << 20;  // child labels never collide with script's
+  for (const Op& op : script) {
+    switch (op.kind) {
+      case Op::Kind::kSchedule: {
+        const int label = op.logical;
+        const double child_delay = op.child_delay;
+        const bool stops = op.stops;
+        ids.push_back(e.schedule(op.delay, [&, label, child_delay, stops] {
+          t.fired.emplace_back(label, e.now());
+          if (child_delay >= 0) {
+            const int child = next_child++;
+            (void)e.schedule(child_delay,
+                             [&, child] { t.fired.emplace_back(child, e.now()); });
+          }
+          if (stops) e.stop();
+        }));
+        break;
+      }
+      case Op::Kind::kCancel:
+        t.cancel_results.push_back(
+            e.cancel(ids[static_cast<std::size_t>(op.logical)]));
+        break;
+      case Op::Kind::kRunUntil:
+        t.counts.push_back(e.runUntil(e.now() + op.delay));
+        t.clocks.push_back(e.now());
+        t.pending.push_back(e.pendingEvents());
+        break;
+      case Op::Kind::kRun:
+        t.counts.push_back(e.run());
+        t.clocks.push_back(e.now());
+        t.pending.push_back(e.pendingEvents());
+        break;
+    }
+  }
+  t.counts.push_back(e.run());  // drain whatever the storm left behind
+  t.clocks.push_back(e.now());
+  t.pending.push_back(e.pendingEvents());
+  return t;
+}
+
+std::vector<Op> makeStorm(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Op> script;
+  int scheduled = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const std::uint64_t roll = rng.below(100);
+    if (roll < 55 || scheduled == 0) {
+      Op op{Op::Kind::kSchedule};
+      // Mix of delays spanning every tier: same-bucket ties, negative
+      // clamps, wheel-distance, and far-future overflow.
+      switch (rng.below(6)) {
+        case 0: op.delay = 0.0; break;                      // tie at now
+        case 1: op.delay = -rng.uniform(); break;           // negative clamp
+        case 2: op.delay = rng.uniform(0.0, 0.004); break;  // near buckets
+        case 3: op.delay = rng.uniform(0.0, 2.0); break;    // across wheel
+        case 4: op.delay = rng.uniform(3.0, 20.0); break;   // past horizon
+        default: op.delay = rng.uniform(100.0, 5000.0);     // deep overflow
+      }
+      op.logical = scheduled++;
+      if (rng.below(5) == 0) op.child_delay = rng.uniform(0.0, 0.01);
+      op.stops = rng.below(40) == 0;
+      script.push_back(op);
+    } else if (roll < 75) {
+      // Cancel a random earlier event — may be pending, fired, already
+      // cancelled, or a stop survivor: all outcomes must agree.
+      script.push_back(Op{Op::Kind::kCancel, 0.0,
+                          static_cast<int>(rng.below(
+                              static_cast<std::uint64_t>(scheduled))),
+                          -1, false});
+    } else if (roll < 95) {
+      script.push_back(
+          Op{Op::Kind::kRunUntil, rng.uniform(0.0, 3.0), 0, -1, false});
+    } else {
+      script.push_back(Op{Op::Kind::kRun, 0.0, 0, -1, false});
+    }
+  }
+  return script;
+}
+
+void expectIdentical(const Trace& ref, const Trace& cal) {
+  ASSERT_EQ(ref.fired.size(), cal.fired.size());
+  for (std::size_t i = 0; i < ref.fired.size(); ++i) {
+    EXPECT_EQ(ref.fired[i].first, cal.fired[i].first) << "at event " << i;
+    // Identical arithmetic on both sides → exact equality is required.
+    EXPECT_EQ(ref.fired[i].second, cal.fired[i].second) << "at event " << i;
+  }
+  EXPECT_EQ(ref.cancel_results, cal.cancel_results);
+  EXPECT_EQ(ref.clocks, cal.clocks);
+  EXPECT_EQ(ref.counts, cal.counts);
+  EXPECT_EQ(ref.pending, cal.pending);
+}
+
+TEST(EngineEquivalence, RandomizedStormsMatchReferenceEngine) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::vector<Op> script = makeStorm(seed);
+    const Trace ref = applyScript<ReferenceEngine>(script);
+    const Trace cal = applyScript<Engine>(script);
+    ASSERT_NO_FATAL_FAILURE(expectIdentical(ref, cal)) << "seed " << seed;
+    EXPECT_FALSE(ref.fired.empty()) << "storm fired nothing; seed " << seed;
+  }
+}
+
+TEST(EngineEquivalence, EqualTimestampsAcrossTiersFireInSchedulingOrder) {
+  // Same timestamp, reached via different tiers: direct heap (past
+  // ordinal), wheel chain, and overflow drain must all preserve seq order.
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    e.schedule(10000.0, [&order, i] { order.push_back(i); });  // overflow
+  }
+  for (int i = 4; i < 8; ++i) {
+    e.schedule(10000.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_DOUBLE_EQ(e.now(), 10000.0);
+}
+
+TEST(EngineEquivalence, FarFutureOverflowInterleavesWithNearEvents) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(7200.0, [&] { order.push_back(3); });   // overflow tier
+  e.schedule(0.001, [&] { order.push_back(1); });    // wheel
+  e.schedule(6.0, [&] {                              // past horizon
+    order.push_back(2);
+    e.schedule(7199.999, [&] { order.push_back(4); });  // lands just before 3?
+  });
+  e.run();
+  // 7199.999 is relative to 6.0 → fires at 7205.999, after the 7200 event.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_GT(e.stats().overflow_scheduled, 0u);
+}
+
+TEST(EngineEquivalence, CancelledOverflowEventNeverFires) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule(9999.0, [&] { fired = true; });
+  e.schedule(1.0, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);  // cancelled tail must not drag the clock
+}
+
+TEST(EngineEquivalence, SaturatingTimestampStillSortsAndFires) {
+  // Times beyond the ordinal range share one saturated bucket ordinal and
+  // must still fire in (time, seq) order out of the overflow tier.
+  Engine e;
+  std::vector<int> order;
+  e.schedule(1e300, [&] { order.push_back(2); });
+  e.schedule(1e299, [&] { order.push_back(1); });
+  e.schedule(1.0, [&] { order.push_back(0); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EngineEquivalence, ScheduleBatchMatchesIndividualSchedules) {
+  const double delays[] = {0.5, 0.0, -1.0, 4.25, 8000.0, 0.5};
+  ReferenceEngine ref;
+  std::vector<int> ref_order;
+  for (int i = 0; i < 6; ++i) {
+    ref.schedule(delays[i], [&ref_order, i] { ref_order.push_back(i); });
+  }
+  ref.run();
+
+  Engine e;
+  std::vector<int> order;
+  std::vector<Engine::BatchEvent> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(
+        {delays[i], [&order, i] { order.push_back(i); }});
+  }
+  std::vector<EventId> ids(batch.size());
+  e.scheduleBatch(batch, ids.data());
+  for (const EventId& id : ids) EXPECT_TRUE(id.valid());
+  e.run();
+  EXPECT_EQ(order, ref_order);
+  EXPECT_EQ(e.now(), ref.now());
+}
+
+TEST(EngineEquivalence, ScheduleBatchHandlesSupportCancellation) {
+  Engine e;
+  int fired = 0;
+  std::vector<Engine::BatchEvent> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back({1.0, [&] { ++fired; }});
+  std::vector<EventId> ids(batch.size());
+  e.scheduleBatch(batch, ids.data());
+  EXPECT_TRUE(e.cancel(ids[2]));
+  EXPECT_FALSE(e.cancel(ids[2]));
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EngineEquivalence, StatsCountSchedulingActivity) {
+  Engine e;
+  const EventId a = e.schedule(1.0, [] {});
+  e.schedule(2.0, [] {});
+  e.schedule(7000.0, [] {});  // overflow tier
+  EXPECT_TRUE(e.cancel(a));
+  EXPECT_EQ(e.stats().peak_live, 3u);
+  e.run();
+  EXPECT_EQ(e.stats().scheduled, 3u);
+  EXPECT_EQ(e.stats().fired, 2u);
+  EXPECT_EQ(e.stats().cancelled, 1u);
+  EXPECT_EQ(e.stats().overflow_scheduled, 1u);
+}
+
+// Regression (stop latch): a stop request must apply to the current run
+// only. If runLoop ever stops clearing `stopped_` on entry, a stop issued
+// outside a run — or left over from a stopped campaign — would make the
+// next run()/runUntil() return immediately with the queue untouched.
+TEST(EngineEquivalence, StopBeforeRunDoesNotLatch) {
+  Engine e;
+  e.stop();  // no run in progress: must not poison the next one
+  bool fired = false;
+  e.schedule(1.0, [&] { fired = true; });
+  EXPECT_EQ(e.run(), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineEquivalence, RunUntilAfterStoppedRunResumes) {
+  Engine e;
+  int count = 0;
+  e.schedule(1.0, [&] {
+    ++count;
+    e.stop();
+  });
+  e.schedule(2.0, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 1);
+  // The stopped run must not latch into the bounded run that drains the
+  // tail — this is exactly MultiClientExperiment's stop-then-drain shape.
+  EXPECT_EQ(e.runUntil(10.0), 1u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+}  // namespace
+}  // namespace robustore::sim

@@ -83,6 +83,65 @@ TEST(MultiClient, SingleClientMatchesSoloBehaviour) {
   EXPECT_GT(result.accesses.meanBandwidthMBps(), 0.0);
 }
 
+TEST(MultiClient, CampaignRunsEveryAccessPerClient) {
+  auto cfg = smallConfig();
+  cfg.accesses_per_client = 3;
+  cfg.think_time = 10 * kMilliseconds;
+  MultiClientExperiment experiment(cfg);
+  const auto result = experiment.run();
+  EXPECT_EQ(result.clients_completed, 4u);
+  EXPECT_EQ(result.accesses_completed, 12u);
+  EXPECT_EQ(result.accesses.trials(), 12u);
+  EXPECT_GT(result.system_throughput_mbps, 0.0);
+  EXPECT_GT(result.events_fired, 0u);
+  EXPECT_GT(result.peak_live_events, 0u);
+  EXPECT_GE(result.events_scheduled, result.events_fired);
+}
+
+TEST(MultiClient, CampaignDeadlineBoundsTheRun) {
+  auto cfg = smallConfig();
+  cfg.accesses_per_client = 100;  // far more than the deadline allows
+  cfg.run_deadline = 2.0;         // seconds of simulated time
+  MultiClientExperiment experiment(cfg);
+  const auto result = experiment.run();
+  // Nobody finishes 100 accesses in 2 simulated seconds. Every completed
+  // access was collected, plus at most one pending (incomplete) access
+  // per client the deadline caught mid-flight — accesses that complete
+  // during the drain are collected normally and leave nothing pending.
+  EXPECT_EQ(result.clients_completed, 0u);
+  EXPECT_GT(result.accesses_completed, 0u);
+  EXPECT_LT(result.accesses_completed, 400u);
+  EXPECT_GE(result.accesses.trials(), result.accesses_completed);
+  EXPECT_LE(result.accesses.trials(), result.accesses_completed + 4);
+}
+
+TEST(MultiClient, FastSelectionMatchesCampaignShape) {
+  auto cfg = smallConfig();
+  cfg.accesses_per_client = 2;
+  cfg.fast_selection = true;
+  cfg.admission.enabled = true;
+  cfg.admission.max_streams_per_disk = 1;
+  MultiClientExperiment experiment(cfg);
+  const auto result = experiment.run();
+  // Different RNG stream than the legacy permutation walk, but the same
+  // admission-respecting campaign semantics.
+  EXPECT_EQ(result.clients_completed, 4u);
+  EXPECT_EQ(result.accesses_completed, 8u);
+  EXPECT_EQ(result.accesses.trials(), 8u);
+}
+
+TEST(MultiClient, CampaignIsDeterministicForSameSeed) {
+  auto cfg = smallConfig();
+  cfg.accesses_per_client = 2;
+  MultiClientExperiment a(cfg);
+  MultiClientExperiment b(cfg);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.system_throughput_mbps, rb.system_throughput_mbps);
+  EXPECT_EQ(ra.events_fired, rb.events_fired);
+  EXPECT_EQ(ra.peak_live_events, rb.peak_live_events);
+}
+
 TEST(MultiClient, DeterministicForSameSeed) {
   MultiClientExperiment a(smallConfig());
   MultiClientExperiment b(smallConfig());

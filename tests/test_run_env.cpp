@@ -1,0 +1,94 @@
+#include "core/run_env.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace robustore::core {
+namespace {
+
+// The strict-count parser itself is pinned through the public wrappers
+// (ExperimentRunner::trialsFromEnv, TrialPool::threadsFromEnv tests);
+// here we pin the knobs only RunEnv exposes and the fallback contracts.
+
+TEST(RunEnv, CountIsStrict) {
+  unsetenv("ROBUSTORE_TEST_COUNT");
+  EXPECT_FALSE(RunEnv::count("ROBUSTORE_TEST_COUNT").has_value());
+  setenv("ROBUSTORE_TEST_COUNT", "42", 1);
+  EXPECT_EQ(RunEnv::count("ROBUSTORE_TEST_COUNT"), 42u);
+  for (const char* bad : {"", "0", " 7", "7 ", "+7", "-7", "7x", "0x7",
+                          "99999999999999999999"}) {
+    setenv("ROBUSTORE_TEST_COUNT", bad, 1);
+    EXPECT_FALSE(RunEnv::count("ROBUSTORE_TEST_COUNT").has_value())
+        << "'" << bad << "'";
+  }
+  unsetenv("ROBUSTORE_TEST_COUNT");
+}
+
+TEST(RunEnv, SeedFallsBackWhenUnsetOrInvalid) {
+  unsetenv("ROBUSTORE_SEED");
+  EXPECT_EQ(RunEnv::seed(7u), 7u);
+  setenv("ROBUSTORE_SEED", "123456789", 1);
+  EXPECT_EQ(RunEnv::seed(7u), 123456789u);
+  setenv("ROBUSTORE_SEED", "nope", 1);
+  EXPECT_EQ(RunEnv::seed(7u), 7u);
+  unsetenv("ROBUSTORE_SEED");
+}
+
+TEST(RunEnv, ThreadsRejectsRunawayValues) {
+  setenv("ROBUSTORE_THREADS", "4", 1);
+  EXPECT_EQ(RunEnv::threads(2), 4u);
+  setenv("ROBUSTORE_THREADS", "1025", 1);  // above the kMaxThreads guard
+  EXPECT_EQ(RunEnv::threads(2), 2u);
+  unsetenv("ROBUSTORE_THREADS");
+  EXPECT_EQ(RunEnv::threads(2), 2u);
+}
+
+TEST(RunEnv, BoolishKnobsTreatZeroAsOff) {
+  for (const char* name : {"ROBUSTORE_HOST_PROFILE", "ROBUSTORE_TRACE"}) {
+    unsetenv(name);
+  }
+  EXPECT_FALSE(RunEnv::hostProfile());
+  EXPECT_FALSE(RunEnv::trace());
+  setenv("ROBUSTORE_TRACE", "1", 1);
+  EXPECT_TRUE(RunEnv::trace());
+  setenv("ROBUSTORE_TRACE", "0", 1);
+  EXPECT_FALSE(RunEnv::trace());
+  setenv("ROBUSTORE_TRACE", "", 1);
+  EXPECT_FALSE(RunEnv::trace());
+  unsetenv("ROBUSTORE_TRACE");
+}
+
+TEST(RunEnv, CsvIsPresenceOnly) {
+  unsetenv("ROBUSTORE_CSV");
+  EXPECT_FALSE(RunEnv::csv());
+  // Legacy contract: even an empty value counts as "on".
+  setenv("ROBUSTORE_CSV", "", 1);
+  EXPECT_TRUE(RunEnv::csv());
+  unsetenv("ROBUSTORE_CSV");
+}
+
+TEST(RunEnv, JsonDirMapsOneToCwd) {
+  unsetenv("ROBUSTORE_JSON");
+  EXPECT_FALSE(RunEnv::jsonDir().has_value());
+  setenv("ROBUSTORE_JSON", "1", 1);
+  EXPECT_EQ(RunEnv::jsonDir(), std::string("."));
+  setenv("ROBUSTORE_JSON", "/tmp/out", 1);
+  EXPECT_EQ(RunEnv::jsonDir(), std::string("/tmp/out"));
+  unsetenv("ROBUSTORE_JSON");
+}
+
+TEST(RunEnv, SampleDtConvertsMillisecondsToSeconds) {
+  unsetenv("ROBUSTORE_SAMPLE_DT");
+  EXPECT_DOUBLE_EQ(RunEnv::sampleDt(), 0.0);
+  setenv("ROBUSTORE_SAMPLE_DT", "2.5", 1);
+  EXPECT_DOUBLE_EQ(RunEnv::sampleDt(), 0.0025);
+  for (const char* bad : {"garbage", "-3", "0", "inf", "nan", "2.5ms"}) {
+    setenv("ROBUSTORE_SAMPLE_DT", bad, 1);
+    EXPECT_DOUBLE_EQ(RunEnv::sampleDt(), 0.0) << "'" << bad << "'";
+  }
+  unsetenv("ROBUSTORE_SAMPLE_DT");
+}
+
+}  // namespace
+}  // namespace robustore::core

@@ -134,6 +134,28 @@ TEST(SampleSet, MergeWithEmptySets) {
   EXPECT_DOUBLE_EQ(target.percentile(0), 1.0);
 }
 
+TEST(SampleSet, BatchedInsertMatchesSortedSemantics) {
+  // The amortized pending-tail merge must be invisible: percentiles and
+  // sorted() see the full multiset at every point, across flush
+  // boundaries, for adversarial (descending) input order.
+  SampleSet s;
+  std::vector<double> reference;
+  for (int i = 2000; i >= 1; --i) {
+    s.add(i);
+    reference.push_back(i);
+  }
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(s.count(), reference.size());
+  EXPECT_EQ(s.sorted(), reference);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 2000.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1000.5);
+  // A tail smaller than the flush threshold must be visible too.
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.5);
+  EXPECT_EQ(s.count(), 2001u);
+}
+
 TEST(SampleSet, ConcurrentPercentileReadsAreSafe) {
   // Regression (exercised under TSan): percentile() used to lazily sort a
   // mutable buffer inside a const method, so two threads reading the same

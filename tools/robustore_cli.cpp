@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/run_env.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/chrome_trace.hpp"
 
@@ -44,10 +45,11 @@ void usage(const char* argv0) {
       "  --client-bw-mbps X   shared client downlink cap (default: none)\n"
       "  --codec {lt|raptor}  RobuSTore rateless codec    (default lt)\n"
       "  --trials N           accesses per scheme         (default 20)\n"
-      "  --threads N          trial fan-out workers       (default: all\n"
-      "                       cores / ROBUSTORE_THREADS; results are\n"
-      "                       identical for every value)\n"
-      "  --seed S             master RNG seed             (default 42)\n"
+      "  --threads N          trial fan-out workers       (default:\n"
+      "                       ROBUSTORE_THREADS, else all cores; results\n"
+      "                       are identical for every value)\n"
+      "  --seed S             master RNG seed             (default:\n"
+      "                       ROBUSTORE_SEED, else 42)\n"
       "  --csv                machine-readable output\n"
       "\n"
       "subcommand: %s trace [options] [--trial N] [--out PATH]\n"
@@ -74,6 +76,43 @@ void usage(const char* argv0) {
       argv0, argv0, argv0);
 }
 
+/// Focused help for `robustore_cli trace --help`.
+void traceUsage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s trace [options] [--trial N] [--out PATH]\n"
+      "  Runs ONE trial with structured tracing and writes the trace in\n"
+      "  Chrome trace_event JSON (load in Perfetto / chrome://tracing).\n"
+      "  --trial N   which trial to trace                (default 0)\n"
+      "  --out PATH  trace destination                   (default stdout)\n"
+      "  Takes the shared experiment options (see `%s --help`) except\n"
+      "  --threads/--csv and the trial-coupling flags; --trials bounds\n"
+      "  --trial; --seed overrides ROBUSTORE_SEED; --scheme all defaults\n"
+      "  to robustore.\n",
+      argv0, argv0);
+}
+
+/// Focused help for `robustore_cli timeline --help`.
+void timelineUsage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s timeline [options] [--trial N] [--dt-ms X]\n"
+      "                   [--format csv|json] [--out PATH] [--prom PATH]\n"
+      "  Runs ONE trial with periodic telemetry sampling and dumps the\n"
+      "  time series (queue depths, link bytes in flight, decoder\n"
+      "  progress, ...).\n"
+      "  --trial N       which trial to sample           (default 0)\n"
+      "  --dt-ms X       sampling grid                   (default:\n"
+      "                  ROBUSTORE_SAMPLE_DT, else 10 ms)\n"
+      "  --format F      csv or json                     (default csv)\n"
+      "  --out PATH      series destination              (default stdout)\n"
+      "  --prom PATH     also write a Prometheus-text final snapshot\n"
+      "  Takes the shared experiment options (see `%s --help`) except\n"
+      "  --threads/--csv and the trial-coupling flags; --trials bounds\n"
+      "  --trial; --seed overrides ROBUSTORE_SEED.\n",
+      argv0, argv0);
+}
+
 struct Options {
   core::ExperimentConfig config;
   core::RunOptions run;
@@ -83,6 +122,11 @@ struct Options {
 
 std::optional<Options> parse(int argc, char** argv, bool& help) {
   Options opt;
+  // Env knobs seed the defaults; the flags below override them, so the
+  // precedence is flag > ROBUSTORE_* > built-in, uniformly across the
+  // bare experiment runner and every subcommand. (--threads keeps its
+  // 0 = auto default: RunOptions resolves ROBUSTORE_THREADS itself.)
+  opt.config.seed = core::RunEnv::seed(opt.config.seed);
   Bytes data_mb = 1024;
   const auto next = [&](int& i) -> const char* {
     if (i + 1 >= argc) return nullptr;
@@ -245,11 +289,11 @@ int traceMain(int argc, char** argv) {
   bool help = false;
   const auto options = parse(static_cast<int>(rest.size()), rest.data(), help);
   if (help) {
-    usage(argv[0]);
+    traceUsage(stdout, argv[0]);
     return 0;
   }
   if (!options) {
-    usage(argv[0]);
+    traceUsage(stderr, argv[0]);
     return 2;
   }
   if (core::ExperimentRunner::trialsAreCoupled(options->config)) {
@@ -356,11 +400,11 @@ int timelineMain(int argc, char** argv) {
   bool help = false;
   const auto options = parse(static_cast<int>(rest.size()), rest.data(), help);
   if (help) {
-    usage(argv[0]);
+    timelineUsage(stdout, argv[0]);
     return 0;
   }
   if (!options) {
-    usage(argv[0]);
+    timelineUsage(stderr, argv[0]);
     return 2;
   }
   if (core::ExperimentRunner::trialsAreCoupled(options->config)) {
