@@ -1,19 +1,27 @@
-// Data-plane micro-benchmarks (google-benchmark): XOR kernel, GF(256)
-// multiply-accumulate, robust-soliton sampling, LT graph generation,
-// LT encode/decode throughput, RS encode/decode.
+// Data-plane micro-benchmarks (google-benchmark): per-dispatch-level
+// kernel suite (bytes/cycle), XOR kernel, GF(256) multiply-accumulate,
+// robust-soliton sampling, LT graph generation, LT encode/decode
+// throughput, RS encode/decode.
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <string>
 #include <vector>
 
 #include "coding/gf256.hpp"
 #include "coding/lt_codec.hpp"
 #include "coding/lt_graph.hpp"
 #include "coding/reed_solomon.hpp"
+#include "coding/simd_dispatch.hpp"
 #include "coding/soliton.hpp"
 #include "coding/xor_kernel.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
 
 namespace {
 
@@ -26,6 +34,142 @@ std::vector<std::uint8_t> randomBytes(std::size_t n, std::uint64_t seed) {
   for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
   return v;
 }
+
+// ---------------------------------------------------------------------------
+// Kernel suite: every dispatch tier the build+CPU supports, pinned
+// side by side. Registered dynamically (the tier list is a runtime
+// property) and reporting bytes/cycle where a cycle counter exists, so
+// tiers compare independently of clock frequency.
+
+std::uint64_t cycleCount() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return 0;
+#endif
+}
+
+void reportBytesPerCycle(benchmark::State& state, std::uint64_t cycles,
+                         double bytes_per_iter) {
+  const double bytes =
+      static_cast<double>(state.iterations()) * bytes_per_iter;
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  if (cycles > 0) {
+    state.counters["bytes_per_cycle"] = bytes / static_cast<double>(cycles);
+  }
+}
+
+void BM_KernelXor(benchmark::State& state, const simd::KernelTable* kt) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = randomBytes(n, 1);
+  const auto src = randomBytes(n, 2);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto t0 = cycleCount();
+    kt->xor_into(dst.data(), src.data(), n);
+    cycles += cycleCount() - t0;
+    benchmark::DoNotOptimize(dst.data());
+  }
+  reportBytesPerCycle(state, cycles, static_cast<double>(n));
+}
+
+void BM_KernelXor2(benchmark::State& state, const simd::KernelTable* kt) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = randomBytes(n, 1);
+  const auto a = randomBytes(n, 2);
+  const auto b = randomBytes(n, 3);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto t0 = cycleCount();
+    kt->xor_into2(dst.data(), a.data(), b.data(), n);
+    cycles += cycleCount() - t0;
+    benchmark::DoNotOptimize(dst.data());
+  }
+  reportBytesPerCycle(state, cycles, 2.0 * static_cast<double>(n));
+}
+
+void BM_KernelGfMulAdd(benchmark::State& state, const simd::KernelTable* kt) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = randomBytes(n, 4);
+  const auto src = randomBytes(n, 5);
+  const auto* nib = GF256::nibbleTables(0x57);
+  const auto* full = GF256::productRow(0x57);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto t0 = cycleCount();
+    kt->gf_mul_add(dst.data(), src.data(), n, nib, full);
+    cycles += cycleCount() - t0;
+    benchmark::DoNotOptimize(dst.data());
+  }
+  reportBytesPerCycle(state, cycles, static_cast<double>(n));
+}
+
+void BM_KernelGfScale(benchmark::State& state, const simd::KernelTable* kt) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = randomBytes(n, 6);
+  const auto* nib = GF256::nibbleTables(0x57);
+  const auto* full = GF256::productRow(0x57);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto t0 = cycleCount();
+    kt->gf_scale(dst.data(), n, nib, full);
+    cycles += cycleCount() - t0;
+    benchmark::DoNotOptimize(dst.data());
+  }
+  reportBytesPerCycle(state, cycles, static_cast<double>(n));
+}
+
+// What GF256::mulAddInto did before the cached-table change: build the
+// coefficient's 256-entry product row on every call, then run the scalar
+// table loop. The gap to BM_KernelGfMulAdd/scalar is the win from
+// hoisting the tables; the gap to the wide tiers adds the shuffle
+// kernels on top.
+void BM_GfMulAddRebuildTableBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = randomBytes(n, 4);
+  const auto src = randomBytes(n, 5);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto t0 = cycleCount();
+    std::array<GF256::Elem, 256> table;
+    for (unsigned i = 0; i < 256; ++i) {
+      table[i] = GF256::mul(0x57, static_cast<GF256::Elem>(i));
+    }
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= table[src[i]];
+    cycles += cycleCount() - t0;
+    benchmark::DoNotOptimize(dst.data());
+  }
+  reportBytesPerCycle(state, cycles, static_cast<double>(n));
+}
+BENCHMARK(BM_GfMulAddRebuildTableBaseline)
+    ->Arg(512)->Arg(4096)->Arg(65536);
+
+const int kKernelSuiteRegistered = [] {
+  using simd::Level;
+  for (const auto level :
+       {Level::kScalar, Level::kAvx2, Level::kAvx512, Level::kNeon}) {
+    const auto* kt = simd::table(level);
+    if (kt == nullptr) continue;
+    const std::string tag = simd::levelName(level);
+    benchmark::RegisterBenchmark(("BM_KernelXor/" + tag).c_str(),
+                                 BM_KernelXor, kt)
+        ->Arg(4096)->Arg(65536);
+    benchmark::RegisterBenchmark(("BM_KernelXor2/" + tag).c_str(),
+                                 BM_KernelXor2, kt)
+        ->Arg(4096)->Arg(65536);
+    benchmark::RegisterBenchmark(("BM_KernelGfMulAdd/" + tag).c_str(),
+                                 BM_KernelGfMulAdd, kt)
+        ->Arg(512)->Arg(4096)->Arg(65536);
+    benchmark::RegisterBenchmark(("BM_KernelGfScale/" + tag).c_str(),
+                                 BM_KernelGfScale, kt)
+        ->Arg(4096)->Arg(65536);
+  }
+  return 0;
+}();
 
 void BM_XorKernel(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -44,6 +44,42 @@ class LtAdapter final : public DecoderAdapter {
   coding::LtDecoder decoder_;
 };
 
+/// Streaming data plane: the same peeling schedule as LtAdapter, run over
+/// real bytes. Each simulated arrival synthesizes the block's payload and
+/// feeds it to the data-mode decoder immediately (move-in, so waiting
+/// blocks adopt the buffer), interleaving all decode work with transfer
+/// completions. Completion is decided by the identical peeling process,
+/// so swapping this in changes no simulated behavior.
+class LtStreamAdapter final : public DecoderAdapter {
+ public:
+  LtStreamAdapter(const coding::LtGraph& graph,
+                  const coding::LtEncoder& encoder, Bytes block_bytes)
+      : k_(graph.k()),
+        block_bytes_(block_bytes),
+        encoder_(&encoder),
+        decoder_(graph, block_bytes) {}
+  bool addSymbol(std::uint32_t id) override {
+    std::vector<std::uint8_t> arrival(block_bytes_);
+    encoder_->encodeBlock(id, arrival);
+    return decoder_.addSymbol(id, std::move(arrival));
+  }
+  [[nodiscard]] bool complete() const override { return decoder_.complete(); }
+  [[nodiscard]] std::uint32_t received() const override {
+    return decoder_.symbolsUsed();
+  }
+  [[nodiscard]] std::uint32_t needed() const override { return k_; }
+  [[nodiscard]] std::uint32_t ready() const override {
+    return decoder_.recoveredCount();
+  }
+  [[nodiscard]] coding::LtDecoder& decoder() { return decoder_; }
+
+ private:
+  std::uint32_t k_;
+  Bytes block_bytes_;
+  const coding::LtEncoder* encoder_;
+  coding::LtDecoder decoder_;
+};
+
 class RaptorAdapter final : public DecoderAdapter {
  public:
   explicit RaptorAdapter(const coding::RaptorCode& code)
@@ -78,6 +114,13 @@ std::uint32_t codedStreamLength(const StoredFile& file) {
 
 struct RobuStoreScheme::ReadState {
   std::unique_ptr<DecoderAdapter> decoder;
+  /// Data plane (null/empty when detached). `data` keeps the original
+  /// bytes alive for the encoder; `arrivals` is the batch-mode buffer of
+  /// (coded id, synthesized payload) in arrival order.
+  std::shared_ptr<const std::vector<std::uint8_t>> data;
+  std::unique_ptr<coding::LtEncoder> encoder;
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> arrivals;
+  bool batch_data_plane = false;
 };
 
 struct RobuStoreScheme::WriteState {
@@ -146,10 +189,72 @@ StoredFile RobuStoreScheme::planFile(const AccessConfig& config,
   return file;
 }
 
+void RobuStoreScheme::attachDataPlane(DataPlaneConfig config) {
+  data_plane_ = std::move(config);
+  data_plane_report_.reset();
+}
+
+bool RobuStoreScheme::feedRead(ReadState& state, std::uint32_t coded,
+                               Bytes block_bytes) {
+  if (state.batch_data_plane && !state.decoder->complete()) {
+    std::vector<std::uint8_t> arrival(block_bytes);
+    state.encoder->encodeBlock(coded, arrival);
+    state.arrivals.emplace_back(coded, std::move(arrival));
+  }
+  return state.decoder->addSymbol(coded);
+}
+
+void RobuStoreScheme::finishDataPlane(ReadState& state,
+                                      const StoredFile& file) {
+  DataPlaneReport report;
+  std::vector<std::uint8_t> decoded;
+  if (state.batch_data_plane) {
+    // The deferred decode: every buffered payload goes through the
+    // peeling decoder now, after the last needed transfer has landed.
+    coding::LtDecoder decoder(*file.lt_graph, file.block_bytes);
+    for (auto& [id, payload] : state.arrivals) {
+      if (decoder.addSymbol(id, std::move(payload))) break;
+    }
+    // Same graph, same arrival order as the ID-mode completion driver,
+    // so the data decode finishes on the same symbol.
+    if (!decoder.complete()) return;
+    report.symbols_fed = decoder.symbolsUsed();
+    report.xor_ops = decoder.xorOps();
+    decoded = decoder.takeData();
+  } else {
+    auto& adapter = static_cast<LtStreamAdapter&>(*state.decoder);
+    report.symbols_fed = adapter.received();
+    report.xor_ops = adapter.decoder().xorOps();
+    decoded = adapter.decoder().takeData();
+  }
+  report.verified = decoded.size() == state.data->size() &&
+                    std::equal(decoded.begin(), decoded.end(),
+                               state.data->begin());
+  data_plane_report_ = report;
+}
+
 void RobuStoreScheme::startRead(Session& session, StoredFile& file,
                                 const AccessConfig& config) {
   read_state_ = std::make_shared<ReadState>();
-  read_state_->decoder = makeDecoder(file);
+  if (data_plane_.data != nullptr) {
+    ROBUSTORE_EXPECTS(file.lt_graph != nullptr,
+                      "data plane requires the LT codec");
+    ROBUSTORE_EXPECTS(data_plane_.data->size() == file.dataBytes(),
+                      "data plane bytes must be k * block_bytes");
+    data_plane_report_.reset();
+    read_state_->data = data_plane_.data;
+    read_state_->encoder = std::make_unique<coding::LtEncoder>(
+        *file.lt_graph, std::span(*read_state_->data), file.block_bytes);
+    if (data_plane_.streaming) {
+      read_state_->decoder = std::make_unique<LtStreamAdapter>(
+          *file.lt_graph, *read_state_->encoder, file.block_bytes);
+    } else {
+      read_state_->decoder = std::make_unique<LtAdapter>(*file.lt_graph);
+      read_state_->batch_data_plane = true;
+    }
+  } else {
+    read_state_->decoder = makeDecoder(file);
+  }
   auto state = read_state_;
   const SimTime decode_tail =
       config.decode_rate > 0
@@ -165,11 +270,15 @@ void RobuStoreScheme::startRead(Session& session, StoredFile& file,
       // access the moment the last live request settles.
       issueTrackedRead(session, file, p, pos, /*force_position=*/false,
                        config,
-                       [this, state, &session, coded,
+                       [this, state, &session, &file, coded,
                         decode_tail](bool cache_hit) {
                          ++session.blocks_received;
                          if (cache_hit) ++session.cache_hits;
-                         if (state->decoder->addSymbol(coded)) {
+                         if (feedRead(*state, coded, file.block_bytes)) {
+                           if (state->data != nullptr &&
+                               !data_plane_report_.has_value()) {
+                             finishDataPlane(*state, file);
+                           }
                            // Decoding is pipelined with I/O; only the last
                            // block's XOR work extends the critical path
                            // (§6.2.5).

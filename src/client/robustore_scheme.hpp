@@ -21,6 +21,37 @@ namespace robustore::client {
 /// absorb more blocks, producing unbalanced striping.
 class RobuStoreScheme final : public Scheme {
  public:
+  /// Optional real-byte data plane for the read path. When attached, every
+  /// simulated transfer completion also carries the block's actual bytes
+  /// (synthesized from the original data through the file's LT graph —
+  /// exactly what the disk would have returned), and the client decodes
+  /// them. Simulated timing, metrics, and BENCH output are unchanged —
+  /// the data plane only adds host-side coding work — which makes the
+  /// host-profile decode cost of the two arrival policies directly
+  /// comparable:
+  ///  * streaming (default): each arrival feeds the data-mode peeling
+  ///    decoder immediately, so decode work interleaves with (and hides
+  ///    inside) transfer completions;
+  ///  * batch: arrivals are buffered and the whole decode runs when the
+  ///    last needed block lands — the decode-tail-on-the-critical-path
+  ///    behavior the paper's §5.2 bottleneck describes.
+  /// LT codec only (Raptor's layered encode has no per-block synthesis).
+  struct DataPlaneConfig {
+    /// Original file bytes, k * block_bytes; null detaches the data plane.
+    std::shared_ptr<const std::vector<std::uint8_t>> data;
+    bool streaming = true;
+  };
+
+  /// What the data plane did during the last completed read.
+  struct DataPlaneReport {
+    /// Decoded output compared equal to the original bytes.
+    bool verified = false;
+    /// Distinct coded blocks fed to the data decoder.
+    std::uint32_t symbols_fed = 0;
+    /// Buffer XOR operations the data decode performed.
+    std::uint64_t xor_ops = 0;
+  };
+
   explicit RobuStoreScheme(Cluster& cluster,
                            coding::LtParams lt = coding::LtParams{},
                            std::uint32_t write_pipeline_depth = 2,
@@ -29,6 +60,14 @@ class RobuStoreScheme final : public Scheme {
         lt_(lt),
         write_pipeline_depth_(write_pipeline_depth),
         codec_(codec) {}
+
+  /// Applies to subsequent reads; clears any previous report.
+  void attachDataPlane(DataPlaneConfig config);
+  /// Report of the last read that ran the data plane to completion, or
+  /// nullopt (no data plane, or the read failed before decoding).
+  [[nodiscard]] const std::optional<DataPlaneReport>& dataPlaneReport() const {
+    return data_plane_report_;
+  }
 
   [[nodiscard]] SchemeKind kind() const override {
     return SchemeKind::kRobuStore;
@@ -63,10 +102,18 @@ class RobuStoreScheme final : public Scheme {
   void attachCodec(StoredFile& file, std::uint32_t k, std::uint32_t n,
                    Rng& rng) const;
   void submitNextWrite(Session& session, StoredFile& out, std::uint32_t p);
+  /// Feeds one arrival to the read decoder (and, batch data plane only,
+  /// buffers the synthesized payload). Returns decode completion.
+  bool feedRead(ReadState& state, std::uint32_t coded, Bytes block_bytes);
+  /// Runs the batch decode if one is pending, verifies the decoded bytes
+  /// against the original, and publishes the report.
+  void finishDataPlane(ReadState& state, const StoredFile& file);
 
   coding::LtParams lt_;
   std::uint32_t write_pipeline_depth_;
   CodecKind codec_;
+  DataPlaneConfig data_plane_;
+  std::optional<DataPlaneReport> data_plane_report_;
   std::shared_ptr<ReadState> read_state_;
   std::shared_ptr<WriteState> write_state_;
 };

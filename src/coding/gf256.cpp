@@ -1,5 +1,6 @@
 #include "coding/gf256.hpp"
 
+#include "coding/simd_dispatch.hpp"
 #include "common/expects.hpp"
 
 namespace robustore::coding {
@@ -34,6 +35,20 @@ const GF256::Tables GF256::tables_ = [] {
   }
   for (unsigned i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
   t.log[0] = 0;  // never consulted: mul() short-circuits zero operands
+
+  // Product tables, hoisted out of the hot paths: GFMatrix::invert used
+  // to rebuild a 256-entry row inside its O(n^2) inner loop. 72 KB once,
+  // at static init, covers every coefficient forever.
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned v = 0; v < 256; ++v) {
+      t.full[c][v] = slowMul(static_cast<GF256::Elem>(c),
+                             static_cast<GF256::Elem>(v));
+    }
+    for (unsigned i = 0; i < 16; ++i) {
+      t.nib[c][i] = t.full[c][i];
+      t.nib[c][16 + i] = t.full[c][i << 4];
+    }
+  }
   return t;
 }();
 
@@ -54,24 +69,22 @@ GF256::Elem GF256::inv(Elem a) {
 GF256::Elem GF256::pow(Elem a, unsigned n) {
   if (n == 0) return 1;
   if (a == 0) return 0;
-  return exp_[(static_cast<unsigned>(log_[a]) * n) % 255];
+  // Reduce the exponent mod the group order first: log * (n % 255) fits
+  // in 16 bits, so no wider intermediate can overflow.
+  return exp_[(static_cast<unsigned>(log_[a]) * (n % 255u)) % 255u];
 }
 
 void GF256::mulAddInto(std::span<Elem> dst, std::span<const Elem> src,
                        Elem coeff) {
   ROBUSTORE_EXPECTS(dst.size() == src.size(), "mulAddInto size mismatch");
   if (coeff == 0) return;
+  const auto& k = simd::active();
   if (coeff == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    k.xor_into(dst.data(), src.data(), dst.size());
     return;
   }
-  // Per-coefficient product table: one 256-entry lookup table amortised
-  // over the whole buffer, the classic RS optimisation.
-  Elem table[256];
-  table[0] = 0;
-  const std::uint16_t lc = log_[coeff];
-  for (unsigned v = 1; v < 256; ++v) table[v] = exp_[log_[v] + lc];
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= table[src[i]];
+  k.gf_mul_add(dst.data(), src.data(), dst.size(), tables_.nib[coeff].data(),
+               tables_.full[coeff].data());
 }
 
 void GF256::scaleInto(std::span<Elem> dst, Elem coeff) {
@@ -80,11 +93,16 @@ void GF256::scaleInto(std::span<Elem> dst, Elem coeff) {
     for (auto& v : dst) v = 0;
     return;
   }
-  Elem table[256];
-  table[0] = 0;
-  const std::uint16_t lc = log_[coeff];
-  for (unsigned v = 1; v < 256; ++v) table[v] = exp_[log_[v] + lc];
-  for (auto& v : dst) v = table[v];
+  simd::active().gf_scale(dst.data(), dst.size(), tables_.nib[coeff].data(),
+                          tables_.full[coeff].data());
+}
+
+const GF256::Elem* GF256::productRow(Elem coeff) {
+  return tables_.full[coeff].data();
+}
+
+const GF256::Elem* GF256::nibbleTables(Elem coeff) {
+  return tables_.nib[coeff].data();
 }
 
 }  // namespace robustore::coding

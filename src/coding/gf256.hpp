@@ -31,20 +31,38 @@ class GF256 {
   /// Multiplicative inverse; a must be non-zero.
   [[nodiscard]] static Elem inv(Elem a);
 
-  /// a^n with a in the field, n >= 0.
+  /// a^n with a in the field, n >= 0. The exponent is reduced mod 255
+  /// (the multiplicative-group order) before the log-table walk; doing
+  /// the reduction after a 32-bit product silently corrupted large n,
+  /// since 2^32 ≡ 1 (mod 255) makes the wraparound invisible mod 255.
   [[nodiscard]] static Elem pow(Elem a, unsigned n);
 
-  /// dst += coeff * src over the field, element-wise (the RS inner loop).
+  /// dst += coeff * src over the field, element-wise (the RS inner
+  /// loop). Dispatches to the active SIMD tier (byte-shuffle nibble
+  /// tables); the scalar fallback indexes the precomputed product row —
+  /// both tables are built once at static init, never per call.
   static void mulAddInto(std::span<Elem> dst, std::span<const Elem> src,
                          Elem coeff);
 
   /// dst *= coeff element-wise.
   static void scaleInto(std::span<Elem> dst, Elem coeff);
 
+  /// The 256-byte product row for `coeff` (full[v] == coeff * v) and the
+  /// 32-byte nibble-product pair (low-nibble table then high-nibble
+  /// table, the PSHUFB/TBL operand layout). Exposed so the kernel tests
+  /// and micro-benchmarks can drive simd::KernelTable entries directly.
+  [[nodiscard]] static const Elem* productRow(Elem coeff);
+  [[nodiscard]] static const Elem* nibbleTables(Elem coeff);
+
  private:
   struct Tables {
     std::array<Elem, 512> exp;  // doubled so mul avoids a modulo
     std::array<std::uint16_t, 256> log;
+    /// full[c][v] = c * v: 64 KB, the scalar mul-add/scale operand.
+    std::array<std::array<Elem, 256>, 256> full;
+    /// nib[c] = {lo nibble products, hi nibble products}: 8 KB, the
+    /// shuffle-kernel operand (lo[i] = c*i, hi[i] = c*(i<<4)).
+    std::array<std::array<Elem, 32>, 256> nib;
   };
   static const Tables tables_;
   static const std::array<Elem, 512>& exp_;

@@ -74,6 +74,17 @@ LtDecoder::LtDecoder(const LtGraph& graph, Bytes block_size,
 
 bool LtDecoder::addSymbol(std::uint32_t coded_id,
                           std::span<const std::uint8_t> payload) {
+  return ingest(coded_id, payload, nullptr);
+}
+
+bool LtDecoder::addSymbol(std::uint32_t coded_id,
+                          std::vector<std::uint8_t>&& payload) {
+  return ingest(coded_id, payload, &payload);
+}
+
+bool LtDecoder::ingest(std::uint32_t coded_id,
+                       std::span<const std::uint8_t> payload,
+                       std::vector<std::uint8_t>* owned) {
   const telemetry::HostProfiler::Scope profile(
       telemetry::HostScope::kDecode);
   ROBUSTORE_EXPECTS(coded_id < graph_->n(), "coded id out of range");
@@ -81,7 +92,6 @@ bool LtDecoder::addSymbol(std::uint32_t coded_id,
   if (block_size_ > 0) {
     ROBUSTORE_EXPECTS(payload.size() == block_size_,
                       "payload size must equal block size");
-    payloads_[coded_id].assign(payload.begin(), payload.end());
   }
   received_[coded_id] = true;
   ++symbols_used_;
@@ -91,22 +101,43 @@ bool LtDecoder::addSymbol(std::uint32_t coded_id,
     if (!recovered_[o]) ++rem;
   }
   remaining_[coded_id] = rem;
-  if (rem == 0) {
-    if (!payloads_.empty()) payloads_[coded_id].clear();
+  if (rem == 0) return complete();
+  if (rem == 1) {
+    // Streaming fast path: the arrival resolves an original right now, so
+    // peel straight from the caller's buffer — nothing is copied into or
+    // allocated for the payload store.
+    resolve(coded_id, payload);
+    drainRipple();
     return complete();
   }
-  if (rem == 1) {
-    ripple_.push_back(coded_id);
-    while (!ripple_.empty() && !complete()) {
-      const std::uint32_t c = ripple_.back();
-      ripple_.pop_back();
-      if (remaining_[c] == 1) resolve(c);
+  // The block has to wait for more arrivals; only now does buffering
+  // happen (adopting the caller's vector when it offered one).
+  if (block_size_ > 0) {
+    if (owned != nullptr) {
+      payloads_[coded_id] = std::move(*owned);
+    } else {
+      payloads_[coded_id].assign(payload.begin(), payload.end());
     }
   }
   return complete();
 }
 
-void LtDecoder::resolve(std::uint32_t coded_id) {
+void LtDecoder::drainRipple() {
+  while (!ripple_.empty() && !complete()) {
+    const std::uint32_t c = ripple_.back();
+    ripple_.pop_back();
+    if (remaining_[c] != 1) continue;
+    resolve(c, block_size_ > 0 ? std::span<const std::uint8_t>(payloads_[c])
+                               : std::span<const std::uint8_t>{});
+    if (block_size_ > 0) {
+      payloads_[c].clear();
+      payloads_[c].shrink_to_fit();
+    }
+  }
+}
+
+void LtDecoder::resolve(std::uint32_t coded_id,
+                        std::span<const std::uint8_t> payload) {
   const auto nb = graph_->neighbors(coded_id);
   std::uint32_t target = graph_->k();
   for (const auto o : nb) {
@@ -118,21 +149,30 @@ void LtDecoder::resolve(std::uint32_t coded_id) {
   ROBUSTORE_EXPECTS(target < graph_->k(), "resolve without an open neighbor");
 
   if (block_size_ > 0) {
-    // Lazy XOR: combine the stored payload with every *recovered* neighbor
-    // now, in one pass over the target buffer.
+    // Lazy XOR: combine the payload with every *recovered* neighbor now,
+    // folding neighbor pairs in fused two-source passes over the target.
     auto dst = std::span(data_).subspan(
         static_cast<std::size_t>(target) * block_size_, block_size_);
-    std::copy(payloads_[coded_id].begin(), payloads_[coded_id].end(),
-              dst.begin());
+    std::copy(payload.begin(), payload.end(), dst.begin());
+    const auto block = [&](std::uint32_t o) {
+      return std::span<const std::uint8_t>(data_).subspan(
+          static_cast<std::size_t>(o) * block_size_, block_size_);
+    };
+    std::uint32_t pending = graph_->k();
     for (const auto o : nb) {
       if (o == target) continue;
-      xorInto(dst, std::span<const std::uint8_t>(data_).subspan(
-                       static_cast<std::size_t>(o) * block_size_,
-                       block_size_));
+      if (pending == graph_->k()) {
+        pending = o;
+        continue;
+      }
+      xorInto2(dst, block(pending), block(o));
+      xor_ops_ += 2;
+      pending = graph_->k();
+    }
+    if (pending != graph_->k()) {
+      xorInto(dst, block(pending));
       ++xor_ops_;
     }
-    payloads_[coded_id].clear();
-    payloads_[coded_id].shrink_to_fit();
   } else {
     xor_ops_ += nb.size() - 1;
   }

@@ -52,8 +52,19 @@ class LtDecoder {
   /// Feeds one received coded block. Duplicate ids are ignored (returns
   /// current completion state). In data mode `payload` must be block_size
   /// bytes; in ID mode it must be empty.
+  ///
+  /// Streaming contract: a block that reduces to degree one on arrival is
+  /// resolved directly from the caller's buffer — no copy, no allocation
+  /// — and the ripple it triggers runs before addSymbol returns. Only
+  /// blocks that must wait for more arrivals are buffered, so feeding
+  /// blocks as transfers complete interleaves all peeling work with I/O
+  /// and leaves no decode batch for the end of the read.
   bool addSymbol(std::uint32_t coded_id,
                  std::span<const std::uint8_t> payload = {});
+
+  /// Move-in variant for streaming arrivals that own their buffer: a
+  /// block that has to wait adopts the vector instead of copying it.
+  bool addSymbol(std::uint32_t coded_id, std::vector<std::uint8_t>&& payload);
 
   [[nodiscard]] bool complete() const { return recovered_count_ == graph_->k(); }
   [[nodiscard]] std::uint32_t recoveredCount() const { return recovered_count_; }
@@ -89,7 +100,12 @@ class LtDecoder {
   [[nodiscard]] std::vector<std::uint8_t> takePrefixData();
 
  private:
-  void resolve(std::uint32_t coded_id);
+  bool ingest(std::uint32_t coded_id, std::span<const std::uint8_t> payload,
+              std::vector<std::uint8_t>* owned);
+  /// Recovers the one open neighbor of `coded_id` from `payload` (the
+  /// arrival buffer on the fast path, the buffered copy otherwise).
+  void resolve(std::uint32_t coded_id, std::span<const std::uint8_t> payload);
+  void drainRipple();
 
   const LtGraph* graph_;
   Bytes block_size_;

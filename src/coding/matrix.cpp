@@ -1,5 +1,6 @@
 #include "coding/matrix.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/expects.hpp"
@@ -30,11 +31,20 @@ GFMatrix GFMatrix::vandermonde(std::size_t rows, std::size_t cols) {
 GFMatrix GFMatrix::multiply(const GFMatrix& rhs) const {
   ROBUSTORE_EXPECTS(cols_ == rhs.rows_, "matrix multiply shape mismatch");
   GFMatrix out(rows_, rhs.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const GF256::Elem a = at(i, k);
-      if (a == 0) continue;
-      GF256::mulAddInto(out.row(i), rhs.row(k), a);
+  // Cache-blocked over the inner dimension: the rhs panel touched by one
+  // k-band stays resident across successive output rows instead of
+  // streaming the whole rhs through cache once per row. XOR accumulation
+  // commutes exactly, so the band order changes nothing.
+  const std::size_t band = std::max<std::size_t>(
+      1, std::size_t{32 * 1024} / std::max<std::size_t>(1, rhs.cols_));
+  for (std::size_t k0 = 0; k0 < cols_; k0 += band) {
+    const std::size_t k1 = std::min(cols_, k0 + band);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = k0; k < k1; ++k) {
+        const GF256::Elem a = at(i, k);
+        if (a == 0) continue;
+        GF256::mulAddInto(out.row(i), rhs.row(k), a);
+      }
     }
   }
   return out;
@@ -48,22 +58,41 @@ bool GFMatrix::invert() {
     for (std::size_t j = 0; j < n; ++j) aug.at(i, j) = at(i, j);
     aug.at(i, n + i) = 1;
   }
+  // Active-window elimination. Left of the pivot column every column is
+  // already a unit vector (Gauss–Jordan invariant), so the pivot row is
+  // zero there and row updates may start at `col`. On the right half a
+  // row's support only ever grows by union with rows it is combined
+  // with; `right_width[r]` tracks 1 + the highest identity column row r
+  // can have touched, so updates stop there too. Each row operation then
+  // runs over one contiguous span [col, n + width) — roughly half the
+  // naive 2n — which both shrinks the work and keeps the hot span in
+  // cache as the elimination sweeps.
+  std::vector<std::uint32_t> right_width(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    right_width[r] = static_cast<std::uint32_t>(r) + 1;
+  }
   for (std::size_t col = 0; col < n; ++col) {
     // Pivot search: any non-zero element works over a field.
     std::size_t pivot = col;
     while (pivot < n && aug.at(pivot, col) == 0) ++pivot;
     if (pivot == n) return false;
     if (pivot != col) {
-      for (std::size_t j = 0; j < 2 * n; ++j) {
+      for (std::size_t j = col; j < 2 * n; ++j) {
         std::swap(aug.at(col, j), aug.at(pivot, j));
       }
+      std::swap(right_width[col], right_width[pivot]);
     }
+    const std::size_t width = (n - col) + right_width[col];
     const GF256::Elem inv_p = GF256::inv(aug.at(col, col));
-    GF256::scaleInto(aug.row(col), inv_p);
+    GF256::scaleInto(aug.row(col).subspan(col, width), inv_p);
+    const auto src = std::span<const GF256::Elem>(aug.row(col))
+                         .subspan(col, width);
     for (std::size_t r = 0; r < n; ++r) {
       if (r == col) continue;
       const GF256::Elem f = aug.at(r, col);
-      if (f != 0) GF256::mulAddInto(aug.row(r), aug.row(col), f);
+      if (f == 0) continue;
+      right_width[r] = std::max(right_width[r], right_width[col]);
+      GF256::mulAddInto(aug.row(r).subspan(col, width), src, f);
     }
   }
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,0 +1,468 @@
+#include "coding/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "core/run_env.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define ROBUSTORE_SIMD_X86 1
+#endif
+
+#if defined(__aarch64__) || defined(__ARM_NEON)
+#include <arm_neon.h>
+#define ROBUSTORE_SIMD_NEON 1
+#endif
+
+namespace robustore::coding::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the 4x64-bit unroll the XOR kernel always had, plus the
+// full-product-row GF loops. Every wider tier's tail falls back to the
+// same byte loops, so tier equality is byte-for-byte by construction.
+
+constexpr std::size_t kLane = sizeof(std::uint64_t);
+constexpr std::size_t kUnroll = 4;
+
+void xorScalar(std::uint8_t* d, const std::uint8_t* s, std::size_t n) {
+  while (n >= kUnroll * kLane) {
+    std::uint64_t dw[kUnroll];
+    std::uint64_t sw[kUnroll];
+    std::memcpy(dw, d, sizeof dw);
+    std::memcpy(sw, s, sizeof sw);
+    for (std::size_t i = 0; i < kUnroll; ++i) dw[i] ^= sw[i];
+    std::memcpy(d, dw, sizeof dw);
+    d += kUnroll * kLane;
+    s += kUnroll * kLane;
+    n -= kUnroll * kLane;
+  }
+  while (n >= kLane) {
+    std::uint64_t dw;
+    std::uint64_t sw;
+    std::memcpy(&dw, d, kLane);
+    std::memcpy(&sw, s, kLane);
+    dw ^= sw;
+    std::memcpy(d, &dw, kLane);
+    d += kLane;
+    s += kLane;
+    n -= kLane;
+  }
+  for (std::size_t i = 0; i < n; ++i) d[i] ^= s[i];
+}
+
+void xor2Scalar(std::uint8_t* d, const std::uint8_t* a, const std::uint8_t* b,
+                std::size_t n) {
+  while (n >= kUnroll * kLane) {
+    std::uint64_t dw[kUnroll];
+    std::uint64_t aw[kUnroll];
+    std::uint64_t bw[kUnroll];
+    std::memcpy(dw, d, sizeof dw);
+    std::memcpy(aw, a, sizeof aw);
+    std::memcpy(bw, b, sizeof bw);
+    for (std::size_t i = 0; i < kUnroll; ++i) dw[i] ^= aw[i] ^ bw[i];
+    std::memcpy(d, dw, sizeof dw);
+    d += kUnroll * kLane;
+    a += kUnroll * kLane;
+    b += kUnroll * kLane;
+    n -= kUnroll * kLane;
+  }
+  while (n >= kLane) {
+    std::uint64_t dw;
+    std::uint64_t aw;
+    std::uint64_t bw;
+    std::memcpy(&dw, d, kLane);
+    std::memcpy(&aw, a, kLane);
+    std::memcpy(&bw, b, kLane);
+    dw ^= aw ^ bw;
+    std::memcpy(d, &dw, kLane);
+    d += kLane;
+    a += kLane;
+    b += kLane;
+    n -= kLane;
+  }
+  for (std::size_t i = 0; i < n; ++i) d[i] ^= a[i] ^ b[i];
+}
+
+void gfMulAddScalar(std::uint8_t* d, const std::uint8_t* s, std::size_t n,
+                    const std::uint8_t* /*nib*/, const std::uint8_t* full) {
+  for (std::size_t i = 0; i < n; ++i) d[i] ^= full[s[i]];
+}
+
+void gfScaleScalar(std::uint8_t* d, std::size_t n,
+                   const std::uint8_t* /*nib*/, const std::uint8_t* full) {
+  for (std::size_t i = 0; i < n; ++i) d[i] = full[d[i]];
+}
+
+constexpr KernelTable kScalarTable{Level::kScalar, xorScalar, xor2Scalar,
+                                   gfMulAddScalar, gfScaleScalar};
+
+// ---------------------------------------------------------------------------
+// AVX2 / AVX-512 tiers. Compiled with per-function target attributes so
+// the translation unit itself needs no -mavx flags; the runtime probe
+// keeps them off unsupported CPUs.
+
+#if defined(ROBUSTORE_SIMD_X86)
+
+__attribute__((target("avx2"))) void xorAvx2(std::uint8_t* d,
+                                             const std::uint8_t* s,
+                                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i d0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i));
+    const __m256i d1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i + 32));
+    const __m256i s0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(s + i));
+    const __m256i s1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(s + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i),
+                        _mm256_xor_si256(d0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i + 32),
+                        _mm256_xor_si256(d1, s1));
+  }
+  if (i + 32 <= n) {
+    const __m256i d0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i));
+    const __m256i s0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(s + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i),
+                        _mm256_xor_si256(d0, s0));
+    i += 32;
+  }
+  xorScalar(d + i, s + i, n - i);
+}
+
+__attribute__((target("avx2"))) void xor2Avx2(std::uint8_t* d,
+                                              const std::uint8_t* a,
+                                              const std::uint8_t* b,
+                                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i dv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i));
+    const __m256i av = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + i));
+    const __m256i bv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(d + i),
+        _mm256_xor_si256(dv, _mm256_xor_si256(av, bv)));
+  }
+  xor2Scalar(d + i, a + i, b + i, n - i);
+}
+
+/// The ISA-L/Jerasure byte-shuffle multiply: product = lo_table[x & 0xf]
+/// ^ hi_table[x >> 4], 32 bytes at a time via VPSHUFB on the broadcast
+/// 16-byte nibble tables.
+__attribute__((target("avx2"))) void gfMulAddAvx2(std::uint8_t* d,
+                                                  const std::uint8_t* s,
+                                                  std::size_t n,
+                                                  const std::uint8_t* nib,
+                                                  const std::uint8_t* full) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(s + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+    const __m256i ph = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask));
+    const __m256i dv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(d + i),
+        _mm256_xor_si256(dv, _mm256_xor_si256(pl, ph)));
+  }
+  gfMulAddScalar(d + i, s + i, n - i, nib, full);
+}
+
+__attribute__((target("avx2"))) void gfScaleAvx2(std::uint8_t* d,
+                                                 std::size_t n,
+                                                 const std::uint8_t* nib,
+                                                 const std::uint8_t* full) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+    const __m256i ph = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i),
+                        _mm256_xor_si256(pl, ph));
+  }
+  gfScaleScalar(d + i, n - i, nib, full);
+}
+
+constexpr KernelTable kAvx2Table{Level::kAvx2, xorAvx2, xor2Avx2, gfMulAddAvx2,
+                                 gfScaleAvx2};
+
+// GCC's avx512fintrin.h implements _mm512_broadcast_i32x4 on top of
+// _mm512_undefined_epi32, which -Wuninitialized flags from inside the
+// system header; the lanes are fully overwritten before use.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+__attribute__((target("avx512f,avx512bw"))) void xorAvx512(
+    std::uint8_t* d, const std::uint8_t* s, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    const __m512i d0 = _mm512_loadu_si512(d + i);
+    const __m512i d1 = _mm512_loadu_si512(d + i + 64);
+    const __m512i s0 = _mm512_loadu_si512(s + i);
+    const __m512i s1 = _mm512_loadu_si512(s + i + 64);
+    _mm512_storeu_si512(d + i, _mm512_xor_si512(d0, s0));
+    _mm512_storeu_si512(d + i + 64, _mm512_xor_si512(d1, s1));
+  }
+  if (i + 64 <= n) {
+    _mm512_storeu_si512(d + i, _mm512_xor_si512(_mm512_loadu_si512(d + i),
+                                                _mm512_loadu_si512(s + i)));
+    i += 64;
+  }
+  xorScalar(d + i, s + i, n - i);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void xor2Avx512(
+    std::uint8_t* d, const std::uint8_t* a, const std::uint8_t* b,
+    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i dv = _mm512_loadu_si512(d + i);
+    const __m512i av = _mm512_loadu_si512(a + i);
+    const __m512i bv = _mm512_loadu_si512(b + i);
+    // One ternary-logic op fuses both XORs (0x96 = a ^ b ^ c).
+    _mm512_storeu_si512(d + i, _mm512_ternarylogic_epi64(dv, av, bv, 0x96));
+  }
+  xor2Scalar(d + i, a + i, b + i, n - i);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void gfMulAddAvx512(
+    std::uint8_t* d, const std::uint8_t* s, std::size_t n,
+    const std::uint8_t* nib, const std::uint8_t* full) {
+  const __m512i lo = _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m512i hi = _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m512i mask = _mm512_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i v = _mm512_loadu_si512(s + i);
+    const __m512i pl = _mm512_shuffle_epi8(lo, _mm512_and_si512(v, mask));
+    const __m512i ph = _mm512_shuffle_epi8(
+        hi, _mm512_and_si512(_mm512_srli_epi64(v, 4), mask));
+    const __m512i dv = _mm512_loadu_si512(d + i);
+    _mm512_storeu_si512(d + i, _mm512_ternarylogic_epi64(dv, pl, ph, 0x96));
+  }
+  gfMulAddScalar(d + i, s + i, n - i, nib, full);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void gfScaleAvx512(
+    std::uint8_t* d, std::size_t n, const std::uint8_t* nib,
+    const std::uint8_t* full) {
+  const __m512i lo = _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m512i hi = _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m512i mask = _mm512_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i v = _mm512_loadu_si512(d + i);
+    const __m512i pl = _mm512_shuffle_epi8(lo, _mm512_and_si512(v, mask));
+    const __m512i ph = _mm512_shuffle_epi8(
+        hi, _mm512_and_si512(_mm512_srli_epi64(v, 4), mask));
+    _mm512_storeu_si512(d + i, _mm512_xor_si512(pl, ph));
+  }
+  gfScaleScalar(d + i, n - i, nib, full);
+}
+
+#pragma GCC diagnostic pop
+
+constexpr KernelTable kAvx512Table{Level::kAvx512, xorAvx512, xor2Avx512,
+                                   gfMulAddAvx512, gfScaleAvx512};
+
+#endif  // ROBUSTORE_SIMD_X86
+
+#if defined(ROBUSTORE_SIMD_NEON)
+
+void xorNeon(std::uint8_t* d, const std::uint8_t* s, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    uint8x16x4_t dv = vld1q_u8_x4(d + i);
+    const uint8x16x4_t sv = vld1q_u8_x4(s + i);
+    dv.val[0] = veorq_u8(dv.val[0], sv.val[0]);
+    dv.val[1] = veorq_u8(dv.val[1], sv.val[1]);
+    dv.val[2] = veorq_u8(dv.val[2], sv.val[2]);
+    dv.val[3] = veorq_u8(dv.val[3], sv.val[3]);
+    vst1q_u8_x4(d + i, dv);
+  }
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(d + i, veorq_u8(vld1q_u8(d + i), vld1q_u8(s + i)));
+  }
+  xorScalar(d + i, s + i, n - i);
+}
+
+void xor2Neon(std::uint8_t* d, const std::uint8_t* a, const std::uint8_t* b,
+              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(d + i, veorq_u8(vld1q_u8(d + i),
+                             veorq_u8(vld1q_u8(a + i), vld1q_u8(b + i))));
+  }
+  xor2Scalar(d + i, a + i, b + i, n - i);
+}
+
+void gfMulAddNeon(std::uint8_t* d, const std::uint8_t* s, std::size_t n,
+                  const std::uint8_t* nib, const std::uint8_t* full) {
+  const uint8x16_t lo = vld1q_u8(nib);
+  const uint8x16_t hi = vld1q_u8(nib + 16);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(s + i);
+    const uint8x16_t pl = vqtbl1q_u8(lo, vandq_u8(v, mask));
+    const uint8x16_t ph = vqtbl1q_u8(hi, vshrq_n_u8(v, 4));
+    vst1q_u8(d + i, veorq_u8(vld1q_u8(d + i), veorq_u8(pl, ph)));
+  }
+  gfMulAddScalar(d + i, s + i, n - i, nib, full);
+}
+
+void gfScaleNeon(std::uint8_t* d, std::size_t n, const std::uint8_t* nib,
+                 const std::uint8_t* full) {
+  const uint8x16_t lo = vld1q_u8(nib);
+  const uint8x16_t hi = vld1q_u8(nib + 16);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(d + i);
+    const uint8x16_t pl = vqtbl1q_u8(lo, vandq_u8(v, mask));
+    const uint8x16_t ph = vqtbl1q_u8(hi, vshrq_n_u8(v, 4));
+    vst1q_u8(d + i, veorq_u8(pl, ph));
+  }
+  gfScaleScalar(d + i, n - i, nib, full);
+}
+
+constexpr KernelTable kNeonTable{Level::kNeon, xorNeon, xor2Neon, gfMulAddNeon,
+                                 gfScaleNeon};
+
+#endif  // ROBUSTORE_SIMD_NEON
+
+void warnOnceBadLevel(const char* raw, const char* why) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true)) return;
+  std::fprintf(stderr,
+               "robustore: ROBUSTORE_SIMD=\"%s\" %s; using detected level "
+               "\"%s\"\n",
+               raw, why, levelName(detectedLevel()));
+}
+
+const KernelTable* resolve() {
+  const KernelTable* chosen = table(detectedLevel());
+  if (const auto raw = core::RunEnv::simdOverride()) {
+    if (*raw != "auto") {
+      const auto requested = parseLevel(*raw);
+      if (!requested) {
+        warnOnceBadLevel(raw->c_str(),
+                         "is not a dispatch level "
+                         "(scalar, avx2, avx512, neon, auto)");
+      } else if (const KernelTable* t = table(*requested)) {
+        chosen = t;
+      } else {
+        warnOnceBadLevel(raw->c_str(), "is not supported on this CPU/build");
+      }
+    }
+  }
+  return chosen;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+    case Level::kNeon: return "neon";
+  }
+  return "?";
+}
+
+std::optional<Level> parseLevel(std::string_view name) {
+  if (name == "scalar") return Level::kScalar;
+  if (name == "avx2") return Level::kAvx2;
+  if (name == "avx512") return Level::kAvx512;
+  if (name == "neon") return Level::kNeon;
+  return std::nullopt;
+}
+
+Level detectedLevel() {
+#if defined(ROBUSTORE_SIMD_X86)
+  if (__builtin_cpu_supports("avx512bw") && __builtin_cpu_supports("avx512f")) {
+    return Level::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  return Level::kScalar;
+#elif defined(ROBUSTORE_SIMD_NEON)
+  return Level::kNeon;
+#else
+  return Level::kScalar;
+#endif
+}
+
+const KernelTable* table(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &kScalarTable;
+    case Level::kAvx2:
+#if defined(ROBUSTORE_SIMD_X86)
+      if (__builtin_cpu_supports("avx2")) return &kAvx2Table;
+#endif
+      return nullptr;
+    case Level::kAvx512:
+#if defined(ROBUSTORE_SIMD_X86)
+      if (__builtin_cpu_supports("avx512bw") &&
+          __builtin_cpu_supports("avx512f")) {
+        return &kAvx512Table;
+      }
+#endif
+      return nullptr;
+    case Level::kNeon:
+#if defined(ROBUSTORE_SIMD_NEON)
+      return &kNeonTable;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const KernelTable& active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = resolve();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Level refresh() {
+  const KernelTable* t = resolve();
+  g_active.store(t, std::memory_order_release);
+  return t->level;
+}
+
+}  // namespace robustore::coding::simd

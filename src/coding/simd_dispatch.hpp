@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace robustore::coding::simd {
+
+/// Runtime-selected instruction-set tier for the coding kernels. Tiers
+/// are probed at first use (ROADMAP item 3): the widest tier the CPU
+/// supports wins unless ROBUSTORE_SIMD forces a narrower one. Every tier
+/// computes bit-identical results — XOR and GF(2^8) arithmetic are exact
+/// — so the choice affects bytes/cycle only, never any BENCH artifact.
+enum class Level : std::uint8_t {
+  kScalar = 0,  // portable 64-bit-lane fallback, always available
+  kAvx2,        // 32-byte lanes + PSHUFB nibble-table GF multiply
+  kAvx512,      // 64-byte lanes (needs AVX-512BW for byte shuffles)
+  kNeon,        // 16-byte lanes + TBL nibble-table GF multiply (aarch64)
+};
+
+[[nodiscard]] const char* levelName(Level level);
+
+/// Parses a ROBUSTORE_SIMD value ("scalar", "avx2", "avx512", "neon";
+/// case-sensitive). nullopt for anything else, including "auto".
+[[nodiscard]] std::optional<Level> parseLevel(std::string_view name);
+
+/// One tier's kernel set. The GF kernels receive both per-coefficient
+/// table forms so each tier picks what it needs: `nib` is the 32-byte
+/// {low-nibble, high-nibble} product table pair the byte-shuffle tiers
+/// consume, `full` the 256-byte full product row the scalar tier (and
+/// every tail loop) indexes. Both are owned by GF256 and valid for the
+/// program's lifetime.
+struct KernelTable {
+  Level level;
+  void (*xor_into)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+  void (*xor_into2)(std::uint8_t* dst, const std::uint8_t* a,
+                    const std::uint8_t* b, std::size_t n);
+  /// dst[i] ^= coeff * src[i] over GF(2^8); coeff is baked into the tables.
+  void (*gf_mul_add)(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n, const std::uint8_t* nib,
+                     const std::uint8_t* full);
+  /// dst[i] = coeff * dst[i] over GF(2^8).
+  void (*gf_scale)(std::uint8_t* dst, std::size_t n, const std::uint8_t* nib,
+                   const std::uint8_t* full);
+};
+
+/// Widest tier this CPU supports (compile-time ISA availability AND a
+/// runtime CPUID/feature probe).
+[[nodiscard]] Level detectedLevel();
+
+/// The tier's kernels, or nullptr when this build/CPU cannot run it.
+/// Scalar is never null. Tests and the kernel micro-benchmarks use this
+/// to pin every supported tier against the scalar reference.
+[[nodiscard]] const KernelTable* table(Level level);
+
+/// The resolved kernel set every coding hot path calls through: the
+/// detected tier, narrowed by ROBUSTORE_SIMD when set (unsupported or
+/// unparseable requests warn once and fall back to detection). Resolved
+/// once, then cached; see refresh().
+[[nodiscard]] const KernelTable& active();
+
+/// Re-reads ROBUSTORE_SIMD and re-resolves the cached table (tests
+/// toggle the knob mid-process; production code never needs this).
+/// Returns the now-active level.
+Level refresh();
+
+}  // namespace robustore::coding::simd

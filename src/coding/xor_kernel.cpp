@@ -1,51 +1,16 @@
 #include "coding/xor_kernel.hpp"
 
-#include <cstring>
-
+#include "coding/simd_dispatch.hpp"
 #include "common/expects.hpp"
 #include "telemetry/host_profiler.hpp"
 
 namespace robustore::coding {
-namespace {
-
-// Processes 4 x 64-bit lanes per iteration: wide enough to keep the memory
-// pipeline busy, narrow enough not to spill registers (§5.2.3(4)).
-constexpr std::size_t kLane = sizeof(std::uint64_t);
-constexpr std::size_t kUnroll = 4;
-
-}  // namespace
 
 void xorInto(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src) {
   const telemetry::HostProfiler::Scope profile(
       telemetry::HostScope::kXorKernel);
   ROBUSTORE_EXPECTS(dst.size() == src.size(), "xorInto size mismatch");
-  std::uint8_t* d = dst.data();
-  const std::uint8_t* s = src.data();
-  std::size_t n = dst.size();
-
-  while (n >= kUnroll * kLane) {
-    std::uint64_t dw[kUnroll];
-    std::uint64_t sw[kUnroll];
-    std::memcpy(dw, d, sizeof dw);
-    std::memcpy(sw, s, sizeof sw);
-    for (std::size_t i = 0; i < kUnroll; ++i) dw[i] ^= sw[i];
-    std::memcpy(d, dw, sizeof dw);
-    d += kUnroll * kLane;
-    s += kUnroll * kLane;
-    n -= kUnroll * kLane;
-  }
-  while (n >= kLane) {
-    std::uint64_t dw;
-    std::uint64_t sw;
-    std::memcpy(&dw, d, kLane);
-    std::memcpy(&sw, s, kLane);
-    dw ^= sw;
-    std::memcpy(d, &dw, kLane);
-    d += kLane;
-    s += kLane;
-    n -= kLane;
-  }
-  for (std::size_t i = 0; i < n; ++i) d[i] ^= s[i];
+  simd::active().xor_into(dst.data(), src.data(), dst.size());
 }
 
 void xorInto2(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
@@ -54,40 +19,7 @@ void xorInto2(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
       telemetry::HostScope::kXorKernel);
   ROBUSTORE_EXPECTS(dst.size() == a.size() && dst.size() == b.size(),
                     "xorInto2 size mismatch");
-  std::uint8_t* d = dst.data();
-  const std::uint8_t* pa = a.data();
-  const std::uint8_t* pb = b.data();
-  std::size_t n = dst.size();
-
-  while (n >= kUnroll * kLane) {
-    std::uint64_t dw[kUnroll];
-    std::uint64_t aw[kUnroll];
-    std::uint64_t bw[kUnroll];
-    std::memcpy(dw, d, sizeof dw);
-    std::memcpy(aw, pa, sizeof aw);
-    std::memcpy(bw, pb, sizeof bw);
-    for (std::size_t i = 0; i < kUnroll; ++i) dw[i] ^= aw[i] ^ bw[i];
-    std::memcpy(d, dw, sizeof dw);
-    d += kUnroll * kLane;
-    pa += kUnroll * kLane;
-    pb += kUnroll * kLane;
-    n -= kUnroll * kLane;
-  }
-  while (n >= kLane) {
-    std::uint64_t dw;
-    std::uint64_t aw;
-    std::uint64_t bw;
-    std::memcpy(&dw, d, kLane);
-    std::memcpy(&aw, pa, kLane);
-    std::memcpy(&bw, pb, kLane);
-    dw ^= aw ^ bw;
-    std::memcpy(d, &dw, kLane);
-    d += kLane;
-    pa += kLane;
-    pb += kLane;
-    n -= kLane;
-  }
-  for (std::size_t i = 0; i < n; ++i) d[i] ^= pa[i] ^ pb[i];
+  simd::active().xor_into2(dst.data(), a.data(), b.data(), dst.size());
 }
 
 }  // namespace robustore::coding

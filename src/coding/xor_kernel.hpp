@@ -9,9 +9,10 @@ namespace robustore::coding {
 /// dst ^= src, element-wise. Sizes must match.
 ///
 /// This is the inner loop of LT encoding and decoding; §5.2.3(4) of the
-/// paper calls for word-wide, register-frugal XOR. The implementation works
-/// on 64-bit lanes with an unrolled body (the compiler further vectorises
-/// it), falling back to bytes for unaligned tails.
+/// paper calls for word-wide, register-frugal XOR. Dispatches through
+/// coding::simd to the widest kernel the CPU supports (AVX-512/AVX2/NEON
+/// wide-register paths, 4x64-bit scalar unroll otherwise); every tier is
+/// bit-identical and handles misaligned heads/tails byte-wise.
 void xorInto(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src);
 
 /// dst ^= a ^ b in a single pass (saves one full traversal of dst when

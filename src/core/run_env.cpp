@@ -102,4 +102,10 @@ std::optional<std::string> RunEnv::jsonDir() {
   return std::string(raw) == "1" ? std::string(".") : std::string(raw);
 }
 
+std::optional<std::string> RunEnv::simdOverride() {
+  const char* raw = std::getenv("ROBUSTORE_SIMD");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
 }  // namespace robustore::core

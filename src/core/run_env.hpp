@@ -27,6 +27,10 @@ namespace robustore::core {
 /// | ROBUSTORE_TRACE        | bool-ish        | per-stage latency tracing       |
 /// | ROBUSTORE_CSV          | presence        | CSV block in bench output       |
 /// | ROBUSTORE_JSON         | "1" or dir path | write BENCH_*.json ("1" = cwd)  |
+/// | ROBUSTORE_SIMD         | level name      | coding-kernel dispatch override |
+/// |                        |                 | (scalar, avx2, avx512, neon,    |
+/// |                        |                 | auto; unsupported levels warn   |
+/// |                        |                 | and fall back to detection)     |
 ///
 /// "count" means the whole value must be a positive decimal integer
 /// ("8", not "8x", " 8", "+8", or "0") that fits the stated range —
@@ -69,6 +73,12 @@ class RunEnv {
   /// ROBUSTORE_JSON mapped to the output directory: nullopt when unset,
   /// "." when "1", the literal value otherwise.
   [[nodiscard]] static std::optional<std::string> jsonDir();
+
+  /// ROBUSTORE_SIMD verbatim (nullopt when unset/empty). Interpretation —
+  /// level names, CPU-support clamping, the "auto" no-op — lives in
+  /// coding::simd, which sits below this library; this accessor is the
+  /// documented knob surface.
+  [[nodiscard]] static std::optional<std::string> simdOverride();
 
   /// Ceiling applied by threads(): a typo'd knob must not spawn millions
   /// of workers.

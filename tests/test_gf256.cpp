@@ -93,6 +93,42 @@ TEST(GF256, FermatLittleTheorem) {
   }
 }
 
+TEST(GF256, PowLargeExponentDoesNotOverflow) {
+  // Regression: log_[a] * n used to be computed in 32 bits, so huge
+  // exponents silently wrapped (e.g. even log and n = 2^31 make the
+  // product a multiple of 2^32, collapsing to exp_[0] = 1). Since
+  // 2^8 = 256 = 1 (mod 255), 2^31 = 2^7 (mod 255) and a^(2^31) must
+  // equal a^128 for every nonzero a.
+  for (unsigned a = 1; a < 256; ++a) {
+    EXPECT_EQ(GF256::pow(static_cast<Elem>(a), 1u << 31),
+              GF256::pow(static_cast<Elem>(a), 128))
+        << "a=" << a;
+  }
+  // Generic large-exponent identity: a^n == a^(n mod 255) for a != 0.
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto base = static_cast<Elem>(rng.below(255) + 1);
+    const auto n = static_cast<unsigned>(rng.below(0xFFFFFFFFu));
+    EXPECT_EQ(GF256::pow(base, n), GF256::pow(base, n % 255u))
+        << "a=" << int{base} << " n=" << n;
+  }
+}
+
+TEST(GF256, PowMatchesSquareAndMultiplyReference) {
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<Elem>(rng.below(256));
+    const auto n = static_cast<unsigned>(rng.below(100000));
+    Elem expected = 1;
+    Elem base = a;
+    for (unsigned e = n; e != 0; e >>= 1) {
+      if ((e & 1u) != 0) expected = GF256::mul(expected, base);
+      base = GF256::mul(base, base);
+    }
+    EXPECT_EQ(GF256::pow(a, n), expected) << "a=" << int{a} << " n=" << n;
+  }
+}
+
 TEST(GF256, MulAddIntoMatchesScalarLoop) {
   Rng rng(5);
   std::vector<Elem> dst(1000);

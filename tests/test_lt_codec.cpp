@@ -183,5 +183,66 @@ TEST(LtDecoder, AddAfterCompleteIsNoOp) {
   EXPECT_EQ(decoder.symbolsUsed(), used);
 }
 
+TEST(LtDecoder, MoveInOverloadMatchesSpanOverload) {
+  // Streaming arrivals hand their buffer over; the decode result and every
+  // counter must be indistinguishable from the copying overload.
+  Rng rng(8);
+  const std::uint32_t k = 64, n = 256;
+  const Bytes block = 48;
+  const LtGraph graph = LtGraph::generate(k, n, LtParams{}, rng);
+  const auto data = randomData(static_cast<std::size_t>(k) * block, rng);
+  const LtEncoder encoder(graph, data, block);
+  const auto coded = encoder.encodeAll();
+
+  LtDecoder copying(graph, block);
+  LtDecoder adopting(graph, block);
+  const auto order = rng.permutation(n);
+  for (const auto c : order) {
+    const bool a =
+        copying.addSymbol(c, std::span(coded).subspan(c * block, block));
+    std::vector<std::uint8_t> arrival(block);
+    encoder.encodeBlock(c, arrival);
+    const bool b = adopting.addSymbol(c, std::move(arrival));
+    ASSERT_EQ(a, b);
+    if (a) break;
+  }
+  ASSERT_TRUE(adopting.complete());
+  EXPECT_EQ(adopting.symbolsUsed(), copying.symbolsUsed());
+  EXPECT_EQ(adopting.edgesUsed(), copying.edgesUsed());
+  EXPECT_EQ(adopting.xorOps(), copying.xorOps());
+  EXPECT_EQ(adopting.takeData(), copying.takeData());
+  EXPECT_EQ(adopting.recoveredCount(), k);
+}
+
+TEST(LtDecoder, StreamingFastPathResolvesDegreeOneArrivalsInPlace) {
+  // A degree-one arrival must recover its original immediately — before
+  // addSymbol returns — rather than waiting for a later drain. Observed
+  // through recoveredCount() advancing on the arrival itself.
+  Rng rng(9);
+  const std::uint32_t k = 32, n = 128;
+  const Bytes block = 16;
+  const LtGraph graph = LtGraph::generate(k, n, LtParams{}, rng);
+  const auto data = randomData(static_cast<std::size_t>(k) * block, rng);
+  const LtEncoder encoder(graph, data, block);
+
+  LtDecoder decoder(graph, block);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    std::uint32_t open = 0;
+    for (const auto o : graph.neighbors(c)) {
+      if (!decoder.isRecovered(o)) ++open;
+    }
+    const auto before = decoder.recoveredCount();
+    std::vector<std::uint8_t> arrival(block);
+    encoder.encodeBlock(c, arrival);
+    const bool done = decoder.addSymbol(c, std::move(arrival));
+    if (open == 1) {
+      EXPECT_GE(decoder.recoveredCount(), before + 1) << "coded=" << c;
+    }
+    if (done) break;
+  }
+  ASSERT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.takeData(), data);
+}
+
 }  // namespace
 }  // namespace robustore::coding

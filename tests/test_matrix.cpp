@@ -89,6 +89,57 @@ TEST(GFMatrix, SelectRowsExtracts) {
   EXPECT_EQ(sub.at(1, 1), 21);
 }
 
+TEST(GFMatrix, InvertLargeActiveWindow) {
+  // Sizes past the elimination's active-window bookkeeping and (for 96+)
+  // the blocked multiply used in the check. Non-square-free of the small
+  // cases above: every row combination here exercises the widening
+  // right-half span.
+  Rng rng(9);
+  for (const std::size_t n : {48u, 96u, 160u}) {
+    GFMatrix m = randomMatrix(n, rng);
+    GFMatrix inv = m;
+    if (!inv.invert()) continue;  // ~0.4% of random matrices are singular
+    EXPECT_EQ(m.multiply(inv), GFMatrix::identity(n)) << "n=" << n;
+  }
+}
+
+TEST(GFMatrix, BlockedMultiplyMatchesNaiveReference) {
+  // Shapes chosen so the inner dimension straddles the cache band: tall,
+  // wide, and a column count large enough that the band shrinks to a few
+  // rows of the right-hand side.
+  Rng rng(10);
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {3, 200}, {200, 3}, {64, 64}, {17, 1031}};
+  for (const auto& [rows, inner] : shapes) {
+    const std::size_t cols = rows == inner ? 64 : rows;
+    GFMatrix a(rows, inner);
+    GFMatrix b(inner, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < inner; ++j) {
+        a.at(i, j) = static_cast<GF256::Elem>(rng.below(256));
+      }
+    }
+    for (std::size_t i = 0; i < inner; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        b.at(i, j) = static_cast<GF256::Elem>(rng.below(256));
+      }
+    }
+    const GFMatrix got = a.multiply(b);
+    GFMatrix expected(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        GF256::Elem acc = 0;
+        for (std::size_t k = 0; k < inner; ++k) {
+          acc = GF256::add(acc, GF256::mul(a.at(i, k), b.at(k, j)));
+        }
+        expected.at(i, j) = acc;
+      }
+    }
+    EXPECT_EQ(got, expected) << rows << "x" << inner << " * " << inner << "x"
+                             << cols;
+  }
+}
+
 TEST(GFMatrix, MultiplyShapes) {
   const GFMatrix a = GFMatrix::vandermonde(6, 3);
   const GFMatrix b = GFMatrix::vandermonde(3, 5);

@@ -1,0 +1,204 @@
+#include "coding/simd_dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coding/gf256.hpp"
+#include "common/rng.hpp"
+
+namespace robustore::coding {
+namespace {
+
+std::vector<std::uint8_t> randomBytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+std::vector<simd::Level> supportedWideLevels() {
+  std::vector<simd::Level> out;
+  for (const auto level :
+       {simd::Level::kAvx2, simd::Level::kAvx512, simd::Level::kNeon}) {
+    if (simd::table(level) != nullptr) out.push_back(level);
+  }
+  return out;
+}
+
+// Sizes straddle every kernel path: empty, single byte, the 8-byte word
+// boundary, each tier's lane width (16/32/64) and unroll width (double
+// that), all of them +/-1, plus large buffers whose tails exercise the
+// word and byte cleanup loops.
+const std::size_t kSizes[] = {0,   1,   7,    8,    9,    15,   16,  17,
+                              31,  32,  33,   63,   64,   65,   127, 128,
+                              129, 255, 256,  257,  1000, 4095, 4096, 4097};
+
+TEST(SimdDispatch, ScalarTableIsAlwaysPresent) {
+  const auto* scalar = simd::table(simd::Level::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_EQ(scalar->level, simd::Level::kScalar);
+  EXPECT_NE(scalar->xor_into, nullptr);
+  EXPECT_NE(scalar->xor_into2, nullptr);
+  EXPECT_NE(scalar->gf_mul_add, nullptr);
+  EXPECT_NE(scalar->gf_scale, nullptr);
+}
+
+TEST(SimdDispatch, DetectedLevelHasATable) {
+  EXPECT_NE(simd::table(simd::detectedLevel()), nullptr);
+}
+
+TEST(SimdDispatch, ParseLevelRoundTripsAndRejectsJunk) {
+  using simd::Level;
+  for (const auto level :
+       {Level::kScalar, Level::kAvx2, Level::kAvx512, Level::kNeon}) {
+    const auto parsed = simd::parseLevel(simd::levelName(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(simd::parseLevel("auto").has_value());
+  EXPECT_FALSE(simd::parseLevel("AVX2").has_value());
+  EXPECT_FALSE(simd::parseLevel("sse9000").has_value());
+  EXPECT_FALSE(simd::parseLevel("").has_value());
+}
+
+// Every wide tier the build+CPU supports must agree with scalar on every
+// kernel, bit for bit, across sizes and misaligned heads. This is the
+// invariant that keeps BENCH artifacts byte-identical across machines.
+class SimdDifferentialTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimdDifferentialTest, XorKernelsMatchScalar) {
+  const std::size_t n = GetParam();
+  const auto* scalar = simd::table(simd::Level::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  for (const auto level : supportedWideLevels()) {
+    const auto* wide = simd::table(level);
+    for (std::size_t offset = 0; offset < 3; ++offset) {
+      Rng rng(n * 31 + offset * 7 + static_cast<std::size_t>(level));
+      // Slack so the slices can start misaligned without running off the
+      // end.
+      auto dst_buf = randomBytes(n + 8, rng);
+      const auto a_buf = randomBytes(n + 8, rng);
+      const auto b_buf = randomBytes(n + 8, rng);
+      auto expected1 = dst_buf;
+      auto expected2 = dst_buf;
+      scalar->xor_into(expected1.data() + offset, a_buf.data() + offset, n);
+      scalar->xor_into2(expected2.data() + offset, a_buf.data() + offset,
+                        b_buf.data() + offset, n);
+
+      auto got = dst_buf;
+      wide->xor_into(got.data() + offset, a_buf.data() + offset, n);
+      EXPECT_EQ(got, expected1) << simd::levelName(level) << " xor_into n="
+                                << n << " offset=" << offset;
+      got = dst_buf;
+      wide->xor_into2(got.data() + offset, a_buf.data() + offset,
+                      b_buf.data() + offset, n);
+      EXPECT_EQ(got, expected2) << simd::levelName(level) << " xor_into2 n="
+                                << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST_P(SimdDifferentialTest, GfKernelsMatchScalar) {
+  const std::size_t n = GetParam();
+  const auto* scalar = simd::table(simd::Level::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  // Coefficients cover the multiplicative identity's neighbors, a
+  // generator, high-bit values (reduction-heavy), and 255.
+  const GF256::Elem coeffs[] = {2, 3, 29, 128, 200, 255};
+  for (const auto level : supportedWideLevels()) {
+    const auto* wide = simd::table(level);
+    for (const auto coeff : coeffs) {
+      const auto* nib = GF256::nibbleTables(coeff);
+      const auto* full = GF256::productRow(coeff);
+      for (std::size_t offset = 0; offset < 3; ++offset) {
+        Rng rng(n * 131 + coeff * 17 + offset);
+        auto dst_buf = randomBytes(n + 8, rng);
+        const auto src_buf = randomBytes(n + 8, rng);
+        auto expected_ma = dst_buf;
+        auto expected_sc = dst_buf;
+        scalar->gf_mul_add(expected_ma.data() + offset,
+                           src_buf.data() + offset, n, nib, full);
+        scalar->gf_scale(expected_sc.data() + offset, n, nib, full);
+
+        auto got = dst_buf;
+        wide->gf_mul_add(got.data() + offset, src_buf.data() + offset, n, nib,
+                         full);
+        EXPECT_EQ(got, expected_ma)
+            << simd::levelName(level) << " gf_mul_add n=" << n
+            << " coeff=" << int{coeff} << " offset=" << offset;
+        got = dst_buf;
+        wide->gf_scale(got.data() + offset, n, nib, full);
+        EXPECT_EQ(got, expected_sc)
+            << simd::levelName(level) << " gf_scale n=" << n
+            << " coeff=" << int{coeff} << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST_P(SimdDifferentialTest, SelfAliasedXorZeroesOnEveryTier) {
+  const std::size_t n = GetParam();
+  for (const auto level : supportedWideLevels()) {
+    const auto* wide = simd::table(level);
+    Rng rng(n + 97);
+    auto buf = randomBytes(n, rng);
+    wide->xor_into(buf.data(), buf.data(), n);
+    for (const auto b : buf) {
+      ASSERT_EQ(b, 0) << simd::levelName(level) << " n=" << n;
+    }
+    // dst ^= a ^ a with both sources aliased to the same buffer must be a
+    // no-op as well.
+    auto dst = randomBytes(n, rng);
+    const auto original = dst;
+    const auto src = randomBytes(n, rng);
+    wide->xor_into2(dst.data(), src.data(), src.data(), n);
+    EXPECT_EQ(dst, original) << simd::levelName(level) << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimdDifferentialTest,
+                         ::testing::ValuesIn(kSizes));
+
+// The GF kernels with the identity coefficient's tables degenerate to
+// plain XOR — a cheap cross-check that table plumbing is right.
+TEST(SimdDispatch, IdentityCoefficientTablesActAsXor) {
+  const auto* nib = GF256::nibbleTables(1);
+  const auto* full = GF256::productRow(1);
+  Rng rng(11);
+  const std::size_t n = 777;
+  auto dst = randomBytes(n, rng);
+  const auto src = randomBytes(n, rng);
+  auto expected = dst;
+  for (std::size_t i = 0; i < n; ++i) expected[i] ^= src[i];
+  simd::active().gf_mul_add(dst.data(), src.data(), n, nib, full);
+  EXPECT_EQ(dst, expected);
+}
+
+// ROBUSTORE_SIMD pins the active tier; junk values fall back to
+// detection; clearing the knob restores it.
+TEST(SimdDispatch, EnvOverridePinsActiveLevel) {
+  const auto detected = simd::detectedLevel();
+
+  ::setenv("ROBUSTORE_SIMD", "scalar", 1);
+  EXPECT_EQ(simd::refresh(), simd::Level::kScalar);
+  EXPECT_EQ(simd::active().level, simd::Level::kScalar);
+
+  ::setenv("ROBUSTORE_SIMD", simd::levelName(detected), 1);
+  EXPECT_EQ(simd::refresh(), detected);
+
+  ::setenv("ROBUSTORE_SIMD", "definitely-not-an-isa", 1);
+  EXPECT_EQ(simd::refresh(), detected);
+
+  ::setenv("ROBUSTORE_SIMD", "auto", 1);
+  EXPECT_EQ(simd::refresh(), detected);
+
+  ::unsetenv("ROBUSTORE_SIMD");
+  EXPECT_EQ(simd::refresh(), detected);
+  EXPECT_EQ(simd::active().level, detected);
+}
+
+}  // namespace
+}  // namespace robustore::coding
