@@ -121,6 +121,9 @@ struct RobuStoreScheme::ReadState {
   std::unique_ptr<coding::LtEncoder> encoder;
   std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> arrivals;
   bool batch_data_plane = false;
+  /// Heal-on-read ledger: (placement, coded id) pairs whose retries were
+  /// exhausted. Re-encoded onto healthy disks if the decode still wins.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> lost;
 };
 
 struct RobuStoreScheme::WriteState {
@@ -264,10 +267,16 @@ void RobuStoreScheme::startRead(Session& session, StoredFile& file,
     const auto& placement = file.placements[p];
     for (std::uint32_t pos = 0; pos < placement.stored.size(); ++pos) {
       const auto coded = static_cast<std::uint32_t>(placement.stored[pos]);
-      // No on_lost handler: coded blocks are interchangeable, so a block
-      // whose retries are exhausted is simply never decoded from. If the
-      // losses leave the decoder short, the base fail-fast rule ends the
-      // access the moment the last live request settles.
+      // Default on_lost is none: coded blocks are interchangeable, so a
+      // block whose retries are exhausted is simply never decoded from.
+      // If the losses leave the decoder short, the base fail-fast rule
+      // ends the access the moment the last live request settles. With
+      // heal-on-read the loss is additionally remembered so a winning
+      // decode can re-encode it onto a healthy disk.
+      std::function<void()> on_lost;
+      if (config.heal_on_read) {
+        on_lost = [state, p, coded] { state->lost.emplace_back(p, coded); };
+      }
       issueTrackedRead(session, file, p, pos, /*force_position=*/false,
                        config,
                        [this, state, &session, &file, coded,
@@ -279,15 +288,36 @@ void RobuStoreScheme::startRead(Session& session, StoredFile& file,
                                !data_plane_report_.has_value()) {
                              finishDataPlane(*state, file);
                            }
+                           healLostBlocks(*state, file);
                            // Decoding is pipelined with I/O; only the last
                            // block's XOR work extends the critical path
                            // (§6.2.5).
                            session.extra_latency = decode_tail;
                            finish(session);
                          }
-                       });
+                       },
+                       std::move(on_lost));
     }
   }
+}
+
+void RobuStoreScheme::healLostBlocks(ReadState& state, StoredFile& file) {
+  if (state.lost.empty()) return;
+  // The decode succeeded, so the client can re-encode any coded block.
+  // Each lost one goes to the next live placement after its old home
+  // (round-robin keeps the healed copies spread out).
+  const auto h = static_cast<std::uint32_t>(file.placements.size());
+  for (const auto& [origin, coded] : state.lost) {
+    for (std::uint32_t step = 1; step <= h; ++step) {
+      const std::uint32_t target = (origin + step) % h;
+      if (cluster().disk(file.placements[target].global_disk).failed()) {
+        continue;
+      }
+      issueHealWrite(file, target, coded);
+      break;
+    }
+  }
+  state.lost.clear();
 }
 
 void RobuStoreScheme::startWrite(Session& session, const AccessConfig& config,

@@ -108,6 +108,10 @@ class RobuStoreScheme final : public Scheme {
   /// Runs the batch decode if one is pending, verifies the decoded bytes
   /// against the original, and publishes the report.
   void finishDataPlane(ReadState& state, const StoredFile& file);
+  /// Heal-on-read: re-encodes every lost coded block recorded in `state`
+  /// onto a live placement (the decode succeeded, so the client holds
+  /// everything it needs). No-op when nothing was lost.
+  void healLostBlocks(ReadState& state, StoredFile& file);
 
   coding::LtParams lt_;
   std::uint32_t write_pipeline_depth_;

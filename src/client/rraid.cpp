@@ -13,6 +13,9 @@ namespace robustore::client {
 
 struct RRaidScheme::SpecReadState {
   coding::ReplicationTracker tracker;
+  /// Heal-on-read ledger: (placement, block) pairs whose retries were
+  /// exhausted. Replicated onto live disks if the access still completes.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> lost;
   explicit SpecReadState(std::uint32_t k) : tracker(k) {}
 };
 
@@ -30,6 +33,8 @@ struct RRaidScheme::AdaptiveReadState {
   /// Placements whose disk exhausted a block's retries: unresponsive;
   /// never re-dispatch there.
   std::vector<char> dead;
+  /// Heal-on-read ledger, as in SpecReadState.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> lost;
 
   explicit AdaptiveReadState(std::uint32_t k) : tracker(k) {}
 };
@@ -81,16 +86,26 @@ void RRaidScheme::startSpeculativeRead(Session& session, StoredFile& file,
     const auto& placement = file.placements[p];
     for (std::uint32_t pos = 0; pos < placement.stored.size(); ++pos) {
       const auto block = static_cast<std::uint32_t>(placement.stored[pos]);
-      // A lost block needs no handler: its rotated copies are already in
-      // flight, and the base fail-fast rule catches the case where every
-      // copy of some block died.
+      // A lost block normally needs no handler: its rotated copies are
+      // already in flight, and the base fail-fast rule catches the case
+      // where every copy of some block died. Heal-on-read additionally
+      // remembers the loss so a completing access restores the replica.
+      std::function<void()> on_lost;
+      if (config.heal_on_read) {
+        on_lost = [state, p, block] { state->lost.emplace_back(p, block); };
+      }
       issueTrackedRead(session, file, p, pos, /*force_position=*/false,
                        config,
-                       [this, state, &session, block](bool cache_hit) {
+                       [this, state, &session, &file, block](bool cache_hit) {
                          ++session.blocks_received;
                          if (cache_hit) ++session.cache_hits;
-                         if (state->tracker.addCopy(block)) finish(session);
-                       });
+                         if (state->tracker.addCopy(block)) {
+                           healLostReplicas(file, state->lost);
+                           state->lost.clear();
+                           finish(session);
+                         }
+                       },
+                       std::move(on_lost));
     }
   }
 }
@@ -111,6 +126,8 @@ void RRaidScheme::adaptiveRequest(Session& session, StoredFile& file,
         if (cache_hit) ++session.cache_hits;
         state->pending[p].erase(stored_pos);
         if (state->tracker.addCopy(block)) {
+          healLostReplicas(file, state->lost);
+          state->lost.clear();
           finish(session);
           return;
         }
@@ -121,6 +138,7 @@ void RRaidScheme::adaptiveRequest(Session& session, StoredFile& file,
         // the disk as unresponsive and re-dispatch to another replica.
         state->dead[p] = 1;
         state->pending[p].erase(stored_pos);
+        if (config.heal_on_read) state->lost.emplace_back(p, block);
         if (state->tracker.isCovered(block)) return;
         const auto h = static_cast<std::uint32_t>(file.placements.size());
         for (std::uint32_t step = 1; step < h; ++step) {
@@ -225,6 +243,27 @@ void RRaidScheme::adaptiveSteal(Session& session, StoredFile& file,
     }
     adaptiveRequest(session, file, config, idle_placement,
                     state->block_to_pos[idle_placement].at(block));
+  }
+}
+
+void RRaidScheme::healLostReplicas(
+    StoredFile& file,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& lost) {
+  const auto h = static_cast<std::uint32_t>(file.placements.size());
+  for (const auto& [origin, block] : lost) {
+    // Next live placement after the old home that does not already hold
+    // the block (replication gains nothing from a second local copy).
+    for (std::uint32_t step = 1; step < h; ++step) {
+      const std::uint32_t target = (origin + step) % h;
+      const auto& p = file.placements[target];
+      if (cluster().disk(p.global_disk).failed()) continue;
+      if (std::find(p.stored.begin(), p.stored.end(), block) !=
+          p.stored.end()) {
+        continue;
+      }
+      issueHealWrite(file, target, block);
+      break;
+    }
   }
 }
 

@@ -54,6 +54,11 @@ class RRaidScheme final : public Scheme {
   void adaptiveSteal(Session& session, StoredFile& file,
                      const AccessConfig& config,
                      std::uint32_t idle_placement);
+  /// Heal-on-read: writes a fresh replica of each lost (placement, block)
+  /// pair to a live placement that does not already store the block.
+  void healLostReplicas(
+      StoredFile& file,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& lost);
 
   bool adaptive_;
   std::shared_ptr<SpecReadState> spec_state_;

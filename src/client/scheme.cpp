@@ -1,5 +1,6 @@
 #include "client/scheme.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -79,11 +80,44 @@ void Scheme::beginRead(Session& session, StoredFile& file,
                        const AccessConfig& config) {
   ROBUSTORE_EXPECTS(!file.placements.empty(), "read of an unplaced file");
   if (session.stream == 0) session.stream = cluster_->nextStream();
+  healed_blocks_ = 0;
+  if (config.heal_on_read) {
+    // Stream + rng drawn only when healing is on: a non-healing run must
+    // see exactly the stream-id sequence it always did.
+    heal_stream_ = cluster_->nextStream();
+    heal_rng_ = Rng(file.file_id * 0x9e3779b97f4a7c15ULL + 0x48EA1ULL);
+  }
   session.start = engine().now();
   engine().schedule(config.metadata_latency,
                     [this, &session, &file, &config] {
                       startRead(session, file, config);
                     });
+}
+
+void Scheme::issueHealWrite(StoredFile& file, std::uint32_t placement,
+                            std::uint64_t block_id) {
+  DiskPlacement& p = file.placements[placement];
+  // Issue position comes from the layout, not the stored ledger: with
+  // several heal writes in flight the ledger trails the layout by the
+  // in-flight count, and acks (FIFO per stream+disk) fill it in order.
+  const std::uint32_t pos = p.layout.numBlocks();
+  p.layout.extendTo(pos + 1, heal_rng_);
+  server::StorageServer& srv = cluster_->serverOfDisk(p.global_disk);
+  server::StorageServer::BlockWrite req;
+  req.stream = heal_stream_;
+  req.cache_key = file.cacheKey(placement, pos);
+  req.disk_index = cluster_->localDiskIndex(p.global_disk);
+  req.layout = &p.layout;
+  req.layout_block = pos;
+  srv.writeBlock(req, [this, &file, placement, block_id] {
+    // Commit ack: the copy is durable, record it. Acks on one stream to
+    // one disk are FIFO, so stored order tracks layout-position order
+    // even with several heal writes in flight.
+    file.placements[placement].stored.push_back(block_id);
+    ++healed_blocks_;
+  });
+  // No failure handler: if the target dies mid-heal the layout slot stays
+  // unrecorded and a later heal/repair writes over it.
 }
 
 void Scheme::noteServerUsed(Session& session, std::uint32_t global_disk) {
@@ -236,12 +270,16 @@ void Scheme::onTrackedAttemptLost(Session& session,
   // A re-issue never continues the old head position.
   tracked->force_position = true;
   // Watchdog expiries retry at once (the disk is slow, not dead); failure
-  // notifications back off so a crash-recover window can pass.
+  // notifications back off so a crash-recover window can pass — capped,
+  // because over churn horizons the exponential otherwise outgrows every
+  // outage (and eventually the double range).
   const SimTime delay =
       from_watchdog ? 0.0
-                    : config.reissue_delay *
-                          std::pow(config.reissue_backoff,
-                                   static_cast<double>(tracked->attempts - 1));
+                    : std::min(config.reissue_delay *
+                                   std::pow(config.reissue_backoff,
+                                            static_cast<double>(
+                                                tracked->attempts - 1)),
+                               config.max_reissue_delay);
   if (auto* t = tracer(); t != nullptr) {
     t->span(trace::Stage::kClientReissue, engine().now(),
             engine().now() + delay, session.stream, trace::kClientTrack,

@@ -55,8 +55,17 @@ struct AccessConfig {
   /// Base delay before a failure-triggered re-issue (lets crash-recover
   /// windows pass) ...
   SimTime reissue_delay = 10.0 * kMilliseconds;
-  /// ... growing by this factor per successive attempt (backoff).
+  /// ... growing by this factor per successive attempt (backoff) ...
   double reissue_backoff = 2.0;
+  /// ... but never beyond this cap. Over churn horizons, attempt counts
+  /// get large enough that an unclamped exponential overshoots the whole
+  /// outage (or overflows to inf); the cap keeps retries meaningful.
+  SimTime max_reissue_delay = 10.0;
+  /// Heal-on-read: a degraded read that still decodes writes fresh
+  /// blocks for the lost placements back to healthy disks before the
+  /// access settles, so one disk's loss is repaired for free by the
+  /// next reader. Off by default (pure-paper access paths).
+  bool heal_on_read = false;
 
   [[nodiscard]] Bytes dataBytes() const {
     return static_cast<Bytes>(k) * block_bytes;
@@ -269,6 +278,19 @@ class Scheme {
   /// misses that server's queued requests and bytes.
   void noteServerUsed(Session& session, std::uint32_t global_disk);
 
+  /// Heal-on-read support (AccessConfig::heal_on_read): appends a fresh
+  /// copy of `block_id` to `placement`'s on-disk layout and writes it on
+  /// the dedicated heal stream (so cancelOutstanding never cancels heal
+  /// traffic; the post-access drain commits it). The stored-id ledger is
+  /// updated when the commit ack lands — per-disk per-stream acks are
+  /// FIFO, so ledger order matches layout-position order. A heal write
+  /// that dies with its target disk is dropped: that placement is down
+  /// anyway and a later repair pass owns it.
+  void issueHealWrite(StoredFile& file, std::uint32_t placement,
+                      std::uint64_t block_id);
+  /// Block copies written back by heal-on-read in the current access.
+  [[nodiscard]] std::uint32_t healedBlocks() const { return healed_blocks_; }
+
   [[nodiscard]] Cluster& cluster() { return *cluster_; }
   [[nodiscard]] sim::Engine& engine() { return cluster_->engine(); }
   /// The cluster's tracer, or null when tracing is off — schemes guard
@@ -295,6 +317,12 @@ class Scheme {
   /// for the duration of read()/write() including the post-access drain,
   /// cleared before they return.
   const Session* active_session_ = nullptr;
+  /// Heal-on-read state, armed by beginRead() only when the access
+  /// config enables healing (the stream draw must not shift stream ids
+  /// of non-healing runs).
+  disk::StreamId heal_stream_ = 0;
+  Rng heal_rng_;
+  std::uint32_t healed_blocks_ = 0;
 };
 
 /// Which rateless code backs the RobuSTore data plane. LT is the paper's

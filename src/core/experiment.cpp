@@ -88,6 +88,14 @@ void armFaults(const ExperimentConfig& config, std::uint32_t trial_index,
         fault::FaultInjector::drawSchedule(config.faults.model, num_disks,
                                            rng));
   }
+  if (config.faults.churn.enabled()) {
+    // Own derivation, not a continuation of the model's stream: enabling
+    // churn must not shift the model draws (and vice versa).
+    Rng rng((config.seed ^ 0xC4024E11u) * 0x9e3779b97f4a7c15ULL +
+            trial_index + 1);
+    injector->scheduleChurn(fault::FaultInjector::drawChurn(
+        config.faults.churn, num_disks, rng));
+  }
 }
 
 }  // namespace

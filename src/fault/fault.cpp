@@ -46,23 +46,95 @@ void FaultInjector::apply(const FaultSpec& spec) {
                      engine_->now(), /*access=*/0, trace::kFaultTrack,
                      d.id());
   }
+  DiskFaultState& st = state_[spec.disk];
   switch (spec.kind) {
     case FaultKind::kFailStop:
+      st.permanent = true;
       d.failStop();
       break;
-    case FaultKind::kCrashRecover:
+    case FaultKind::kCrashRecover: {
+      // Overlapping outages merge: keep the latest end, recover once.
+      const SimTime until = engine_->now() + spec.duration;
+      if (until > st.down_until) st.down_until = until;
       d.failStop();
-      engine_->schedule(spec.duration, [this, disk = spec.disk] {
-        resolve_(disk).recover();
-      });
+      engine_->schedule(spec.duration,
+                        [this, disk = spec.disk] { maybeRecover(disk); });
       break;
+    }
     case FaultKind::kTransientStall:
-      d.stall(spec.duration);
+      // A stall on a dead disk is subsumed by the outage.
+      if (!d.failed()) d.stall(spec.duration);
       break;
     case FaultKind::kSlowDisk:
       d.setServiceMultiplier(spec.service_multiplier);
       break;
   }
+}
+
+void FaultInjector::maybeRecover(std::uint32_t disk) {
+  auto it = state_.find(disk);
+  if (it != state_.end()) {
+    if (it->second.permanent) return;            // fail-stop wins
+    if (engine_->now() < it->second.down_until)  // a later outage extends
+      return;
+  }
+  resolve_(disk).recover();
+}
+
+void FaultInjector::scheduleChurn(const std::vector<ChurnEvent>& events) {
+  std::vector<sim::Engine::BatchEvent> batch;
+  batch.reserve(events.size());
+  for (const ChurnEvent& event : events) {
+    ROBUSTORE_EXPECTS(event.at >= 0.0, "churn event scheduled in the past");
+    batch.push_back({event.at, [this, event] { applyChurn(event); }});
+  }
+  engine_->scheduleBatch(batch);
+}
+
+void FaultInjector::applyChurn(const ChurnEvent& event) {
+  disk::Disk& d = resolve_(event.disk);
+  if (tracer_ != nullptr) {
+    tracer_->instant(event.kind == ChurnEventKind::kPermanentFailure
+                         ? "fault.inject.churn_failure"
+                         : "fault.inject.churn_replacement",
+                     engine_->now(), /*access=*/0, trace::kFaultTrack,
+                     d.id());
+  }
+  switch (event.kind) {
+    case ChurnEventKind::kPermanentFailure:
+      ++churn_failures_;
+      state_[event.disk].permanent = true;
+      d.failStop();
+      break;
+    case ChurnEventKind::kReplacement:
+      // Fresh hardware in the slot: supersedes every prior fault on it,
+      // including a scripted kFailStop (the dead unit was carted away).
+      ++churn_replacements_;
+      state_[event.disk] = DiskFaultState{};
+      d.recover();
+      break;
+  }
+  if (churn_listener_) churn_listener_(event);
+}
+
+std::vector<ChurnEvent> FaultInjector::drawChurn(const ChurnModel& model,
+                                                 std::uint32_t num_disks,
+                                                 Rng& rng) {
+  std::vector<ChurnEvent> out;
+  if (!model.enabled()) return out;
+  const double mean_life = 1.0 / model.failure_rate;
+  for (std::uint32_t d = 0; d < num_disks; ++d) {
+    Rng stream = rng.fork(d);  // one parent draw per disk, like fork()
+    SimTime t = 0.0;
+    for (;;) {
+      t += stream.exponential(mean_life);
+      if (t >= model.horizon) break;
+      out.push_back({d, ChurnEventKind::kPermanentFailure, t});
+      t += model.replacement_delay;
+      out.push_back({d, ChurnEventKind::kReplacement, t});
+    }
+  }
+  return out;
 }
 
 std::uint32_t FaultInjector::injectedTotal() const {

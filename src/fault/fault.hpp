@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -71,24 +72,80 @@ struct FaultModel {
   }
 };
 
-/// A full failure scenario: an explicit script, a stochastic model, or
-/// both. Part of ExperimentConfig, applied identically to every trial
-/// (the stochastic draws differ per trial, deterministically).
+/// Renewal-process churn (the long-horizon durability model): each disk
+/// independently alternates Exp(1/failure_rate) lifetimes with a fixed
+/// provisioning delay. A churn failure is *permanent data loss* for that
+/// disk slot — unlike kCrashRecover, the replacement arrives empty, so
+/// whatever lived there must be regenerated (repair::RepairService) or it
+/// is gone. Horizons are meant to be ≫ one access: many failures per disk
+/// per run.
+struct ChurnModel {
+  /// Permanent-failure rate λ per disk, failures per simulated second.
+  double failure_rate = 0.0;
+  /// Provisioning delay: how long a slot stays empty before the
+  /// replacement disk comes up (its lifetime clock restarts then).
+  SimTime replacement_delay = 60.0;
+  /// Draw failure/replacement events in [0, horizon).
+  SimTime horizon = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return failure_rate > 0.0 && horizon > 0.0;
+  }
+};
+
+enum class ChurnEventKind : std::uint8_t {
+  kPermanentFailure,  // disk slot dies; its contents are lost for good
+  kReplacement,       // empty replacement disk comes up in the same slot
+};
+
+struct ChurnEvent {
+  std::uint32_t disk = 0;  // resolved like FaultSpec::disk
+  ChurnEventKind kind = ChurnEventKind::kPermanentFailure;
+  /// Event time, relative to when the injector is armed.
+  SimTime at = 0.0;
+};
+
+/// A full failure scenario: an explicit script, a stochastic model, a
+/// churn process, or any mix. Part of ExperimentConfig, applied
+/// identically to every trial (the stochastic draws differ per trial,
+/// deterministically).
 struct FaultPlan {
   std::vector<FaultSpec> scripted;
   FaultModel model;
+  ChurnModel churn;
 
   [[nodiscard]] bool enabled() const {
-    return !scripted.empty() || model.enabled();
+    return !scripted.empty() || model.enabled() || churn.enabled();
   }
 };
 
 /// Drives faults into disks through the sim engine. Decoupled from any
 /// cluster type via the resolver: callers hand in "disk index -> Disk&"
 /// for whatever roster the schedule's indices refer to.
+///
+/// Overlapping faults on one disk obey an explicit precedence, tracked
+/// per disk inside the injector (the disk itself only knows failed/not):
+///
+///   1. kFailStop is permanent: no pending crash-recover outage may
+///      resurrect the disk afterwards. Only a churn kReplacement (fresh
+///      hardware in the slot) clears the permanent state.
+///   2. Overlapping kCrashRecover outages merge: the disk stays down
+///      until the *latest* outage end. The failure listener fires once
+///      (Disk::failStop is idempotent) and recovery happens once.
+///   3. A kTransientStall landing while the disk is down is subsumed —
+///      a dead disk has nothing to pause. Stalls on a live disk extend
+///      each other as before (Disk::stall already merges windows).
+///
+/// Before this was pinned down, an outage's unconditional recover()
+/// could revive a disk inside a later overlapping outage — or one that
+/// had permanently fail-stopped in between.
 class FaultInjector {
  public:
   using DiskResolver = std::function<disk::Disk&(std::uint32_t)>;
+  /// Observer of churn events, fired after the disk verb was applied —
+  /// the repair service's detection hook (metadata availability updates,
+  /// lost-block enumeration).
+  using ChurnListener = std::function<void(const ChurnEvent&)>;
 
   FaultInjector(sim::Engine& engine, DiskResolver resolve)
       : engine_(&engine), resolve_(std::move(resolve)) {}
@@ -101,11 +158,28 @@ class FaultInjector {
   /// order as calling schedule() per spec).
   void scheduleAll(const std::vector<FaultSpec>& specs);
 
+  /// Schedules a churn event stream (times relative to now) in one engine
+  /// batch. Failures mark the disk permanently down; replacements clear
+  /// all fault state for the slot and bring the disk back empty.
+  void scheduleChurn(const std::vector<ChurnEvent>& events);
+
+  void setChurnListener(ChurnListener listener) {
+    churn_listener_ = std::move(listener);
+  }
+
   /// Draws the stochastic schedule for `num_disks` disks from `rng`.
   /// Pure: consumes a fixed number of draws per disk regardless of
   /// outcome, so schedules for different disks never shift each other.
   [[nodiscard]] static std::vector<FaultSpec> drawSchedule(
       const FaultModel& model, std::uint32_t num_disks, Rng& rng);
+
+  /// Draws the renewal-process churn schedule for `num_disks` disks.
+  /// Each disk gets its own forked child stream (one parent draw per
+  /// disk), so a disk's failure count never shifts another disk's
+  /// timeline and a shorter roster draws a prefix of a longer one's.
+  /// Events are emitted per disk in time order.
+  [[nodiscard]] static std::vector<ChurnEvent> drawChurn(
+      const ChurnModel& model, std::uint32_t num_disks, Rng& rng);
 
   /// Records a "fault.inject" instant per applied fault. Null = off.
   void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
@@ -122,14 +196,32 @@ class FaultInjector {
     return scheduled_ - injectedTotal();
   }
 
+  /// Churn events whose time arrived (cumulative).
+  [[nodiscard]] std::uint32_t churnFailures() const { return churn_failures_; }
+  [[nodiscard]] std::uint32_t churnReplacements() const {
+    return churn_replacements_;
+  }
+
  private:
+  /// Per-disk overlap bookkeeping for the precedence rules above.
+  struct DiskFaultState {
+    bool permanent = false;   // kFailStop or churn failure landed
+    SimTime down_until = 0.0; // latest crash-recover outage end
+  };
+
   void apply(const FaultSpec& spec);
+  void applyChurn(const ChurnEvent& event);
+  void maybeRecover(std::uint32_t disk);
 
   sim::Engine* engine_;
   DiskResolver resolve_;
   trace::Tracer* tracer_ = nullptr;
+  ChurnListener churn_listener_;
+  std::unordered_map<std::uint32_t, DiskFaultState> state_;
   std::uint32_t scheduled_ = 0;
   std::uint32_t injected_[4] = {0, 0, 0, 0};
+  std::uint32_t churn_failures_ = 0;
+  std::uint32_t churn_replacements_ = 0;
 };
 
 }  // namespace robustore::fault

@@ -46,6 +46,9 @@ struct DiskRecord {
   /// Long-term availability of the hosting server in [0, 1].
   double availability = 0.99;
   SimTime last_report = 0.0;
+  /// Instantaneous liveness (periodic queries / churn notifications).
+  /// The repair service's scan reads this to detect lost placements.
+  bool up = true;
 
   [[nodiscard]] double freeFraction() const {
     return capacity == 0
@@ -118,6 +121,16 @@ class MetadataServer {
   void reportLoad(std::uint32_t global_disk, double utilization, SimTime now);
   /// Write commits consume capacity.
   void addUsage(std::uint32_t global_disk, Bytes bytes);
+
+  /// Availability updates (churn notifications / periodic queries).
+  void setDiskUp(std::uint32_t global_disk, bool up) {
+    auto it = disks_.find(global_disk);
+    if (it != disks_.end()) it->second.up = up;
+  }
+  [[nodiscard]] bool diskUp(std::uint32_t global_disk) const {
+    auto it = disks_.find(global_disk);
+    return it != disks_.end() && it->second.up;
+  }
 
   /// §5.3.1 disk selection: prefers lightly loaded disks with free space,
   /// spreads across sites, and mixes availability classes. `count` disks

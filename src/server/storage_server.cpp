@@ -51,9 +51,12 @@ StorageServer::ReadHandle StorageServer::readBlock(const BlockRead& req,
                                                    FailureFn on_failed) {
   ROBUSTORE_EXPECTS(req.layout != nullptr, "read without a layout");
   ROBUSTORE_EXPECTS(req.disk_index < disks_.size(), "disk index out of range");
-  const Bytes block_bytes = req.layout->blockBytes();
+  const bool partial =
+      req.bytes_override != 0 && req.bytes_override < req.layout->blockBytes();
+  const Bytes block_bytes =
+      partial ? req.bytes_override : req.layout->blockBytes();
   const std::uint32_t lines =
-      cache_.enabled() ? cache_.linesPerBlock(block_bytes) : 0;
+      cache_.enabled() && !partial ? cache_.linesPerBlock(block_bytes) : 0;
   auto handle = std::make_shared<ReadTicket>();
   handle->disk_index = req.disk_index;
   const SimTime issued = engine_->now();
@@ -71,7 +74,7 @@ StorageServer::ReadHandle StorageServer::readBlock(const BlockRead& req,
                     req.stream, trace::serverNicTrack(id_),
                     disks_[req.disk_index]->id());
     }
-    if (cache_.enabled() && cache_.containsBlock(req.cache_key, lines)) {
+    if (lines != 0 && cache_.containsBlock(req.cache_key, lines)) {
       handle->dispatched = true;
       if (tracer_ != nullptr) {
         tracer_->instant("server.cache_hit", engine_->now(), req.stream,
@@ -115,13 +118,25 @@ void StorageServer::serveFromDisk(const BlockRead& req, Bytes block_bytes,
   if (req.force_position_first && !spec.extents.empty()) {
     spec.extents.front().continues_previous = false;
   }
+  if (block_bytes < req.layout->blockBytes()) {
+    // Partial read: keep the leading `block_bytes` of the extent chain.
+    Bytes remaining = block_bytes;
+    std::size_t keep = 0;
+    for (auto& e : spec.extents) {
+      if (remaining == 0) break;
+      if (e.bytes > remaining) e.bytes = remaining;
+      remaining -= e.bytes;
+      ++keep;
+    }
+    spec.extents.resize(keep);
+  }
   spec.media_rate = d.mediaRate(req.layout->zone());
   handle->disk_request = d.submit(
       std::move(spec),
       [this, stream = req.stream, key = req.cache_key, block_bytes, lines,
        handle, cb = std::move(on_delivered)](disk::RequestId) {
         handle->dispatched = true;
-        if (cache_.enabled()) cache_.insertBlock(key, lines);
+        if (lines != 0) cache_.insertBlock(key, lines);
         dispatchToClient(stream, block_bytes, /*cache_hit=*/false, cb);
       },
       [this, handle, fail = std::move(on_failed)](disk::RequestId) {

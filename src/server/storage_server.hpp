@@ -61,6 +61,11 @@ class StorageServer {
     /// same request sequence (e.g. RRAID-A reads every c-th stored block):
     /// the first extent then re-positions even if physically contiguous.
     bool force_position_first = false;
+    /// Nonzero = partial read of the block's leading bytes (regenerating
+    /// repair's helper reads, per Dimakis). Extents and network payload
+    /// are truncated to this many bytes and the filer cache is bypassed
+    /// (a fragment must not masquerade as the whole block).
+    Bytes bytes_override = 0;
   };
 
   struct BlockWrite {

@@ -1,0 +1,712 @@
+// Churn-and-repair subsystem: renewal-process churn draws, the fault
+// injector's overlap-precedence rules (the bugs that motivated them),
+// reissue-backoff clamping, exact-instant recovery races, heal-on-read,
+// the background repair service (detection delay, bandwidth pacing,
+// regenerating vs full-decode traffic, loss-event restores), and
+// long-horizon churn campaigns through the experiment runner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "client/cluster.hpp"
+#include "client/scheme.hpp"
+#include "client/stored_file.hpp"
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "disk/disk.hpp"
+#include "fault/fault.hpp"
+#include "repair/repair.hpp"
+#include "sim/engine.hpp"
+
+namespace robustore {
+namespace {
+
+using fault::ChurnEvent;
+using fault::ChurnEventKind;
+using fault::FaultKind;
+
+disk::FileDiskLayout smallLayout(Rng& rng, std::uint32_t blocks = 4) {
+  return disk::FileDiskLayout::generate(blocks, 64 * kKiB,
+                                        disk::LayoutConfig{128, 0.0}, rng);
+}
+
+disk::DiskRequestSpec specFor(const disk::Disk& d,
+                              const disk::FileDiskLayout& layout,
+                              std::uint32_t block) {
+  disk::DiskRequestSpec spec;
+  spec.stream = 1;
+  spec.extents = layout.blockExtents(block);
+  spec.media_rate = d.mediaRate(0.5);
+  return spec;
+}
+
+// --- churn schedule draws ------------------------------------------------
+
+TEST(ChurnSchedule, DrawIsDeterministicAndPrefixStable) {
+  fault::ChurnModel model;
+  model.failure_rate = 0.01;
+  model.replacement_delay = 30.0;
+  model.horizon = 2000.0;
+  Rng a(7), b(7), c(7);
+  const auto sa = fault::FaultInjector::drawChurn(model, 16, a);
+  const auto sb = fault::FaultInjector::drawChurn(model, 16, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  EXPECT_FALSE(sa.empty());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].disk, sb[i].disk);
+    EXPECT_EQ(sa[i].kind, sb[i].kind);
+    EXPECT_DOUBLE_EQ(sa[i].at, sb[i].at);
+  }
+  // Per-disk forked streams: a shorter roster draws a strict prefix.
+  const auto small = fault::FaultInjector::drawChurn(model, 4, c);
+  ASSERT_LE(small.size(), sa.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].disk, sa[i].disk);
+    EXPECT_DOUBLE_EQ(small[i].at, sa[i].at);
+  }
+}
+
+TEST(ChurnSchedule, AlternatesFailureAndReplacementPerDisk) {
+  fault::ChurnModel model;
+  model.failure_rate = 0.02;
+  model.replacement_delay = 25.0;
+  model.horizon = 1000.0;
+  Rng rng(13);
+  const auto events = fault::FaultInjector::drawChurn(model, 8, rng);
+  ASSERT_FALSE(events.empty());
+  // Events are grouped per disk in time order: failure, replacement
+  // exactly replacement_delay later, next failure strictly after that.
+  std::optional<ChurnEvent> prev;
+  for (const ChurnEvent& e : events) {
+    if (e.kind == ChurnEventKind::kPermanentFailure) {
+      EXPECT_LT(e.at, model.horizon);
+    }
+    if (prev && prev->disk == e.disk) {
+      EXPECT_GT(e.at, prev->at);
+      EXPECT_NE(e.kind, prev->kind);  // strict alternation per disk
+      if (e.kind == ChurnEventKind::kReplacement) {
+        EXPECT_DOUBLE_EQ(e.at, prev->at + model.replacement_delay);
+      }
+    } else if (prev) {
+      EXPECT_GT(e.disk, prev->disk);
+    }
+    prev = e;
+  }
+}
+
+// --- overlap precedence (regressions: these failed before the injector
+// --- tracked per-disk fault state) ---------------------------------------
+
+class PrecedenceFixture : public ::testing::Test {
+ protected:
+  PrecedenceFixture()
+      : rng(3),
+        d(engine, disk::DiskParams{}, rng.fork(1)),
+        injector(engine, [this](std::uint32_t) -> disk::Disk& { return d; }),
+        layout(smallLayout(rng)) {}
+
+  sim::Engine engine;
+  Rng rng;
+  disk::Disk d;
+  fault::FaultInjector injector;
+  disk::FileDiskLayout layout;
+  int completions = 0;
+  int failures = 0;
+};
+
+TEST_F(PrecedenceFixture, OverlappingOutagesMergeToLatestEnd) {
+  // [1, 5) and [3, 10): before the fix, the first outage's unconditional
+  // recover() revived the disk at t = 5, inside the second outage.
+  injector.schedule({0, FaultKind::kCrashRecover, 1.0, 4.0, 1.0});
+  injector.schedule({0, FaultKind::kCrashRecover, 3.0, 7.0, 1.0});
+  engine.runUntil(6.0);
+  EXPECT_TRUE(d.failed());
+  engine.runUntil(10.5);
+  EXPECT_FALSE(d.failed());
+}
+
+TEST_F(PrecedenceFixture, FailStopSurvivesPendingOutageRecovery) {
+  // A fail-stop during an outage is permanent: the outage's recovery
+  // event must not resurrect the disk.
+  injector.schedule({0, FaultKind::kCrashRecover, 1.0, 4.0, 1.0});
+  injector.schedule({0, FaultKind::kFailStop, 2.0, 0.0, 1.0});
+  engine.runUntil(20.0);
+  EXPECT_TRUE(d.failed());
+}
+
+TEST_F(PrecedenceFixture, StallDuringOutageIsSubsumed) {
+  // Baseline service time on a twin disk.
+  sim::Engine twin_engine;
+  Rng twin_rng(3);
+  disk::Disk twin(twin_engine, disk::DiskParams{}, twin_rng.fork(1));
+  SimTime baseline = 0.0;
+  twin.submit(specFor(twin, layout, 0),
+              [&](disk::RequestId) { baseline = twin_engine.now(); });
+  twin_engine.run();
+  ASSERT_GT(baseline, 0.0);
+
+  // A 5 s stall lands inside a [0, 0.25) outage: a dead disk has nothing
+  // to pause, so service after recovery must run at full speed.
+  injector.schedule({0, FaultKind::kCrashRecover, 0.0, 0.25, 1.0});
+  injector.schedule({0, FaultKind::kTransientStall, 0.1, 5.0, 1.0});
+  SimTime finished = 0.0;
+  engine.schedule(0.3, [&] {
+    d.submit(specFor(d, layout, 0),
+             [&](disk::RequestId) { finished = engine.now(); },
+             [this](disk::RequestId) { ++failures; });
+  });
+  engine.run();
+  EXPECT_EQ(failures, 0);
+  EXPECT_NEAR(finished, 0.3 + baseline, 1e-9);
+}
+
+TEST_F(PrecedenceFixture, ChurnReplacementClearsPermanentState) {
+  injector.scheduleChurn({{0, ChurnEventKind::kPermanentFailure, 1.0},
+                          {0, ChurnEventKind::kReplacement, 3.0}});
+  engine.runUntil(2.0);
+  EXPECT_TRUE(d.failed());
+  engine.runUntil(4.0);
+  EXPECT_FALSE(d.failed());
+  EXPECT_EQ(injector.churnFailures(), 1u);
+  EXPECT_EQ(injector.churnReplacements(), 1u);
+}
+
+// --- request settlement at failure boundaries ----------------------------
+
+TEST_F(PrecedenceFixture, SubmitOnFailedDiskSettlesExactlyOnce) {
+  d.failStop();
+  d.submit(specFor(d, layout, 0),
+           [this](disk::RequestId) { ++completions; },
+           [this](disk::RequestId) { ++failures; });
+  engine.run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(failures, 1);
+}
+
+TEST(ExactInstantRecovery, SettlesOnceInBothEventOrders) {
+  // A request landing at exactly the recovery instant must settle exactly
+  // once, whichever of the two same-timestamp events fires first.
+  for (const bool injector_first : {true, false}) {
+    sim::Engine engine;
+    Rng rng(3);
+    disk::Disk d(engine, disk::DiskParams{}, rng.fork(1));
+    fault::FaultInjector injector(
+        engine, [&d](std::uint32_t) -> disk::Disk& { return d; });
+    const auto layout = smallLayout(rng);
+    int completions = 0;
+    int failures = 0;
+    const auto submit = [&] {
+      engine.schedule(1.0, [&] {
+        d.submit(specFor(d, layout, 0),
+                 [&](disk::RequestId) { ++completions; },
+                 [&](disk::RequestId) { ++failures; });
+      });
+    };
+    if (injector_first) {
+      injector.schedule({0, FaultKind::kCrashRecover, 0.0, 1.0, 1.0});
+      submit();
+    } else {
+      submit();
+      injector.schedule({0, FaultKind::kCrashRecover, 0.0, 1.0, 1.0});
+    }
+    engine.run();
+    EXPECT_EQ(completions + failures, 1)
+        << "injector_first=" << injector_first;
+  }
+}
+
+// --- scheme-level reissue behavior ---------------------------------------
+
+client::AccessConfig raid0Access() {
+  client::AccessConfig access;
+  access.k = 8;
+  access.block_bytes = 64 * kKiB;
+  access.timeout = 30.0;
+  return access;
+}
+
+std::vector<std::uint32_t> eightDisks() {
+  std::vector<std::uint32_t> v(8);
+  for (std::uint32_t i = 0; i < 8; ++i) v[i] = i;
+  return v;
+}
+
+TEST(ReissueBackoff, ClampKeepsRetriesInsideTheOutage) {
+  // Regression: with backoff 10x and no cap, the third retry of the
+  // block on the crashed disk would sleep ~1 s — past the whole 0.35 s
+  // outage — so the access took > 1.1 s. The clamp keeps retries at
+  // max_reissue_delay spacing and rides out the outage promptly.
+  sim::Engine engine;
+  client::ClusterConfig ccfg;
+  ccfg.num_servers = 2;
+  ccfg.server.disks_per_server = 4;
+  Rng rng(17);
+  client::Cluster cluster(engine, ccfg, rng.fork(1));
+  auto scheme = client::makeScheme(client::SchemeKind::kRaid0, cluster,
+                                   coding::LtParams{});
+  auto access = raid0Access();
+  access.reissue_delay = 0.01;
+  access.reissue_backoff = 10.0;
+  access.max_reissue_delay = 0.05;
+  access.max_reissues = 10;
+  client::LayoutPolicy policy;
+  policy.heterogeneous = false;
+  Rng trial(9);
+  auto file = scheme->planFile(access, eightDisks(), policy, trial);
+
+  fault::FaultInjector injector(
+      engine, [&cluster](std::uint32_t i) -> disk::Disk& {
+        return cluster.disk(i);
+      });
+  injector.schedule({0, FaultKind::kCrashRecover, 0.0, 0.35, 1.0});
+  const auto m = scheme->read(file, access);
+  EXPECT_TRUE(m.complete);
+  EXPECT_LT(m.latency, 1.0);  // unclamped exponential: >= 1.1 s
+}
+
+TEST(ReissueBackoff, RetryAtRecoveryInstantCompletesOnce) {
+  // Dyadic timings so the retry can land exactly on the recovery event's
+  // timestamp (0.8125 s) — plus neighbours half an RTT either side. Each
+  // access must complete, and the settle-once tripwire in the tracked-
+  // read machinery guards against double settlement.
+  for (const SimTime outage : {0.78125, 0.8125, 0.84375}) {
+    sim::Engine engine;
+    client::ClusterConfig ccfg;
+    ccfg.num_servers = 2;
+    ccfg.server.disks_per_server = 4;
+    ccfg.server.round_trip = 0.0625;
+    Rng rng(23);
+    client::Cluster cluster(engine, ccfg, rng.fork(1));
+    auto scheme = client::makeScheme(client::SchemeKind::kRaid0, cluster,
+                                     coding::LtParams{});
+    auto access = raid0Access();
+    access.metadata_latency = 0.25;
+    access.reissue_delay = 0.5;
+    access.reissue_backoff = 1.0;
+    access.max_reissues = 4;
+    client::LayoutPolicy policy;
+    policy.heterogeneous = false;
+    Rng trial(9);
+    auto file = scheme->planFile(access, eightDisks(), policy, trial);
+    fault::FaultInjector injector(
+        engine, [&cluster](std::uint32_t i) -> disk::Disk& {
+          return cluster.disk(i);
+        });
+    injector.schedule({0, FaultKind::kCrashRecover, 0.0, outage, 1.0});
+    const auto m = scheme->read(file, access);
+    EXPECT_TRUE(m.complete) << "outage=" << outage;
+  }
+}
+
+// --- heal-on-read --------------------------------------------------------
+
+struct HealResult {
+  bool complete = false;
+  std::uint64_t stored_before = 0;
+  std::uint64_t stored_after = 0;
+  std::vector<std::uint64_t> lost_ids;
+  client::StoredFile file;
+  std::uint32_t failed_disk = 0;
+};
+
+HealResult runHealScenario(client::SchemeKind kind, bool heal) {
+  sim::Engine engine;
+  client::ClusterConfig ccfg;
+  ccfg.num_servers = 2;
+  ccfg.server.disks_per_server = 4;
+  Rng rng(31);
+  client::Cluster cluster(engine, ccfg, rng.fork(1));
+  auto scheme = client::makeScheme(kind, cluster, coding::LtParams{});
+  client::AccessConfig access;
+  access.k = 8;
+  access.block_bytes = 64 * kKiB;
+  access.redundancy = 2.0;
+  access.timeout = 60.0;
+  access.max_reissues = 0;  // a dead disk's blocks are lost immediately
+  access.heal_on_read = heal;
+  client::LayoutPolicy policy;
+  policy.heterogeneous = false;
+  Rng trial(41);
+  HealResult r;
+  r.file = scheme->planFile(access, eightDisks(), policy, trial);
+  r.failed_disk = r.file.placements[2].global_disk;
+  r.lost_ids = r.file.placements[2].stored;
+  r.stored_before = r.file.totalStoredBlocks();
+  cluster.disk(r.failed_disk).failStop();
+  const auto m = scheme->read(r.file, access);
+  r.complete = m.complete;
+  r.stored_after = r.file.totalStoredBlocks();
+  return r;
+}
+
+class HealOnRead : public ::testing::TestWithParam<client::SchemeKind> {};
+
+TEST_P(HealOnRead, RewritesLostBlocksToHealthyDisks) {
+  const auto r = runHealScenario(GetParam(), /*heal=*/true);
+  ASSERT_TRUE(r.complete);
+  ASSERT_FALSE(r.lost_ids.empty());
+  if (GetParam() == client::SchemeKind::kRRaidA) {
+    // The adaptive scheme requests one replica per block per round, so it
+    // only observes (and heals) the losses it actually routed to the dead
+    // disk; speculative schemes request everything and heal everything.
+    EXPECT_GT(r.stored_after, r.stored_before);
+    EXPECT_LE(r.stored_after, r.stored_before + r.lost_ids.size());
+  } else {
+    EXPECT_EQ(r.stored_after, r.stored_before + r.lost_ids.size());
+  }
+  if (GetParam() == client::SchemeKind::kRRaidA) return;
+  // Every lost id gained exactly one fresh copy, and none of the new
+  // copies landed on the failed disk.
+  for (const std::uint64_t id : r.lost_ids) {
+    std::uint32_t healthy_copies = 0;
+    for (std::uint32_t p = 0; p < r.file.placements.size(); ++p) {
+      const auto& placement = r.file.placements[p];
+      const auto n = static_cast<std::uint32_t>(
+          std::count(placement.stored.begin(), placement.stored.end(), id));
+      if (placement.global_disk != r.failed_disk) healthy_copies += n;
+    }
+    EXPECT_GE(healthy_copies, 1u) << "id " << id;
+  }
+}
+
+TEST_P(HealOnRead, OffByDefaultLeavesTheLedgerUntouched) {
+  const auto r = runHealScenario(GetParam(), /*heal=*/false);
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.stored_after, r.stored_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RedundantSchemes, HealOnRead,
+    ::testing::Values(client::SchemeKind::kRobuStore,
+                      client::SchemeKind::kRRaidS,
+                      client::SchemeKind::kRRaidA),
+    [](const ::testing::TestParamInfo<client::SchemeKind>& param) {
+      switch (param.param) {
+        case client::SchemeKind::kRRaidS:
+          return std::string("RRaidS");
+        case client::SchemeKind::kRRaidA:
+          return std::string("RRaidA");
+        case client::SchemeKind::kRobuStore:
+          return std::string("RobuStore");
+        default:
+          return std::string("Unknown");
+      }
+    });
+
+// --- repair service ------------------------------------------------------
+
+class RepairFixture : public ::testing::Test {
+ protected:
+  RepairFixture()
+      : cluster(engine, clusterConfig(), Rng(21).fork(1)),
+        injector(engine, [this](std::uint32_t i) -> disk::Disk& {
+          return cluster.disk(i);
+        }) {}
+
+  static client::ClusterConfig clusterConfig() {
+    client::ClusterConfig c;
+    c.num_servers = 4;
+    c.server.disks_per_server = 4;
+    return c;
+  }
+
+  repair::RepairService& makeService(const repair::RepairConfig& cfg) {
+    service.emplace(cluster, cfg);
+    injector.setChurnListener([this](const ChurnEvent& e) {
+      if (e.kind == ChurnEventKind::kPermanentFailure) {
+        service->onDiskFailed(e.disk);
+      } else {
+        service->onDiskReplaced(e.disk);
+      }
+    });
+    return *service;
+  }
+
+  /// RS-style MDS file: n distinct coded ids round-robin over disks 0..7.
+  client::StoredFile mdsFile(std::uint32_t k, std::uint32_t n) {
+    client::StoredFile file;
+    file.file_id = cluster.nextFileId();
+    file.block_bytes = 64 * kKiB;
+    file.k = k;
+    file.placements.resize(8);
+    for (std::uint32_t id = 0; id < n; ++id) {
+      file.placements[id % 8].stored.push_back(id);
+    }
+    for (std::uint32_t p = 0; p < 8; ++p) {
+      file.placements[p].global_disk = p;
+      file.placements[p].layout = disk::FileDiskLayout::generate(
+          static_cast<std::uint32_t>(file.placements[p].stored.size()),
+          file.block_bytes, disk::LayoutConfig{1024, 1.0}, rng);
+    }
+    return file;
+  }
+
+  sim::Engine engine;
+  client::Cluster cluster;
+  fault::FaultInjector injector;
+  std::optional<repair::RepairService> service;
+  Rng rng{33};
+};
+
+TEST_F(RepairFixture, RepairsLostPlacementAfterReplacementArrives) {
+  auto file = mdsFile(4, 16);  // m = 2 blocks per placement
+  repair::RepairConfig cfg;
+  cfg.scan_interval = 10.0;
+  auto& svc = makeService(cfg);
+  svc.protect(file, {repair::RedundancyClass::kMds, 0, false, 0});
+  svc.start();
+  injector.scheduleChurn({{2, ChurnEventKind::kPermanentFailure, 1.0},
+                          {2, ChurnEventKind::kReplacement, 5.0}});
+  engine.runUntil(60.0);
+  const auto& stats = svc.stats();
+  EXPECT_EQ(stats.repairs_completed, 1u);
+  EXPECT_EQ(stats.blocks_repaired, 2u);
+  EXPECT_EQ(stats.bytes_read, 4u * 64 * kKiB);     // full decode: k reads
+  EXPECT_EQ(stats.bytes_written, 2u * 64 * kKiB);  // m block writes
+  EXPECT_EQ(stats.loss_events, 0u);
+  EXPECT_EQ(svc.degradedPlacements(), 0u);
+  EXPECT_EQ(svc.pendingRepairs(), 0u);
+}
+
+TEST_F(RepairFixture, RepairDefersUntilTheSpareComesUp) {
+  auto file = mdsFile(4, 16);
+  repair::RepairConfig cfg;
+  cfg.scan_interval = 10.0;
+  auto& svc = makeService(cfg);
+  svc.protect(file, {repair::RedundancyClass::kMds, 0, false, 0});
+  svc.start();
+  injector.scheduleChurn({{2, ChurnEventKind::kPermanentFailure, 1.0},
+                          {2, ChurnEventKind::kReplacement, 100.0}});
+  engine.runUntil(50.0);
+  // Several scans saw the lost slot, but the slot's disk is still empty.
+  EXPECT_EQ(svc.stats().repairs_completed, 0u);
+  EXPECT_EQ(svc.degradedPlacements(), 1u);
+  engine.runUntil(160.0);
+  EXPECT_EQ(svc.stats().repairs_completed, 1u);
+  EXPECT_EQ(svc.degradedPlacements(), 0u);
+}
+
+TEST_F(RepairFixture, RegeneratingRepairMovesFewerBytes) {
+  // D = 1: one block per placement, 7 helpers for k = 4 => beta = B/4.
+  // Regenerating reads 7 x 16 KiB = 112 KiB vs full decode's 4 x 64 KiB.
+  for (const bool regenerating : {false, true}) {
+    sim::Engine eng;
+    client::Cluster clu(eng, clusterConfig(), Rng(21).fork(1));
+    fault::FaultInjector inj(eng, [&clu](std::uint32_t i) -> disk::Disk& {
+      return clu.disk(i);
+    });
+    client::StoredFile file;
+    file.file_id = clu.nextFileId();
+    file.block_bytes = 64 * kKiB;
+    file.k = 4;
+    file.placements.resize(8);
+    Rng layout_rng(33);
+    for (std::uint32_t id = 0; id < 8; ++id) {
+      file.placements[id].global_disk = id;
+      file.placements[id].stored.push_back(id);
+      file.placements[id].layout = disk::FileDiskLayout::generate(
+          1, file.block_bytes, disk::LayoutConfig{1024, 1.0}, layout_rng);
+    }
+    repair::RepairConfig cfg;
+    cfg.scan_interval = 10.0;
+    repair::RepairService svc(clu, cfg);
+    inj.setChurnListener([&svc](const ChurnEvent& e) {
+      if (e.kind == ChurnEventKind::kPermanentFailure) {
+        svc.onDiskFailed(e.disk);
+      } else {
+        svc.onDiskReplaced(e.disk);
+      }
+    });
+    svc.protect(file, {repair::RedundancyClass::kMds, 0, regenerating, 0});
+    svc.start();
+    inj.scheduleChurn({{3, ChurnEventKind::kPermanentFailure, 1.0},
+                       {3, ChurnEventKind::kReplacement, 5.0}});
+    eng.runUntil(60.0);
+    const auto& stats = svc.stats();
+    ASSERT_EQ(stats.repairs_completed, 1u) << "regenerating=" << regenerating;
+    EXPECT_EQ(stats.blocks_repaired, 1u);
+    EXPECT_EQ(stats.bytes_written, 64u * kKiB);
+    if (regenerating) {
+      EXPECT_EQ(stats.bytes_read, 7u * 16 * kKiB);
+    } else {
+      EXPECT_EQ(stats.bytes_read, 4u * 64 * kKiB);
+    }
+  }
+}
+
+TEST_F(RepairFixture, LossEventRestoresFromTheExternalCopy) {
+  // D = 1, k = 4: killing 5 of 8 placements leaves 3 intact — the file
+  // is undecodable at the next scan. That is one loss event; the
+  // external restore refills up slots immediately and the down slots the
+  // moment their replacements arrive.
+  auto file = mdsFile(4, 8);
+  repair::RepairConfig cfg;
+  cfg.scan_interval = 10.0;
+  auto& svc = makeService(cfg);
+  svc.protect(file, {repair::RedundancyClass::kMds, 0, false, 0});
+  svc.start();
+  std::vector<ChurnEvent> events;
+  for (std::uint32_t d = 0; d < 5; ++d) {
+    events.push_back({d, ChurnEventKind::kPermanentFailure, 1.0});
+    events.push_back({d, ChurnEventKind::kReplacement, 30.0});
+  }
+  injector.scheduleChurn(events);
+  engine.runUntil(25.0);
+  EXPECT_EQ(svc.stats().loss_events, 1u);
+  EXPECT_EQ(svc.degradedPlacements(), 5u);  // still waiting for spares
+  engine.runUntil(60.0);
+  EXPECT_EQ(svc.stats().loss_events, 1u);  // counted once, not per scan
+  EXPECT_EQ(svc.degradedPlacements(), 0u);
+  EXPECT_EQ(svc.stats().repairs_completed, 0u);  // restore, not repair
+}
+
+TEST_F(RepairFixture, BandwidthBudgetPacesAdmissions) {
+  // Two lost placements, each costing 320 KiB of repair traffic, against
+  // a 32 KiB/s budget: the second job is admitted ~10 s after the first.
+  auto file = mdsFile(4, 8);
+  repair::RepairConfig cfg;
+  cfg.scan_interval = 10.0;
+  cfg.bandwidth_budget = 32.0 * kKiB;
+  auto& svc = makeService(cfg);
+  svc.protect(file, {repair::RedundancyClass::kMds, 0, false, 0});
+  svc.start();
+  injector.scheduleChurn({{2, ChurnEventKind::kPermanentFailure, 1.0},
+                          {5, ChurnEventKind::kPermanentFailure, 1.0},
+                          {2, ChurnEventKind::kReplacement, 2.0},
+                          {5, ChurnEventKind::kReplacement, 2.0}});
+  engine.runUntil(15.0);
+  EXPECT_EQ(svc.stats().repairs_completed, 1u);
+  EXPECT_EQ(svc.pendingRepairs(), 1u);
+  engine.runUntil(40.0);
+  EXPECT_EQ(svc.stats().repairs_completed, 2u);
+  EXPECT_EQ(svc.pendingRepairs(), 0u);
+  EXPECT_EQ(svc.degradedPlacements(), 0u);
+}
+
+TEST_F(RepairFixture, StatsAreDeterministicAcrossRuns) {
+  const auto run = [this] {
+    sim::Engine eng;
+    client::Cluster clu(eng, clusterConfig(), Rng(21).fork(1));
+    fault::FaultInjector inj(eng, [&clu](std::uint32_t i) -> disk::Disk& {
+      return clu.disk(i);
+    });
+    Rng layout_rng(55);
+    client::StoredFile file;
+    file.file_id = clu.nextFileId();
+    file.block_bytes = 64 * kKiB;
+    file.k = 4;
+    file.placements.resize(8);
+    for (std::uint32_t id = 0; id < 16; ++id) {
+      file.placements[id % 8].stored.push_back(id);
+    }
+    for (std::uint32_t p = 0; p < 8; ++p) {
+      file.placements[p].global_disk = p;
+      file.placements[p].layout = disk::FileDiskLayout::generate(
+          2, file.block_bytes, disk::LayoutConfig{1024, 1.0}, layout_rng);
+    }
+    repair::RepairConfig cfg;
+    cfg.scan_interval = 5.0;
+    repair::RepairService svc(clu, cfg);
+    inj.setChurnListener([&svc](const ChurnEvent& e) {
+      if (e.kind == ChurnEventKind::kPermanentFailure) {
+        svc.onDiskFailed(e.disk);
+      } else {
+        svc.onDiskReplaced(e.disk);
+      }
+    });
+    svc.protect(file, {repair::RedundancyClass::kMds, 0, true, 0});
+    svc.start();
+    fault::ChurnModel model;
+    model.failure_rate = 5e-3;
+    model.replacement_delay = 20.0;
+    model.horizon = 400.0;
+    Rng churn_rng(77);
+    inj.scheduleChurn(
+        fault::FaultInjector::drawChurn(model, clu.numDisks(), churn_rng));
+    eng.runUntil(500.0);
+    return svc.stats();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.scans, b.scans);
+  EXPECT_EQ(a.repairs_completed, b.repairs_completed);
+  EXPECT_EQ(a.repairs_aborted, b.repairs_aborted);
+  EXPECT_EQ(a.blocks_repaired, b.blocks_repaired);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.loss_events, b.loss_events);
+}
+
+// --- long-horizon churn campaigns through the experiment runner ----------
+
+core::ExperimentConfig churnConfig() {
+  core::ExperimentConfig cfg;
+  cfg.num_servers = 2;
+  cfg.disks_per_server = 4;
+  cfg.disks_per_access = 8;
+  cfg.access.k = 16;
+  cfg.access.block_bytes = 128 * kKiB;
+  cfg.access.redundancy = 3.0;
+  cfg.access.timeout = 60.0;
+  cfg.access.request_timeout = 20.0;
+  cfg.access.max_reissues = 6;
+  cfg.trials = 4;
+  cfg.seed = 131;
+  cfg.faults.churn.failure_rate = 2.0;
+  cfg.faults.churn.replacement_delay = 0.05;
+  cfg.faults.churn.horizon = 1.0;
+  return cfg;
+}
+
+class ChurnCampaign : public ::testing::TestWithParam<client::SchemeKind> {};
+
+TEST_P(ChurnCampaign, MultiFailureRunIsBitIdenticalAcrossThreads) {
+  core::ExperimentRunner runner(churnConfig());
+  core::RunOptions serial;
+  serial.threads = 1;
+  core::RunOptions wide;
+  wide.threads = 4;
+  const auto a = runner.run(GetParam(), serial);
+  const auto b = runner.run(GetParam(), wide);
+  EXPECT_EQ(a.trials(), b.trials());
+  EXPECT_EQ(a.incompleteCount(), b.incompleteCount());
+  EXPECT_DOUBLE_EQ(a.meanBandwidthMBps(), b.meanBandwidthMBps());
+  EXPECT_DOUBLE_EQ(a.meanLatency(), b.meanLatency());
+  EXPECT_DOUBLE_EQ(a.meanFailuresSurvived(), b.meanFailuresSurvived());
+  EXPECT_DOUBLE_EQ(a.meanReissuedRequests(), b.meanReissuedRequests());
+  EXPECT_DOUBLE_EQ(a.meanTimeLostToFailures(), b.meanTimeLostToFailures());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ChurnCampaign,
+    ::testing::Values(client::SchemeKind::kRaid0, client::SchemeKind::kRRaidS,
+                      client::SchemeKind::kRRaidA,
+                      client::SchemeKind::kRobuStore),
+    [](const ::testing::TestParamInfo<client::SchemeKind>& param) {
+      switch (param.param) {
+        case client::SchemeKind::kRaid0:
+          return std::string("Raid0");
+        case client::SchemeKind::kRRaidS:
+          return std::string("RRaidS");
+        case client::SchemeKind::kRRaidA:
+          return std::string("RRaidA");
+        case client::SchemeKind::kRobuStore:
+          return std::string("RobuStore");
+      }
+      return std::string("Unknown");
+    });
+
+TEST(ChurnCampaign2, RobuStoreObservesChurnFailures) {
+  core::ExperimentRunner runner(churnConfig());
+  const auto agg = runner.run(client::SchemeKind::kRobuStore);
+  // With mean disk lifetimes of 0.5 s over a 1 s churn horizon, every
+  // trial sees several permanent failures mid-access.
+  EXPECT_GT(agg.meanFailuresSurvived(), 0.0);
+}
+
+}  // namespace
+}  // namespace robustore
