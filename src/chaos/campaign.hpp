@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/invariants.hpp"
+#include "chaos/schedule.hpp"
+
+namespace robustore::chaos {
+
+/// Outcome of one executed campaign: what the invariants said, plus a
+/// digest of every observable the run produced. Two executions of the
+/// same plan must return the same digest (bit-identical replay); the
+/// smoke CI compares digests across thread counts and process runs.
+struct CampaignResult {
+  std::vector<Violation> violations;
+  Observations observations;
+  std::uint64_t digest = 0;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+/// Executes `plan` end to end on a fresh engine/cluster: plans the file,
+/// arms the fault injector with the schedule, runs the repair service
+/// (all schemes but RAID-0) and the RobuSTore data plane (real decoded
+/// bytes), chains the accesses, aborts whatever is left at the deadline,
+/// drains, and evaluates `registry` over the collected Observations.
+[[nodiscard]] CampaignResult runCampaign(
+    const CampaignPlan& plan,
+    const InvariantRegistry& registry = InvariantRegistry::standard());
+
+}  // namespace robustore::chaos

@@ -1,0 +1,327 @@
+#include "chaos/invariants.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+namespace robustore::chaos {
+
+namespace {
+
+std::string format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// Every started access must have terminated by the deadline (liveness),
+/// and a terminated failure is only acceptable when the data was
+/// genuinely unreachable at the moment of failure.
+void checkCompletion(const Observations& obs, std::vector<Violation>& out) {
+  for (const AccessOutcome& a : obs.accesses) {
+    if (!a.started) {
+      out.push_back({"", format("access %u never started", a.index)});
+      continue;
+    }
+    if (!a.terminated) {
+      out.push_back({"", format("access %u still in flight at the deadline "
+                                "(aborted, not terminated)",
+                                a.index)});
+      continue;
+    }
+    if (!a.complete && !a.failure_exempt) {
+      out.push_back(
+          {"", format("access %u failed although its data was reachable",
+                      a.index)});
+    }
+  }
+}
+
+/// An acked (complete) read must have received enough blocks to back its
+/// answer, and a RobuSTore read with the data plane attached must have
+/// byte-verified the decode.
+void checkAckedReads(const Observations& obs, std::vector<Violation>& out) {
+  const CampaignPlan& plan = *obs.plan;
+  for (const AccessOutcome& a : obs.accesses) {
+    if (!a.complete) continue;
+    const std::uint32_t k = a.metrics.blocks_original;
+    if (plan.scheme == client::SchemeKind::kRaid0 &&
+        a.metrics.blocks_received != k) {
+      out.push_back({"", format("access %u acked with %u/%u blocks", a.index,
+                                a.metrics.blocks_received, k)});
+    } else if (a.metrics.blocks_received < k) {
+      out.push_back({"", format("access %u acked with %u < k=%u blocks",
+                                a.index, a.metrics.blocks_received, k)});
+    }
+    if (plan.scheme == client::SchemeKind::kRobuStore) {
+      if (!a.data_plane_ran) {
+        out.push_back(
+            {"", format("access %u completed without a data-plane report",
+                        a.index)});
+      } else if (!a.data_verified) {
+        out.push_back(
+            {"", format("access %u decoded bytes differ from the original",
+                        a.index)});
+      } else if (a.symbols_fed < k) {
+        out.push_back({"", format("access %u decoded from %u < k=%u symbols",
+                                  a.index, a.symbols_fed, k)});
+      }
+    }
+  }
+}
+
+/// Byte conservation: after the drain no link holds bytes in flight, a
+/// complete access moved at least its data size and at most every stored
+/// block once per allowed attempt, and the servers' total traffic covers
+/// everything the accesses claim to have moved.
+void checkConservation(const Observations& obs, std::vector<Violation>& out) {
+  const CampaignPlan& plan = *obs.plan;
+  if (obs.links_in_flight != 0) {
+    out.push_back({"", format("links still carry %llu bytes after the drain",
+                              static_cast<unsigned long long>(
+                                  obs.links_in_flight))});
+  }
+  Bytes claimed = 0;
+  for (const AccessOutcome& a : obs.accesses) {
+    if (!a.started) continue;
+    claimed += a.metrics.network_bytes;
+    if (!a.complete) continue;
+    if (a.metrics.network_bytes < a.metrics.data_bytes) {
+      out.push_back(
+          {"", format("access %u moved %llu < data %llu bytes", a.index,
+                      static_cast<unsigned long long>(a.metrics.network_bytes),
+                      static_cast<unsigned long long>(a.metrics.data_bytes))});
+    }
+    const Bytes ceiling = obs.stored_bytes == 0
+                              ? a.metrics.data_bytes *
+                                    (1 + plan.access.max_reissues)
+                              : obs.stored_bytes *
+                                    (1 + plan.access.max_reissues);
+    if (a.metrics.network_bytes > ceiling) {
+      out.push_back(
+          {"", format("access %u moved %llu bytes > ceiling %llu", a.index,
+                      static_cast<unsigned long long>(a.metrics.network_bytes),
+                      static_cast<unsigned long long>(ceiling))});
+    }
+  }
+  if (obs.server_network_bytes < claimed) {
+    out.push_back(
+        {"", format("servers report %llu bytes < %llu claimed by accesses",
+                    static_cast<unsigned long long>(obs.server_network_bytes),
+                    static_cast<unsigned long long>(claimed))});
+  }
+}
+
+/// The post-deadline drain must leave a fully quiesced system: no queued
+/// events, no live disk requests, no live tracked reads.
+void checkQuiesce(const Observations& obs, std::vector<Violation>& out) {
+  if (obs.pending_events != 0) {
+    out.push_back({"", format("%zu events still queued after the drain",
+                              obs.pending_events)});
+  }
+  if (obs.live_disk_requests != 0) {
+    out.push_back(
+        {"", format("%llu disk requests still live after the drain",
+                    static_cast<unsigned long long>(obs.live_disk_requests))});
+  }
+  if (obs.live_session_requests != 0) {
+    out.push_back({"", format("%llu tracked reads still live after the drain",
+                              static_cast<unsigned long long>(
+                                  obs.live_session_requests))});
+  }
+}
+
+void checkClock(const Observations& obs, std::vector<Violation>& out) {
+  if (!obs.clock_monotone) {
+    out.push_back({"", "simulation clock moved backwards"});
+  }
+}
+
+/// The injection ledger must reconcile exactly against the plan, and the
+/// client-side failure/reissue counters must be silent when the plan gave
+/// them nothing to react to.
+void checkLedger(const Observations& obs, std::vector<Violation>& out) {
+  const PlannedCounts& want = obs.planned;
+  const auto check = [&](const char* verb, std::uint32_t planned,
+                         std::uint32_t fired) {
+    if (planned != fired) {
+      out.push_back({"", format("%s: planned %u, injected %u", verb, planned,
+                                fired)});
+    }
+  };
+  check("fail-stop", want.fail_stop, obs.injected_fail_stop);
+  check("crash-recover", want.crash_recover, obs.injected_crash_recover);
+  check("stall", want.stall, obs.injected_stall);
+  check("slow-disk", want.slow_disk, obs.injected_slow_disk);
+  check("churn-fail", want.churn_failures, obs.churn_failures);
+  check("churn-replace", want.churn_replacements, obs.churn_replacements);
+  check("corrupt-block", want.corruptions, obs.corruptions_injected);
+
+  std::uint32_t failures = 0;
+  std::uint32_t reissues = 0;
+  std::uint32_t corrupt_rejected = 0;
+  for (const AccessOutcome& a : obs.accesses) {
+    failures += a.metrics.failures_survived;
+    reissues += a.metrics.reissued_requests;
+    corrupt_rejected += a.corrupt_rejected;
+  }
+  const bool any_outage = want.fail_stop + want.crash_recover +
+                              want.churn_failures !=
+                          0;
+  if (!any_outage && failures != 0) {
+    out.push_back({"", format("%u failure notifications with no outage in "
+                              "the schedule",
+                              failures)});
+  }
+  if (want.corruptions == 0 && want.churn_replacements == 0 &&
+      corrupt_rejected != 0) {
+    out.push_back({"", format("%u corrupt deliveries with no corruption in "
+                              "the schedule",
+                              corrupt_rejected)});
+  }
+  if (obs.plan->events.empty() && reissues != 0) {
+    out.push_back(
+        {"", format("%u reissues under a fault-free schedule", reissues)});
+  }
+}
+
+/// The repair service must have restored full redundancy within the run
+/// (no degraded placements, no pending jobs, no lingering corruption) and
+/// its read traffic must respect the regenerating-repair bound: never
+/// more than a naive whole-stripe (k-block) read per completed job.
+void checkRepairConvergence(const Observations& obs,
+                            std::vector<Violation>& out) {
+  if (!obs.repair_active) return;
+  const CampaignPlan& plan = *obs.plan;
+  if (obs.degraded_placements != 0) {
+    out.push_back({"", format("%u placements still degraded at the end",
+                              obs.degraded_placements)});
+  }
+  if (obs.pending_repairs != 0) {
+    out.push_back({"", format("%u repair jobs still pending at the end",
+                              obs.pending_repairs)});
+  }
+  if (obs.corrupt_blocks_left != 0) {
+    out.push_back(
+        {"", format("%llu corrupt blocks never repaired",
+                    static_cast<unsigned long long>(
+                        obs.corrupt_blocks_left))});
+  }
+  if (obs.repair.loss_events != 0 && !obs.worst_case_undecodable) {
+    out.push_back({"", format("%u loss events although the schedule never "
+                              "destroyed enough to lose the file",
+                              obs.repair.loss_events)});
+  }
+  if (obs.repair.repairs_aborted == 0 && obs.repair.repairs_completed > 0) {
+    // LT rebuilds may re-read the whole surviving stored set per job;
+    // replicated/MDS rebuilds must not exceed a naive k-block decode per
+    // rebuilt block (the Dimakis regenerating path — d partial reads of
+    // B/(d-k+1) bytes each — comes in strictly under that).
+    const Bytes ceiling =
+        plan.scheme == client::SchemeKind::kRobuStore
+            ? obs.repair.repairs_completed * obs.stored_bytes
+            : obs.repair.blocks_repaired * static_cast<Bytes>(plan.k) *
+                  plan.block_bytes;
+    if (obs.repair.bytes_read > ceiling) {
+      out.push_back(
+          {"", format("repair read %llu bytes > naive ceiling %llu",
+                      static_cast<unsigned long long>(obs.repair.bytes_read),
+                      static_cast<unsigned long long>(ceiling))});
+    }
+  }
+}
+
+/// The metadata server's liveness view must agree with the hardware at
+/// the end of the run (campaigns schedule every replacement well before
+/// the deadline).
+void checkMetadataLiveness(const Observations& obs,
+                           std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < obs.roster_disk_failed.size(); ++i) {
+    const bool failed = obs.roster_disk_failed[i] != 0;
+    const bool up = i < obs.roster_meta_up.size() && obs.roster_meta_up[i] != 0;
+    if (failed == up) {
+      out.push_back({"", format("roster disk %zu: hardware %s but metadata "
+                                "says %s",
+                                i, failed ? "failed" : "up",
+                                up ? "up" : "down")});
+    }
+  }
+}
+
+}  // namespace
+
+void InvariantRegistry::add(std::string name, CheckFn check) {
+  entries_.push_back({std::move(name), std::move(check)});
+}
+
+std::vector<Violation> InvariantRegistry::evaluate(
+    const Observations& obs) const {
+  std::vector<Violation> violations;
+  for (const Entry& entry : entries_) {
+    std::vector<Violation> local;
+    entry.check(obs, local);
+    for (Violation& v : local) {
+      v.invariant = entry.name;
+      violations.push_back(std::move(v));
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> InvariantRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+const InvariantRegistry& InvariantRegistry::standard() {
+  static const InvariantRegistry registry = [] {
+    InvariantRegistry r;
+    r.add("completion", checkCompletion);
+    r.add("acked-read", checkAckedReads);
+    r.add("conservation", checkConservation);
+    r.add("quiesce", checkQuiesce);
+    r.add("clock-monotone", checkClock);
+    r.add("ledger", checkLedger);
+    r.add("repair-convergence", checkRepairConvergence);
+    r.add("metadata-liveness", checkMetadataLiveness);
+    return r;
+  }();
+  return registry;
+}
+
+PlannedCounts plannedCounts(const CampaignPlan& plan) {
+  PlannedCounts counts;
+  for (const ChaosEvent& e : plan.events) {
+    switch (e.verb) {
+      case ChaosVerb::kFailStop:
+        ++counts.fail_stop;
+        break;
+      case ChaosVerb::kCrashRecover:
+        ++counts.crash_recover;
+        break;
+      case ChaosVerb::kStall:
+        ++counts.stall;
+        break;
+      case ChaosVerb::kSlowDisk:
+        ++counts.slow_disk;
+        break;
+      case ChaosVerb::kChurnFail:
+        ++counts.churn_failures;
+        break;
+      case ChaosVerb::kChurnReplace:
+        ++counts.churn_replacements;
+        break;
+      case ChaosVerb::kCorruptBlock:
+        ++counts.corruptions;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace robustore::chaos

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "metrics/metrics.hpp"
+#include "repair/repair.hpp"
+
+namespace robustore::chaos {
+
+/// What one access of the campaign did, recorded by the runner. The
+/// split between `terminated` and `complete` matters: an access whose
+/// completion hook never fired (aborted at the deadline mid-flight) is a
+/// liveness violation even though nothing was "wrong" with its data.
+struct AccessOutcome {
+  std::uint32_t index = 0;
+  bool started = false;
+  /// Completion hook fired (successfully or as a failure) before the
+  /// deadline abort.
+  bool terminated = false;
+  bool complete = false;
+  /// The failure is excused: at the moment it was declared, the data was
+  /// genuinely unreachable (dead/corrupt placements made the file
+  /// undecodable), so failing was the correct answer.
+  bool failure_exempt = false;
+  std::uint32_t corrupt_rejected = 0;
+  /// RobuSTore data plane (real decoded bytes) for completed reads.
+  bool data_plane_ran = false;
+  bool data_verified = false;
+  std::uint32_t symbols_fed = 0;
+  metrics::AccessMetrics metrics;
+};
+
+/// Event counts derived from the plan, per verb (what *should* have been
+/// injected — the other side of the injector's ledger).
+struct PlannedCounts {
+  std::uint32_t fail_stop = 0;
+  std::uint32_t crash_recover = 0;
+  std::uint32_t stall = 0;
+  std::uint32_t slow_disk = 0;
+  std::uint32_t churn_failures = 0;
+  std::uint32_t churn_replacements = 0;
+  std::uint32_t corruptions = 0;
+};
+
+/// Everything the invariant registry looks at: the campaign's plan, the
+/// per-access outcomes, the injection/repair ledgers, and the end-of-run
+/// system state snapshot. Collected by runCampaign() after the
+/// post-deadline drain.
+struct Observations {
+  const CampaignPlan* plan = nullptr;
+  std::vector<AccessOutcome> accesses;
+  PlannedCounts planned;
+
+  // Injector ledger (what actually fired).
+  std::uint32_t injected_fail_stop = 0;
+  std::uint32_t injected_crash_recover = 0;
+  std::uint32_t injected_stall = 0;
+  std::uint32_t injected_slow_disk = 0;
+  std::uint32_t churn_failures = 0;
+  std::uint32_t churn_replacements = 0;
+  std::uint32_t corruptions_injected = 0;
+
+  // Repair service (absent for RAID-0 campaigns).
+  bool repair_active = false;
+  repair::RepairStats repair;
+  std::uint32_t pending_repairs = 0;
+  std::uint32_t degraded_placements = 0;
+  std::uint64_t corrupt_blocks_left = 0;
+  /// Full stored footprint of the protected file (bytes) — the ceiling
+  /// of any single repair job's read traffic.
+  Bytes stored_bytes = 0;
+  /// The planned destructive set, applied all at once to the original
+  /// file, leaves it undecodable. When true, a repair loss event (and
+  /// the external restore it triggers) is the *expected* outcome, not a
+  /// convergence failure.
+  bool worst_case_undecodable = false;
+
+  // End-of-run system snapshot (taken after the drain).
+  std::size_t pending_events = 0;
+  bool clock_monotone = true;
+  Bytes links_in_flight = 0;
+  std::uint64_t live_disk_requests = 0;
+  std::uint64_t live_session_requests = 0;
+  /// Sum of per-server network byte totals (all streams).
+  Bytes server_network_bytes = 0;
+  /// Per roster disk at end: hardware state vs metadata liveness bit.
+  std::vector<std::uint8_t> roster_disk_failed;
+  std::vector<std::uint8_t> roster_meta_up;
+  SimTime end_time = 0.0;
+};
+
+/// One invariant breach. `invariant` is the registry name; `detail` is a
+/// human-readable account with the numbers that disagreed.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Named end-to-end checks evaluated against a campaign's Observations.
+/// The standard() registry carries the full battery; tests register
+/// subsets or extras through add().
+class InvariantRegistry {
+ public:
+  using CheckFn =
+      std::function<void(const Observations&, std::vector<Violation>&)>;
+
+  void add(std::string name, CheckFn check);
+
+  /// Runs every check in registration order; each violation is stamped
+  /// with its check's name.
+  [[nodiscard]] std::vector<Violation> evaluate(
+      const Observations& obs) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The built-in battery: completion, acked-read, conservation, quiesce,
+  /// clock-monotone, ledger, repair-convergence, metadata-liveness.
+  [[nodiscard]] static const InvariantRegistry& standard();
+
+ private:
+  struct Entry {
+    std::string name;
+    CheckFn check;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Tallies the plan's events into per-verb expected injection counts.
+[[nodiscard]] PlannedCounts plannedCounts(const CampaignPlan& plan);
+
+}  // namespace robustore::chaos

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/scheme.hpp"
+#include "common/units.hpp"
+
+namespace robustore::chaos {
+
+/// The chaos vocabulary: every fault verb the simulator knows how to
+/// inject, composed into one seeded schedule. The first four map onto
+/// fault::FaultSpec; the churn pair onto fault::ChurnEvent (a permanent
+/// failure whose replacement arrives *empty*); corruption onto
+/// fault::CorruptionSpec (silent damage the reader's checksum catches).
+enum class ChaosVerb : std::uint8_t {
+  kFailStop,      // disk dead at `at` until its paired replacement
+  kCrashRecover,  // disk dead during [at, at + duration); data survives
+  kStall,         // service pause of `duration`; no loss
+  kSlowDisk,      // service times x `multiplier` from `at` on
+  kChurnFail,     // permanent failure: slot contents gone for good
+  kChurnReplace,  // empty replacement disk arrives in the slot
+  kCorruptBlock,  // stored block `block` (mod stored count) damaged
+};
+
+[[nodiscard]] const char* chaosVerbName(ChaosVerb verb);
+
+/// One scheduled fault. `disk` indexes the campaign's selected roster
+/// (0..disks_per_access), not the global disk space, so a schedule is
+/// meaningful independent of the seed-drawn disk selection.
+struct ChaosEvent {
+  ChaosVerb verb = ChaosVerb::kStall;
+  std::uint32_t disk = 0;
+  SimTime at = 0.0;
+  SimTime duration = 0.0;   // crash-recover / stall only
+  double multiplier = 1.0;  // slow-disk only
+  std::uint32_t block = 0;  // corrupt-block only
+
+  [[nodiscard]] bool operator==(const ChaosEvent&) const = default;
+};
+
+/// Retry-loop knobs the campaign hands to client::AccessConfig. Kept in
+/// the plan (and its JSON form) so a serialized repro replays under the
+/// exact client behavior that failed, not whatever the defaults are by
+/// the time someone loads it.
+struct AccessTuning {
+  std::uint32_t max_reissues = 12;
+  SimTime reissue_delay = 0.01;
+  double reissue_backoff = 2.0;
+  SimTime max_reissue_delay = 0.5;
+  SimTime request_timeout = 5.0;
+
+  [[nodiscard]] bool operator==(const AccessTuning&) const = default;
+};
+
+/// A complete, self-contained fault campaign: cluster shape, access
+/// shape, fault schedule, and the seed every derived RNG stream hangs
+/// off. Two runs of the same plan are bit-identical (same digest).
+struct CampaignPlan {
+  std::uint64_t seed = 0;
+  client::SchemeKind scheme = client::SchemeKind::kRobuStore;
+  std::uint32_t num_servers = 2;
+  std::uint32_t disks_per_server = 4;
+  std::uint32_t disks_per_access = 8;
+  std::uint32_t k = 8;
+  Bytes block_bytes = 64 * kKiB;
+  double redundancy = 3.0;
+  std::uint32_t accesses = 2;
+  SimTime deadline = 25.0;
+  SimTime scan_interval = 1.0;    // repair detection period
+  double repair_budget = 0.0;     // bytes/s; 0 = unthrottled
+  /// Injected-bug knob: replays the pre-clamp reissue backoff (the cap in
+  /// AccessTuning is ignored and the exponential grows unboundedly). The
+  /// acceptance campaign seeds this bug and expects the completion
+  /// invariant to catch it.
+  bool unclamped_backoff = false;
+  AccessTuning access;
+  std::vector<ChaosEvent> events;
+
+  [[nodiscard]] bool operator==(const CampaignPlan&) const = default;
+
+  /// True if any event can destroy data (fail-stop, churn failure, block
+  /// corruption) as opposed to merely delaying it.
+  [[nodiscard]] bool destructive() const;
+};
+
+/// Draws the randomized campaign for `seed`: scheme from the low seed
+/// bits, cluster/access shape and 2..7 fault events from a seed-forked
+/// stream. The destructive-event budget respects each scheme's fault
+/// tolerance (RAID-0 gets none; replicated schemes lose at most
+/// copies-1 distinct disks; RobuSTore at most 2), every permanent
+/// failure is paired with a later empty replacement, and all events land
+/// early enough that the repair service can restore full redundancy
+/// before the deadline.
+[[nodiscard]] CampaignPlan planFromSeed(std::uint64_t seed);
+
+/// The known-bug acceptance campaign: a RAID-0 read (every block
+/// required) that rides out a long crash-recover outage with a steep
+/// retry backoff — harmless with the production clamp, fatal with
+/// `unclamped_backoff` (the retry overshoots the deadline). Noise events
+/// are included so the shrinker has something to strip.
+[[nodiscard]] CampaignPlan buggyBackoffPlan(std::uint64_t seed);
+
+/// JSON round-trip for (seed, schedule) repro files. serialize() emits a
+/// stable, human-diffable layout; parse() accepts exactly what
+/// serialize() produces (plus whitespace) and aborts on malformed input
+/// via ROBUSTORE_EXPECTS — a repro file is an instrument, not user
+/// input. Round-tripped plans replay bit-identically: doubles are
+/// printed with 17 significant digits.
+[[nodiscard]] std::string serializePlan(const CampaignPlan& plan);
+[[nodiscard]] CampaignPlan parsePlan(const std::string& json);
+
+}  // namespace robustore::chaos

@@ -1,0 +1,89 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace robustore::chaos {
+
+namespace {
+
+CampaignPlan withEvents(const CampaignPlan& base,
+                        std::vector<ChaosEvent> events) {
+  CampaignPlan plan = base;
+  plan.events = std::move(events);
+  return plan;
+}
+
+}  // namespace
+
+ShrinkResult shrinkSchedule(const CampaignPlan& plan,
+                            const StillFails& still_fails) {
+  ShrinkResult result;
+  result.minimized = plan;
+
+  const auto test = [&](const std::vector<ChaosEvent>& events) {
+    ++result.tests_run;
+    return still_fails(withEvents(plan, events));
+  };
+
+  ++result.tests_run;
+  ROBUSTORE_EXPECTS(still_fails(plan),
+                    "shrinkSchedule: the input plan does not fail");
+
+  // The empty schedule failing means the bug needs no faults at all —
+  // the minimal repro.
+  if (test({})) {
+    result.minimized.events.clear();
+    return result;
+  }
+
+  std::vector<ChaosEvent> events = plan.events;
+  std::size_t granularity = 2;
+  while (events.size() >= 2) {
+    const std::size_t n = std::min(granularity, events.size());
+    // Chunk boundaries: n contiguous, near-equal slices.
+    const auto chunk = [&](std::size_t i) {
+      const std::size_t begin = events.size() * i / n;
+      const std::size_t end = events.size() * (i + 1) / n;
+      return std::pair{begin, end};
+    };
+
+    bool reduced = false;
+    // Try each subset (one chunk alone) — the steepest reduction first.
+    for (std::size_t i = 0; i < n && !reduced; ++i) {
+      const auto [begin, end] = chunk(i);
+      std::vector<ChaosEvent> subset(events.begin() + begin,
+                                     events.begin() + end);
+      if (subset.size() < events.size() && test(subset)) {
+        events = std::move(subset);
+        granularity = 2;
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+
+    // Try each complement (drop one chunk).
+    for (std::size_t i = 0; i < n && !reduced; ++i) {
+      const auto [begin, end] = chunk(i);
+      std::vector<ChaosEvent> complement;
+      complement.insert(complement.end(), events.begin(),
+                        events.begin() + begin);
+      complement.insert(complement.end(), events.begin() + end, events.end());
+      if (complement.size() < events.size() && test(complement)) {
+        events = std::move(complement);
+        granularity = std::max<std::size_t>(granularity - 1, 2);
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+
+    if (granularity >= events.size()) break;  // 1-minimal
+    granularity = std::min(granularity * 2, events.size());
+  }
+
+  result.minimized.events = std::move(events);
+  return result;
+}
+
+}  // namespace robustore::chaos

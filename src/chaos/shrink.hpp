@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "chaos/schedule.hpp"
+
+namespace robustore::chaos {
+
+/// Predicate over a candidate plan: true = "this plan still fails" (the
+/// interesting property). Must be deterministic — the shrinker assumes a
+/// plan's verdict never changes between evaluations.
+using StillFails = std::function<bool(const CampaignPlan&)>;
+
+struct ShrinkResult {
+  CampaignPlan minimized;
+  /// Candidate plans evaluated (including the final verification run).
+  std::uint32_t tests_run = 0;
+};
+
+/// Delta-debugging (ddmin, Zeller & Hildebrandt) over the plan's event
+/// list: finds a 1-minimal failing subset — removing any single remaining
+/// event makes the failure go away. Everything but `events` is copied
+/// through unchanged, so the minimized plan replays under the exact
+/// cluster/access shape that failed. `plan` itself must satisfy
+/// `still_fails` (aborts otherwise).
+[[nodiscard]] ShrinkResult shrinkSchedule(const CampaignPlan& plan,
+                                          const StillFails& still_fails);
+
+}  // namespace robustore::chaos

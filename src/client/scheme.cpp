@@ -139,6 +139,29 @@ void Scheme::cancelOutstanding(const Session& session) {
   }
 }
 
+void Scheme::abortRead(Session& session) {
+  if (!session.complete && !session.failed) {
+    // Failed-without-on_complete: late callbacks no-op during the drain,
+    // and the driver that called us already knows the run is over.
+    session.failed = true;
+    session.finish_time = engine().now();
+    if (auto* t = tracer(); t != nullptr) {
+      t->instant("client.access_aborted", session.finish_time, session.stream,
+                 trace::kClientTrack);
+    }
+  }
+  for (const auto& weak : session.tracked_reads) {
+    // A dead weak_ptr is a settled read whose callbacks all fired.
+    if (const TrackedHandle tracked = weak.lock()) {
+      cancelTracked(session, tracked);
+    }
+  }
+  session.tracked_reads.clear();
+  cancelOutstanding(session);
+  ROBUSTORE_EXPECTS(session.live_requests == 0,
+                    "aborted session still has live requests");
+}
+
 metrics::AccessMetrics Scheme::collect(const Session& session,
                                        Bytes data_bytes,
                                        std::uint32_t k) const {
@@ -199,6 +222,7 @@ Scheme::TrackedHandle Scheme::issueTrackedRead(
   tracked->on_delivered = std::move(on_delivered);
   tracked->on_lost = std::move(on_lost);
   ++session.live_requests;
+  session.tracked_reads.push_back(tracked);
   issueTrackedAttempt(session, tracked, config);
   return tracked;
 }
@@ -216,6 +240,25 @@ void Scheme::issueTrackedAttempt(Session& session, const TrackedHandle& tracked,
         // Arrivals after completion (or during a failed access's drain)
         // stay pure byte accounting; the scheme never sees them.
         if (session.complete || session.failed) return;
+        if (tracked->file->isCorrupt(tracked->placement,
+                                     tracked->stored_pos)) {
+          // Checksum mismatch: the payload arrived but is unusable, and
+          // re-reading the same damaged copy (or its cache line) would
+          // deliver the same bytes — so the read is lost outright, and
+          // the scheme's on_lost hook decides what the loss means
+          // (redundancy, re-dispatch to another replica, heal).
+          ++session.corrupt_rejected;
+          if (auto* t = tracer(); t != nullptr) {
+            t->instant(
+                "client.block_corrupt", engine().now(), session.stream,
+                trace::kClientTrack,
+                tracked->file->placements[tracked->placement].global_disk,
+                tracked->stored_pos);
+          }
+          if (tracked->on_lost) tracked->on_lost();
+          checkFailFast(session);
+          return;
+        }
         if (tracked->on_delivered) tracked->on_delivered(cache_hit);
         checkFailFast(session);
       },
@@ -307,6 +350,9 @@ void Scheme::settleTracked(Session& session, const TrackedHandle& tracked) {
   }
   ROBUSTORE_EXPECTS(session.live_requests > 0, "tracked read settled twice");
   --session.live_requests;
+  ROBUSTORE_CHECKED_EXPECTS(!tracked->watchdog.valid() &&
+                                !tracked->retry.valid(),
+                            "settled read left a timer event armed");
 }
 
 void Scheme::cancelTracked(Session& session, const TrackedHandle& tracked) {

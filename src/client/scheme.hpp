@@ -114,6 +114,8 @@ class Scheme {
                                              Rng& rng,
                                              StoredFile* out = nullptr);
 
+  struct TrackedRead;
+
   /// Mutable state of the access in flight; subclasses update the
   /// counters from their delivery callbacks and call finish() exactly
   /// once. Public so multi-client drivers can own several sessions on a
@@ -138,6 +140,10 @@ class Scheme {
     std::uint32_t failures_observed = 0;
     std::uint32_t reissued_requests = 0;
     SimTime time_lost_to_failures = 0.0;
+    /// Deliveries rejected by the client-side checksum (block corruption):
+    /// each one settled its tracked read as a loss without a re-issue,
+    /// since re-reading the same damaged copy cannot help.
+    std::uint32_t corrupt_rejected = 0;
     /// Tracked block reads not yet delivered, lost, or cancelled. When it
     /// hits zero with the access neither complete nor finishable, the
     /// access fails fast instead of waiting out the global timeout.
@@ -153,6 +159,10 @@ class Scheme {
     /// the byte base scopes the network ledger to this access when a
     /// campaign reuses one stream id across a client's accesses.
     std::vector<std::pair<std::uint32_t, Bytes>> servers_used;
+    /// Every tracked read this access ever issued (weak: settled reads
+    /// whose callbacks all fired are gone). abortRead() walks this to
+    /// quiesce the access deterministically at a run deadline.
+    std::vector<std::weak_ptr<TrackedRead>> tracked_reads;
   };
 
   /// One failure-aware block read: the scheme's unit of re-issue. The
@@ -190,6 +200,18 @@ class Scheme {
   /// multi-client drivers call this from on_complete so a finished client
   /// stops competing for disk time.
   void cancelOutstanding(const Session& session);
+
+  /// Deadline-truncation quiesce: settles every live tracked read
+  /// (cancelling its watchdog, pending retry, and queued disk work) and,
+  /// if the access has not finished, marks it failed WITHOUT firing
+  /// on_complete — ending the run is the driver's decision, not an access
+  /// outcome its completion logic should react to. After this returns the
+  /// session has no live requests and no retry/watchdog event can fire
+  /// for it; the only work left referencing it is in-service disk I/O,
+  /// which drains as pure byte accounting. Safe (and useful) on finished
+  /// sessions too: it releases their leftover speculative-tail events so
+  /// a post-deadline drain doesn't run out to far-future watchdogs.
+  void abortRead(Session& session);
 
   /// Extracts the paper metrics from a finished (or timed-out) session.
   /// Byte accounting is only final after in-flight work drained.

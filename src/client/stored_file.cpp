@@ -35,4 +35,30 @@ void StoredFile::redrawLayouts(const LayoutPolicy& policy, Rng& rng) {
   }
 }
 
+void StoredFile::corruptBlock(std::uint32_t p, std::uint32_t stored_pos) {
+  ROBUSTORE_EXPECTS(p < placements.size(), "placement index out of range");
+  auto& flags = placements[p].corrupt;
+  if (flags.size() <= stored_pos) flags.resize(stored_pos + 1, 0);
+  flags[stored_pos] = 1;
+}
+
+bool StoredFile::isCorrupt(std::uint32_t p, std::uint32_t stored_pos) const {
+  ROBUSTORE_EXPECTS(p < placements.size(), "placement index out of range");
+  const auto& flags = placements[p].corrupt;
+  return stored_pos < flags.size() && flags[stored_pos] != 0;
+}
+
+void StoredFile::clearCorrupt(std::uint32_t p) {
+  ROBUSTORE_EXPECTS(p < placements.size(), "placement index out of range");
+  placements[p].corrupt.clear();
+}
+
+std::uint64_t StoredFile::corruptCount() const {
+  std::uint64_t n = 0;
+  for (const auto& p : placements) {
+    for (const auto flag : p.corrupt) n += flag != 0 ? 1 : 0;
+  }
+  return n;
+}
+
 }  // namespace robustore::client

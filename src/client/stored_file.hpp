@@ -33,6 +33,12 @@ struct DiskPlacement {
   std::uint32_t global_disk = 0;
   disk::FileDiskLayout layout;
   std::vector<std::uint64_t> stored;
+  /// Per-stored-position corruption flags (lazily sized; an empty vector
+  /// means every block is clean). A corrupt block still occupies its
+  /// layout slot and is served normally by the disk — the *client*
+  /// detects the damage at delivery (checksum model) and treats the read
+  /// as lost. Cleared placement-wide when a repair rebuilds the slot.
+  std::vector<std::uint8_t> corrupt;
 };
 
 /// A file as it exists in the storage system: the unit every access
@@ -66,6 +72,17 @@ struct StoredFile {
   /// performance at read time is independent of what it was at write time
   /// (§6.3.1, unbalanced-striping experiments).
   void redrawLayouts(const LayoutPolicy& policy, Rng& rng);
+
+  /// Block-corruption model (silent on-disk damage, detected by the
+  /// reader's checksum): marks / tests / clears the stored block at
+  /// `stored_pos` on placement `p`. Copies written later (heal-on-read
+  /// appends, repair rebuilds) start clean.
+  void corruptBlock(std::uint32_t p, std::uint32_t stored_pos);
+  [[nodiscard]] bool isCorrupt(std::uint32_t p, std::uint32_t stored_pos) const;
+  /// Placement-wide clear: a repair job rewrote every block on the slot.
+  void clearCorrupt(std::uint32_t p);
+  /// Corrupt blocks currently flagged across all placements.
+  [[nodiscard]] std::uint64_t corruptCount() const;
 };
 
 }  // namespace robustore::client

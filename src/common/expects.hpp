@@ -16,3 +16,18 @@
       std::abort();                                                           \
     }                                                                         \
   } while (false)
+
+/// Hot-path audits too expensive for every production run but cheap
+/// enough for chaos campaigns: compiled to the abort-on-violation check
+/// above when ROBUSTORE_CHECKED is defined (cmake -DROBUSTORE_CHECKED=ON,
+/// the chaos-nightly configuration), and to nothing otherwise. The
+/// condition is still parsed (sizeof) so both configurations compile the
+/// same expressions.
+#ifdef ROBUSTORE_CHECKED
+#define ROBUSTORE_CHECKED_EXPECTS(cond, msg) ROBUSTORE_EXPECTS(cond, msg)
+#else
+#define ROBUSTORE_CHECKED_EXPECTS(cond, msg) \
+  do {                                       \
+    (void)sizeof((cond));                    \
+  } while (false)
+#endif

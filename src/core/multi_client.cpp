@@ -63,8 +63,12 @@ MultiClientResult MultiClientExperiment::run() {
 
   const bool campaign = config_.accesses_per_client > 1;
   std::vector<ClientState> clients(config_.num_clients);
-  /// Finished campaign sessions with disk work still in service.
-  std::vector<std::unique_ptr<client::Scheme::Session>> retired;
+  /// Finished campaign sessions with disk work still in service, paired
+  /// with the scheme that drives them (needed to abort their leftover
+  /// speculative tails at the deadline).
+  std::vector<
+      std::pair<client::Scheme*, std::unique_ptr<client::Scheme::Session>>>
+      retired;
   MultiClientResult result;
   std::uint32_t completed = 0;  // clients done with their full campaign
   bool experiment_over = false;
@@ -165,9 +169,9 @@ MultiClientResult MultiClientExperiment::run() {
             // retirees are reaped here, so the list stays proportional
             // to in-flight work, not to campaign length.
             std::erase_if(retired, [](const auto& s) {
-              return s->live_requests == 0;
+              return s.second->live_requests == 0;
             });
-            retired.push_back(std::move(done.session));
+            retired.emplace_back(done.scheme.get(), std::move(done.session));
             done.session = std::make_unique<client::Scheme::Session>();
             done.session->stream = stream;  // same disk-side identity
             done.collected = false;
@@ -200,7 +204,18 @@ MultiClientResult MultiClientExperiment::run() {
                                : config_.access.timeout;
   engine.runUntil(deadline);
   experiment_over = true;
-  engine.run();  // drain in-flight work for final byte accounting
+  // Deterministic quiesce: settle every live tracked read at the deadline
+  // (cancelling its watchdog/retry events) instead of letting reissue
+  // chains replay to their natural end during the drain — with long
+  // request timeouts the drain otherwise runs arbitrarily far past the
+  // deadline. Aborting finished/retired sessions is a no-op beyond
+  // releasing their leftover speculative-tail events.
+  for (auto& c : clients) {
+    if (c.started) c.scheme->abortRead(*c.session);
+  }
+  for (auto& [scheme, session] : retired) scheme->abortRead(*session);
+  engine.run();  // drain in-flight service for final byte accounting
+  result.drained_at = engine.now();
 
   result.clients_completed = completed;
   for (auto& c : clients) {

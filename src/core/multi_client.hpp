@@ -75,6 +75,12 @@ struct MultiClientResult {
   std::uint64_t events_scheduled = 0;
   std::uint64_t events_fired = 0;
   std::size_t peak_live_events = 0;
+
+  /// Sim time when the post-deadline drain finished. Every session is
+  /// aborted at the deadline (settling its reissue/watchdog chains), so
+  /// this stays close to the deadline — bounded by in-service disk work,
+  /// not by request timeouts.
+  SimTime drained_at = 0.0;
 };
 
 class MultiClientExperiment {

@@ -117,6 +117,28 @@ void FaultInjector::applyChurn(const ChurnEvent& event) {
   if (churn_listener_) churn_listener_(event);
 }
 
+void FaultInjector::scheduleCorruption(const std::vector<CorruptionSpec>& specs) {
+  std::vector<sim::Engine::BatchEvent> batch;
+  batch.reserve(specs.size());
+  for (const CorruptionSpec& spec : specs) {
+    ROBUSTORE_EXPECTS(spec.at >= 0.0, "corruption scheduled in the past");
+    batch.push_back({spec.at, [this, spec] { applyCorruption(spec); }});
+  }
+  engine_->scheduleBatch(batch);
+}
+
+void FaultInjector::applyCorruption(const CorruptionSpec& spec) {
+  ++corruptions_injected_;
+  if (tracer_ != nullptr) {
+    tracer_->instant("fault.inject.corrupt_block", engine_->now(),
+                     /*access=*/0, trace::kFaultTrack,
+                     resolve_(spec.disk).id(), spec.block);
+  }
+  ROBUSTORE_EXPECTS(corruption_applier_ != nullptr,
+                    "corruption fired without an applier");
+  corruption_applier_(spec);
+}
+
 std::vector<ChurnEvent> FaultInjector::drawChurn(const ChurnModel& model,
                                                  std::uint32_t num_disks,
                                                  Rng& rng) {

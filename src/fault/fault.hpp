@@ -105,6 +105,23 @@ struct ChurnEvent {
   SimTime at = 0.0;
 };
 
+/// Silent block corruption: the stored block at index `block` on `disk`
+/// (both interpreted by the caller's applier — the injector itself has no
+/// notion of files) is damaged in place at time `at`. The disk keeps
+/// serving it; the *reader* detects the damage via its checksum and
+/// treats the delivery as a loss. The scheduling seam lives here so
+/// corruption composes with the rest of the fault vocabulary (tracing,
+/// injection ledger, batch arming) even though its effect is applied at
+/// the file layer.
+struct CorruptionSpec {
+  std::uint32_t disk = 0;  // resolved by the applier, like FaultSpec::disk
+  /// Which stored block on that disk (applier-defined indexing; chaos
+  /// campaigns take it modulo the placement's stored count).
+  std::uint32_t block = 0;
+  /// Injection time, relative to when the injector is armed.
+  SimTime at = 0.0;
+};
+
 /// A full failure scenario: an explicit script, a stochastic model, a
 /// churn process, or any mix. Part of ExperimentConfig, applied
 /// identically to every trial (the stochastic draws differ per trial,
@@ -167,6 +184,19 @@ class FaultInjector {
     churn_listener_ = std::move(listener);
   }
 
+  /// Applies a corruption to whatever data model the caller runs (mark
+  /// the block in a StoredFile, notify the repair service, ...). Must be
+  /// set before any scheduled corruption fires.
+  using CorruptionApplier = std::function<void(const CorruptionSpec&)>;
+  void setCorruptionApplier(CorruptionApplier applier) {
+    corruption_applier_ = std::move(applier);
+  }
+
+  /// Schedules block corruptions (times relative to now) in one engine
+  /// batch. Each firing counts in corruptionsInjected() and traces a
+  /// "fault.inject.corrupt_block" instant before the applier runs.
+  void scheduleCorruption(const std::vector<CorruptionSpec>& specs);
+
   /// Draws the stochastic schedule for `num_disks` disks from `rng`.
   /// Pure: consumes a fixed number of draws per disk regardless of
   /// outcome, so schedules for different disks never shift each other.
@@ -202,6 +232,12 @@ class FaultInjector {
     return churn_replacements_;
   }
 
+  /// Corruptions whose injection time arrived (cumulative; counted even
+  /// when the applier decides the target block no longer exists).
+  [[nodiscard]] std::uint32_t corruptionsInjected() const {
+    return corruptions_injected_;
+  }
+
  private:
   /// Per-disk overlap bookkeeping for the precedence rules above.
   struct DiskFaultState {
@@ -211,17 +247,20 @@ class FaultInjector {
 
   void apply(const FaultSpec& spec);
   void applyChurn(const ChurnEvent& event);
+  void applyCorruption(const CorruptionSpec& spec);
   void maybeRecover(std::uint32_t disk);
 
   sim::Engine* engine_;
   DiskResolver resolve_;
   trace::Tracer* tracer_ = nullptr;
   ChurnListener churn_listener_;
+  CorruptionApplier corruption_applier_;
   std::unordered_map<std::uint32_t, DiskFaultState> state_;
   std::uint32_t scheduled_ = 0;
   std::uint32_t injected_[4] = {0, 0, 0, 0};
   std::uint32_t churn_failures_ = 0;
   std::uint32_t churn_replacements_ = 0;
+  std::uint32_t corruptions_injected_ = 0;
 };
 
 }  // namespace robustore::fault

@@ -75,8 +75,27 @@ void RepairService::onDiskReplaced(std::uint32_t global_disk) {
         slot.state = SlotState::kIntact;
         ++slot.gen;
         slot.restore_pending = false;
+        pf.file->clearCorrupt(p);  // external copy is pristine
       }
     }
+  }
+}
+
+void RepairService::onBlockCorrupted(const client::StoredFile& file,
+                                     std::uint32_t p) {
+  for (Protected& pf : files_) {
+    if (pf.file != &file) continue;
+    ROBUSTORE_EXPECTS(p < pf.slots.size(),
+                      "corrupted placement index out of range");
+    Slot& slot = pf.slots[p];
+    if (slot.state != SlotState::kLost) {
+      slot.state = SlotState::kLost;
+      pf.dirty = true;
+    }
+    // Bump unconditionally: a job planned before the corruption (slot was
+    // kRepairing, or queued while kLost) must not mark the slot intact.
+    ++slot.gen;
+    return;
   }
 }
 
@@ -147,6 +166,7 @@ void RepairService::restore(Protected& pf) {
     }
     slot.state = SlotState::kIntact;
     ++slot.gen;  // drop any in-flight repair; the restore superseded it
+    pf.file->clearCorrupt(p);
   }
 }
 
@@ -342,6 +362,7 @@ void RepairService::runRepair(std::uint32_t file_idx, std::uint32_t target,
           return;
         }
         s2.state = SlotState::kIntact;
+        files_[file_idx].file->clearCorrupt(target);  // rebuilt from scratch
         ++stats_.repairs_completed;
         stats_.blocks_repaired += m;
         --pending_repairs_;
@@ -381,8 +402,12 @@ void RepairService::runRepair(std::uint32_t file_idx, std::uint32_t target,
     server::StorageServer& srv = cluster_->serverOfDisk(helper.global_disk);
     srv.readBlock(
         req,
-        [this, expect, settle_read](bool) {
-          stats_.bytes_read += expect;
+        [this, file_idx, placement = op.placement, pos = op.stored_pos,
+         expect, read_state, settle_read](bool) {
+          stats_.bytes_read += expect;  // transferred before the checksum
+          if (files_[file_idx].file->isCorrupt(placement, pos)) {
+            read_state->failed = true;  // corrupt helper block detected
+          }
           settle_read();
         },
         [read_state, settle_read] {

@@ -91,6 +91,15 @@ class RepairService {
   void onDiskFailed(std::uint32_t global_disk);
   void onDiskReplaced(std::uint32_t global_disk);
 
+  /// Corruption wiring: a block of `file`'s placement `p` was damaged in
+  /// place (client::StoredFile corruption flags). Repair granularity is
+  /// the placement, so the whole slot goes lost and its generation bumps
+  /// — an in-flight repair job for the slot becomes stale and aborts
+  /// rather than marking half-corrupt contents intact. The rebuild
+  /// rewrites every block on the slot and clears the file's corruption
+  /// flags for it. Unknown files are ignored (unprotected).
+  void onBlockCorrupted(const client::StoredFile& file, std::uint32_t p);
+
   [[nodiscard]] const RepairStats& stats() const { return stats_; }
   /// Jobs admitted but not yet finished (telemetry probe).
   [[nodiscard]] std::uint32_t pendingRepairs() const {

@@ -113,6 +113,13 @@ bool Engine::cancel(EventId id) {
   const std::uint32_t idx = slotOf(id.value);
   if (idx == 0 || idx >= nodes_.size()) return false;
   Node& node = nodes_[idx];
+  // Handle-generation safety: a handle whose generation still matches its
+  // slot must never observe the slot recycled into the free list — that
+  // would mean a slot was freed without bumping the generation, and a
+  // later cancel through this handle could kill an unrelated event.
+  ROBUSTORE_CHECKED_EXPECTS(
+      node.generation != genOf(id.value) || node.state != NodeState::kFree,
+      "event handle generation matches a freed slot");
   if (node.generation != genOf(id.value) ||
       node.state != NodeState::kArmed) {
     return false;
@@ -306,6 +313,11 @@ std::size_t Engine::runLoop(SimTime deadline) {
     if (!refill()) break;
     const HeapEntry top = current_.front();
     if (top.time > deadline) break;
+    // Dispatch-order audit: the tiered queue must never surface an event
+    // earlier than the clock — a violation means a bucket was harvested
+    // out of order and the deterministic (time, seq) total order is gone.
+    ROBUSTORE_CHECKED_EXPECTS(top.time >= now_,
+                              "event dispatched before the clock");
     popCurrent();
     if (top.time > now_) {
       now_ = top.time;

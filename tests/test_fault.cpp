@@ -160,6 +160,53 @@ TEST_F(InjectorFixture, StragglerScalesServiceTime) {
   EXPECT_NEAR(d.busyTime(disk::Priority::kForeground), 3.0 * baseline, 1e-9);
 }
 
+// --- pairwise fault composition ------------------------------------------
+
+TEST_F(InjectorFixture, StallLandingAtTheExactFailStopInstant) {
+  // Same-instant composition, stall first: the disk enters a stall window
+  // and dies inside it before serving a microsecond. The refund must
+  // cover the full charged service (the FailureDuringStallRefundsTheWhole-
+  // Service regression, reached through the injector's tie-break order).
+  submitOne(0);
+  submitOne(1);
+  injector.scheduleAll({
+      {0, fault::FaultKind::kTransientStall, 0.001, 5.0, 1.0},
+      {0, fault::FaultKind::kFailStop, 0.001, 0.0, 1.0},
+  });
+  engine.run();
+  EXPECT_TRUE(d.failed());
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(d.liveRequestCount(), 0u);
+  EXPECT_NEAR(d.busyTime(disk::Priority::kForeground), 0.001, 1e-12);
+  // Both verbs hit the ledger even though the stall was cut short.
+  EXPECT_EQ(injector.injected(fault::FaultKind::kTransientStall), 1u);
+  EXPECT_EQ(injector.injected(fault::FaultKind::kFailStop), 1u);
+}
+
+TEST_F(InjectorFixture, StallOnAFreshlyDeadDiskIsSubsumed) {
+  // Reverse tie-break: fail-stop applies first, so the stall targets an
+  // already-dead disk and must be subsumed — no latent stall may survive
+  // into a later recovery.
+  injector.scheduleAll({
+      {0, fault::FaultKind::kFailStop, 0.001, 0.0, 1.0},
+      {0, fault::FaultKind::kTransientStall, 0.001, 5.0, 1.0},
+  });
+  engine.run();
+  EXPECT_TRUE(d.failed());
+  EXPECT_EQ(injector.injected(fault::FaultKind::kTransientStall), 1u);
+
+  d.recover();
+  SimTime finished = 0.0;
+  d.submit(specFor(d, layout, 0),
+           [&](disk::RequestId) { finished = engine.now(); });
+  engine.run();
+  // Service resumes at the recovered disk's native speed: well before the
+  // 5 s stall window the dead disk swallowed.
+  EXPECT_GT(finished, 0.0);
+  EXPECT_LT(finished, 1.0);
+}
+
 // --- fail-stop accounting regressions ------------------------------------
 
 TEST(DiskFaultAccounting, FailedAtTimeZeroReportsZeroUtilization) {

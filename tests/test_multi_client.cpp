@@ -105,14 +105,34 @@ TEST(MultiClient, CampaignDeadlineBoundsTheRun) {
   MultiClientExperiment experiment(cfg);
   const auto result = experiment.run();
   // Nobody finishes 100 accesses in 2 simulated seconds. Every completed
-  // access was collected, plus at most one pending (incomplete) access
-  // per client the deadline caught mid-flight — accesses that complete
-  // during the drain are collected normally and leave nothing pending.
+  // access was collected, plus at most one pending access per client the
+  // deadline caught mid-flight — those are aborted at the deadline and
+  // collected as failed during the final pass.
   EXPECT_EQ(result.clients_completed, 0u);
   EXPECT_GT(result.accesses_completed, 0u);
   EXPECT_LT(result.accesses_completed, 400u);
   EXPECT_GE(result.accesses.trials(), result.accesses_completed);
   EXPECT_LE(result.accesses.trials(), result.accesses_completed + 4);
+}
+
+TEST(MultiClient, DeadlineTruncationQuiescesReissueChains) {
+  // A campaign cut off with watchdog reissues in flight must settle at
+  // the deadline: before sessions were aborted there, the post-deadline
+  // drain replayed every pending watchdog/retry chain to its natural end
+  // — with a long request timeout that meant hundreds of simulated
+  // seconds past a 2-second deadline.
+  auto cfg = smallConfig();
+  cfg.accesses_per_client = 100;
+  cfg.run_deadline = 2.0;
+  cfg.access.request_timeout = 500.0;  // watchdogs parked far in the future
+  MultiClientExperiment experiment(cfg);
+  const auto result = experiment.run();
+  EXPECT_EQ(result.clients_completed, 0u);
+  EXPECT_GT(result.accesses_completed, 0u);
+  // The drain ends within in-service disk time of the deadline, not at
+  // the watchdog horizon.
+  EXPECT_GE(result.drained_at, 2.0);
+  EXPECT_LT(result.drained_at, 10.0);
 }
 
 TEST(MultiClient, FastSelectionMatchesCampaignShape) {

@@ -641,6 +641,84 @@ TEST_F(RepairFixture, StatsAreDeterministicAcrossRuns) {
   EXPECT_EQ(a.loss_events, b.loss_events);
 }
 
+// --- pairwise fault composition ------------------------------------------
+
+TEST_F(RepairFixture, CorruptionMidRepairAbortsTheStaleJobThenConverges) {
+  // Pairwise composition: a block in the repair target goes corrupt while
+  // the job's helper reads are still on the disks. The generation bump
+  // must abort the in-flight job (a half-planned rebuild may not mark the
+  // slot intact) and the next scan must replan and converge.
+  auto file = mdsFile(4, 16);  // m = 2 blocks per placement
+  repair::RepairConfig cfg;
+  cfg.scan_interval = 10.0;
+  auto& svc = makeService(cfg);
+  svc.protect(file, {repair::RedundancyClass::kMds, 0, false, 0});
+  svc.start();
+  injector.scheduleChurn({{2, ChurnEventKind::kPermanentFailure, 1.0},
+                          {2, ChurnEventKind::kReplacement, 5.0}});
+  // The scan at t = 10 admits the job; 1 ms later its 64 KiB helper
+  // reads are still in service.
+  engine.schedule(10.001, [&] {
+    EXPECT_EQ(svc.pendingRepairs(), 1u);
+    file.corruptBlock(2, 0);
+    svc.onBlockCorrupted(file, 2);
+  });
+  engine.runUntil(60.0);
+  EXPECT_EQ(svc.stats().repairs_aborted, 1u);   // the stale job
+  EXPECT_EQ(svc.stats().repairs_completed, 1u);  // the replanned one
+  EXPECT_EQ(svc.stats().blocks_repaired, 2u);
+  EXPECT_EQ(file.corruptCount(), 0u);  // the rebuild cleared the bitmap
+  EXPECT_EQ(svc.degradedPlacements(), 0u);
+  EXPECT_EQ(svc.pendingRepairs(), 0u);
+}
+
+TEST_F(RepairFixture, ReplacementDuringInFlightHealWriteback) {
+  // Pairwise composition: a heal-on-read is rewriting a dead placement's
+  // blocks to healthy disks when the dead disk's churn replacement
+  // arrives (empty). The heal writeback must land on the healthy disks,
+  // and the repair service must still refill the replaced slot — its
+  // stored list survived the failure, the data did not.
+  auto scheme = client::makeScheme(client::SchemeKind::kRRaidS, cluster,
+                                   coding::LtParams{});
+  client::AccessConfig access;
+  access.k = 8;
+  access.block_bytes = 64 * kKiB;
+  access.redundancy = 2.0;
+  access.timeout = 30.0;
+  access.max_reissues = 0;  // a dead disk's blocks are lost immediately
+  access.heal_on_read = true;
+  client::LayoutPolicy policy;
+  policy.heterogeneous = false;
+  Rng trial(41);
+  auto file = scheme->planFile(access, eightDisks(), policy, trial);
+  repair::RepairConfig cfg;
+  cfg.scan_interval = 10.0;
+  // The sync read's settle() drains the engine fully; an unbounded scan
+  // schedule would never let it return.
+  cfg.horizon = 45.0;
+  auto& svc = makeService(cfg);
+  svc.protect(file, {repair::RedundancyClass::kReplication, 0, false, 0});
+  svc.start();
+  const std::uint32_t dead = file.placements[2].global_disk;
+  const auto lost = file.placements[2].stored.size();
+  const auto before = file.totalStoredBlocks();
+  ASSERT_GT(lost, 0u);
+  injector.scheduleChurn({{dead, ChurnEventKind::kPermanentFailure, 0.001},
+                          {dead, ChurnEventKind::kReplacement, 0.02}});
+  const auto m = scheme->read(file, access);
+  ASSERT_TRUE(m.complete);
+  EXPECT_GT(m.failures_survived, 0u);
+  // The heal added one fresh copy per lost id on healthy disks.
+  EXPECT_EQ(file.totalStoredBlocks(), before + lost);
+  engine.runUntil(60.0);
+  // ... and the background repair independently refilled the replaced
+  // slot from the surviving replicas.
+  EXPECT_EQ(svc.stats().repairs_completed, 1u);
+  EXPECT_EQ(svc.stats().loss_events, 0u);
+  EXPECT_EQ(svc.degradedPlacements(), 0u);
+  EXPECT_EQ(svc.pendingRepairs(), 0u);
+}
+
 // --- long-horizon churn campaigns through the experiment runner ----------
 
 core::ExperimentConfig churnConfig() {

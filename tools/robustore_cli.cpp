@@ -7,6 +7,7 @@
 // Prints the three paper metrics (bandwidth, latency std-dev, I/O
 // overhead) per scheme; --csv switches to machine-readable output.
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,8 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "chaos/campaign.hpp"
+#include "chaos/schedule.hpp"
+#include "chaos/shrink.hpp"
 #include "core/experiment.hpp"
 #include "core/run_env.hpp"
+#include "core/trial_pool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/chrome_trace.hpp"
 
@@ -72,8 +77,14 @@ void usage(const char* argv0) {
       "  (default: ROBUSTORE_SAMPLE_DT, else 10 ms). --prom PATH\n"
       "  additionally writes the final metric snapshot in Prometheus text\n"
       "  format. Sampling reads state only: the simulated results are\n"
-      "  bitwise identical with it on or off.\n",
-      argv0, argv0, argv0);
+      "  bitwise identical with it on or off.\n"
+      "\n"
+      "subcommand: %s chaos [--seeds A..B] [--shrink] [--replay FILE]\n"
+      "  Runs seeded randomized fault campaigns (all four schemes, repair\n"
+      "  service and data plane active) with end-to-end invariant checks;\n"
+      "  failing schedules can be minimized and replayed bit-identically.\n"
+      "  See `%s chaos --help`.\n",
+      argv0, argv0, argv0, argv0, argv0);
 }
 
 /// Focused help for `robustore_cli trace --help`.
@@ -462,6 +473,216 @@ int timelineMain(int argc, char** argv) {
   return 0;
 }
 
+/// Focused help for `robustore_cli chaos --help`.
+void chaosUsage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s chaos [options]\n"
+      "  Runs seeded randomized fault campaigns: each seed draws a scheme,\n"
+      "  a cluster/access shape, and a schedule composed from the full\n"
+      "  fault vocabulary (fail-stop, crash-recover, stall, slow-disk,\n"
+      "  churn fail/replace, block corruption), then checks the run against\n"
+      "  the end-to-end invariant battery (completion, acked reads, byte\n"
+      "  conservation, quiesce, clock monotonicity, injection ledger,\n"
+      "  repair convergence, metadata liveness).\n"
+      "  --seeds A..B      inclusive seed range            (default 0..99)\n"
+      "  --shrink          ddmin-minimize each failing schedule and write\n"
+      "                    the repro JSON under --out\n"
+      "  --replay FILE     run a repro file twice and verify the replays\n"
+      "                    are bit-identical (exit 0 = identical)\n"
+      "  --dump-plan FILE  write seed A's campaign plan as JSON\n"
+      "  --digests FILE    write `seed digest` lines for the whole sweep\n"
+      "                    (byte-comparable across thread counts)\n"
+      "  --out DIR         where --shrink writes repro files  (default .)\n"
+      "  --inject-bug backoff\n"
+      "                    replace every campaign with the known-bug\n"
+      "                    unclamped-backoff campaign (acceptance check:\n"
+      "                    the completion invariant must catch it)\n"
+      "  --threads N       campaign fan-out workers        (default:\n"
+      "                    ROBUSTORE_THREADS, else all cores)\n"
+      "  exit status: 0 = all campaigns clean, 1 = violations found,\n"
+      "               2 = usage error\n",
+      argv0);
+}
+
+/// Writes `text` to `path`. Returns success.
+bool writeFileOrComplain(const std::string& text, const std::string& path,
+                         const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chaos: cannot write %s %s\n", what, path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "chaos: short write to %s\n", path.c_str());
+  return ok;
+}
+
+/// `robustore_cli chaos`: the randomized fault-campaign harness. Returns
+/// the process exit code.
+int chaosMain(int argc, char** argv) {
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 99;
+  bool shrink = false;
+  bool inject_bug = false;
+  std::string replay_path;
+  std::string dump_path;
+  std::string digests_path;
+  std::string out_dir = ".";
+  unsigned threads = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = value();
+      if (v == nullptr ||
+          std::sscanf(v, "%" SCNu64 "..%" SCNu64, &seed_lo, &seed_hi) != 2 ||
+          seed_hi < seed_lo) {
+        std::fprintf(stderr, "chaos: --seeds wants A..B with A <= B\n");
+        return 2;
+      }
+    } else if (arg == "--shrink") {
+      shrink = true;
+    } else if (arg == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      replay_path = v;
+    } else if (arg == "--dump-plan") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      dump_path = v;
+    } else if (arg == "--digests") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      digests_path = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      out_dir = v;
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      threads = static_cast<unsigned>(std::atof(v));
+    } else if (arg == "--inject-bug") {
+      const char* v = value();
+      if (v == nullptr || std::strcmp(v, "backoff") != 0) {
+        std::fprintf(stderr, "chaos: known bugs: backoff\n");
+        return 2;
+      }
+      inject_bug = true;
+    } else if (arg == "--help" || arg == "-h") {
+      chaosUsage(stdout, argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "chaos: unknown option %s\n", arg.c_str());
+      chaosUsage(stderr, argv[0]);
+      return 2;
+    }
+  }
+
+  // Replay mode: load one repro file, run it twice, demand bit identity.
+  if (!replay_path.empty()) {
+    std::FILE* f = std::fopen(replay_path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "chaos: cannot read %s\n", replay_path.c_str());
+      return 2;
+    }
+    std::string json;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      json.append(buf, got);
+    }
+    std::fclose(f);
+    const chaos::CampaignPlan plan = chaos::parsePlan(json);
+    const chaos::CampaignResult first = chaos::runCampaign(plan);
+    const chaos::CampaignResult second = chaos::runCampaign(plan);
+    for (const chaos::Violation& v : first.violations) {
+      std::printf("seed %" PRIu64 " [%s]: %s\n", plan.seed,
+                  v.invariant.c_str(), v.detail.c_str());
+    }
+    std::printf("replay seed %" PRIu64 " (%s, %zu events): digest "
+                "%016" PRIx64 " / %016" PRIx64 " — %s, %s\n",
+                plan.seed, client::schemeName(plan.scheme),
+                plan.events.size(), first.digest, second.digest,
+                first.digest == second.digest ? "bit-identical"
+                                              : "DIVERGED",
+                first.passed() ? "clean" : "violations");
+    return first.digest == second.digest ? 0 : 1;
+  }
+
+  const auto plan_for = [inject_bug](std::uint64_t seed) {
+    return inject_bug ? chaos::buggyBackoffPlan(seed)
+                      : chaos::planFromSeed(seed);
+  };
+
+  if (!dump_path.empty() &&
+      !writeFileOrComplain(chaos::serializePlan(plan_for(seed_lo)), dump_path,
+                           "plan")) {
+    return 2;
+  }
+
+  // Fan the sweep out, reduce in seed order (index-slot determinism).
+  const auto count = static_cast<std::uint32_t>(seed_hi - seed_lo + 1);
+  std::vector<chaos::CampaignResult> results(count);
+  {
+    core::TrialPool pool(threads);
+    pool.forEachIndex(count, [&](std::uint32_t i) {
+      results[i] = chaos::runCampaign(plan_for(seed_lo + i));
+    });
+  }
+
+  std::string digest_lines;
+  std::vector<std::uint64_t> failing;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = seed_lo + i;
+    if (!digests_path.empty()) {
+      char line[64];
+      std::snprintf(line, sizeof line, "%" PRIu64 " %016" PRIx64 "\n", seed,
+                    results[i].digest);
+      digest_lines += line;
+    }
+    if (results[i].passed()) continue;
+    failing.push_back(seed);
+    for (const chaos::Violation& v : results[i].violations) {
+      std::printf("seed %" PRIu64 " [%s]: %s\n", seed, v.invariant.c_str(),
+                  v.detail.c_str());
+    }
+  }
+  if (!digests_path.empty() &&
+      !writeFileOrComplain(digest_lines, digests_path, "digest list")) {
+    return 2;
+  }
+
+  if (shrink) {
+    for (const std::uint64_t seed : failing) {
+      const chaos::CampaignPlan plan = plan_for(seed);
+      const chaos::ShrinkResult minimized = chaos::shrinkSchedule(
+          plan, [](const chaos::CampaignPlan& candidate) {
+            return !chaos::runCampaign(candidate).passed();
+          });
+      const std::string path =
+          out_dir + "/chaos_seed_" + std::to_string(seed) + ".json";
+      if (!writeFileOrComplain(chaos::serializePlan(minimized.minimized),
+                               path, "repro")) {
+        return 2;
+      }
+      std::printf("seed %" PRIu64 ": minimized %zu -> %zu events in %u runs, "
+                  "repro %s\n",
+                  seed, plan.events.size(), minimized.minimized.events.size(),
+                  minimized.tests_run, path.c_str());
+    }
+  }
+
+  std::printf("chaos: %u campaigns (seeds %" PRIu64 "..%" PRIu64 "), "
+              "%zu failing\n",
+              count, seed_lo, seed_hi, failing.size());
+  return failing.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -470,6 +691,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "timeline") == 0) {
     return timelineMain(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
+    return chaosMain(argc, argv);
   }
   // A bare word in subcommand position is a typo'd subcommand, not an
   // experiment option: fail with usage instead of misparsing it.
