@@ -82,6 +82,12 @@ inline core::ExperimentConfig baselineConfig() {
   // sampler rides the engine's time observer (zero events, zero rng
   // draws), so every figure is bit-identical with sampling on or off.
   cfg.sample_dt = telemetry::sampleDtFromEnv();
+  // ROBUSTORE_FLIGHT=1 attaches the always-on flight recorder to every
+  // trial. It schedules no events and draws no rng, so simulated results
+  // stay bitwise identical — but collect() then has per-access stage
+  // sums available, so stage_* quantile columns appear in the reports
+  // (that is the point: tail attribution only when asked for).
+  if (core::RunEnv::flight()) cfg.flight = true;
   return cfg;
 }
 

@@ -204,6 +204,13 @@ int main(int argc, char** argv) {
       cfg.stagger = 1 * kMilliseconds;
       cfg.fast_selection = true;  // O(candidates) selection at 10^3 disks
       cfg.seed = seed;
+      // ROBUSTORE_FLIGHT=1 attaches the always-on flight recorder to the
+      // campaign. Recorder stats go to stderr only — every simulated
+      // column stays identical with it on or off (only the host-timed
+      // wall/events-per-sec fields move), which is how the overhead
+      // check can diff the deterministic fields while timing the
+      // recorder's wall-clock cost.
+      cfg.flight = core::RunEnv::flight();
 
       RowOut row;
       row.label = rung.label;
@@ -217,6 +224,17 @@ int main(int argc, char** argv) {
       const auto t0 = std::chrono::steady_clock::now();
       row.result = experiment.run();
       row.wall_s = wallSince(t0);
+      if (row.result.flight != nullptr) {
+        std::fprintf(stderr,
+                     "[flight] %s %s: %llu accesses, %llu events, "
+                     "%zu retained\n",
+                     row.label.c_str(), row.scheme.c_str(),
+                     static_cast<unsigned long long>(
+                         row.result.flight->accessesClosed()),
+                     static_cast<unsigned long long>(
+                         row.result.flight->eventsSeen()),
+                     row.result.flight->retained().size());
+      }
       largest_peak_live =
           std::max(largest_peak_live, row.result.peak_live_events);
 

@@ -39,6 +39,16 @@ struct ReportRow {
   // Per-stage latency decomposition, mean seconds per completed access
   // (all zero unless the run traced; see ExperimentConfig::trace).
   double stage_mean_s[trace::kNumStages] = {};
+  // Tail quantiles (end-to-end exact via SampleSet; per-stage via the
+  // mergeable QuantileHistogram, <1% relative error). Populated only
+  // when the aggregate carried stage histograms — i.e. the run traced or
+  // flight-recorded — so untraced reports stay byte-identical.
+  bool stage_quantiles = false;
+  double latency_p99_s = 0.0;
+  double latency_p999_s = 0.0;
+  double stage_p50_s[trace::kNumStages] = {};
+  double stage_p99_s[trace::kNumStages] = {};
+  double stage_p999_s[trace::kNumStages] = {};
   std::size_t trials = 0;
   std::size_t incomplete = 0;
 };
@@ -69,6 +79,17 @@ class Reporter {
     for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
       row.stage_mean_s[s] =
           agg.meanStageSeconds(static_cast<trace::Stage>(s));
+    }
+    if (agg.stageQuantilesRecorded()) {
+      row.stage_quantiles = true;
+      row.latency_p99_s = agg.latencyPercentile(99.0);
+      row.latency_p999_s = agg.latencyPercentile(99.9);
+      for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+        const auto stage = static_cast<trace::Stage>(s);
+        row.stage_p50_s[s] = agg.stageQuantile(stage, 50.0);
+        row.stage_p99_s[s] = agg.stageQuantile(stage, 99.0);
+        row.stage_p999_s[s] = agg.stageQuantile(stage, 99.9);
+      }
     }
     row.trials = agg.trials();
     row.incomplete = agg.incompleteCount();
@@ -121,6 +142,18 @@ class Reporter {
       printTable(title, " %12.4f",
                  [s](const ReportRow& r) { return r.stage_mean_s[s]; });
     }
+    if (quantilesUsed()) {
+      printTable("Access latency p99 (s)", " %12.3f",
+                 [](const ReportRow& r) { return r.latency_p99_s; });
+      for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+        if (!stageUsed(s)) continue;
+        char title[80];
+        std::snprintf(title, sizeof(title), "p99 %s per access (s)",
+                      trace::stageName(static_cast<trace::Stage>(s)));
+        printTable(title, " %12.4f",
+                   [s](const ReportRow& r) { return r.stage_p99_s[s]; });
+      }
+    }
     printIncompleteNote();
     if (core::RunEnv::csv()) emitCsv(stdout);
     if (const auto dir = core::RunEnv::jsonDir()) {
@@ -139,15 +172,22 @@ class Reporter {
   /// cache, keeping cache-free pipelines unchanged).
   void emitCsv(std::FILE* out) const {
     const bool cache = cacheUsed();
+    // Quantile columns appear only in traced/flight-recorded runs, like
+    // the cache column: untraced CSV pipelines see unchanged rows.
+    const bool quant = quantilesUsed();
     std::fprintf(out,
                  "\ncsv,%s,scheme,bandwidth_mbps,latency_stddev_s,"
-                 "io_overhead,reception_overhead%s\n",
-                 xlabel_.c_str(), cache ? ",cache_hits_mean" : "");
+                 "io_overhead,reception_overhead%s%s\n",
+                 xlabel_.c_str(), cache ? ",cache_hits_mean" : "",
+                 quant ? ",latency_p99_s,latency_p999_s" : "");
     for (const auto& r : rows_) {
       std::fprintf(out, "csv,%s,%s,%.3f,%.4f,%.4f,%.4f", r.label.c_str(),
                    r.scheme.c_str(), r.bandwidth_mbps, r.latency_stddev_s,
                    r.io_overhead, r.reception_overhead);
       if (cache) std::fprintf(out, ",%.2f", r.cache_hits_mean);
+      if (quant) {
+        std::fprintf(out, ",%.4f,%.4f", r.latency_p99_s, r.latency_p999_s);
+      }
       std::fprintf(out, "\n");
     }
   }
@@ -179,6 +219,20 @@ class Reporter {
       for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
         if (!stageUsed(s)) continue;
         appendNumber(out, stageKey(s).c_str(), r.stage_mean_s[s]);
+      }
+      // Quantile fields follow the same conditional-emission pattern.
+      if (quantilesUsed()) {
+        appendNumber(out, "latency_p99_s", r.latency_p99_s);
+        appendNumber(out, "latency_p999_s", r.latency_p999_s);
+        for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+          if (!stageUsed(s)) continue;
+          appendNumber(out, stageKey(s, "_p50_s").c_str(),
+                       r.stage_p50_s[s]);
+          appendNumber(out, stageKey(s, "_p99_s").c_str(),
+                       r.stage_p99_s[s]);
+          appendNumber(out, stageKey(s, "_p999_s").c_str(),
+                       r.stage_p999_s[s]);
+        }
       }
       out += ", \"trials\": " + std::to_string(r.trials);
       out += ", \"incomplete\": " + std::to_string(r.incomplete);
@@ -234,14 +288,25 @@ class Reporter {
     return false;
   }
 
-  /// JSON key for a stage: "disk.queue_wait" -> "stage_disk_queue_wait_s".
-  [[nodiscard]] static std::string stageKey(std::uint8_t s) {
+  /// Quantiles are reported once any row's aggregate recorded stage
+  /// histograms (traced or flight-recorded runs).
+  [[nodiscard]] bool quantilesUsed() const {
+    for (const auto& r : rows_) {
+      if (r.stage_quantiles) return true;
+    }
+    return false;
+  }
+
+  /// JSON key for a stage: "disk.queue_wait" + "_s" ->
+  /// "stage_disk_queue_wait_s" (suffix "_p99_s" for the quantile keys).
+  [[nodiscard]] static std::string stageKey(std::uint8_t s,
+                                            const char* suffix = "_s") {
     std::string key = "stage_";
     for (const char* p = trace::stageName(static_cast<trace::Stage>(s));
          *p != '\0'; ++p) {
       key.push_back(*p == '.' ? '_' : *p);
     }
-    key += "_s";
+    key += suffix;
     return key;
   }
 

@@ -1,0 +1,117 @@
+#include "analysis/tail_attribution.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace robustore::analysis {
+
+void TailAttribution::addTrial(std::uint32_t trial,
+                               const trace::FlightRecorder& recorder) {
+  for (const auto& rec : recorder.retained()) {
+    TailAccess a;
+    a.trial = trial;
+    a.latency = rec->latency();
+    a.complete = rec->complete;
+    a.stages = rec->stages;
+    a.reissues = rec->reissues;
+    a.blocks_lost = rec->blocks_lost;
+    a.blocks_corrupt = rec->blocks_corrupt;
+    const auto [disk, busy] = trace::FlightRecorder::stragglerDisk(*rec);
+    a.straggler_disk = disk;
+    a.straggler_seconds = busy;
+    a.faults_in_window = recorder.faultsBetween(rec->start, rec->end);
+    accesses_.push_back(a);
+  }
+}
+
+std::uint8_t TailAttribution::dominantStage(
+    const trace::StageBreakdown& stages,
+    const double median_stage_s[trace::kNumStages]) {
+  // Pass 1: largest excess over the pool median (ties -> lowest index).
+  std::uint8_t best = trace::kNoStage;
+  double best_excess = 0.0;
+  if (median_stage_s != nullptr) {
+    for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+      const double excess = stages.seconds[s] - median_stage_s[s];
+      if (excess > best_excess) {
+        best = s;
+        best_excess = excess;
+      }
+    }
+    if (best != trace::kNoStage) return best;
+  }
+  // Pass 2: nothing is abnormal — blame the largest raw stage.
+  double best_raw = 0.0;
+  for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+    if (stages.seconds[s] > best_raw) {
+      best = s;
+      best_raw = stages.seconds[s];
+    }
+  }
+  return best;
+}
+
+BlameTable TailAttribution::blame(double tail_percentile) const {
+  BlameTable table;
+  table.tail_percentile = tail_percentile;
+  table.total_accesses = static_cast<std::uint32_t>(accesses_.size());
+  if (accesses_.empty()) return table;
+
+  SampleSet latencies;
+  SampleSet stage_samples[trace::kNumStages];
+  for (const TailAccess& a : accesses_) {
+    latencies.add(a.latency);
+    for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+      stage_samples[s].add(a.stages.seconds[s]);
+    }
+  }
+  table.threshold = latencies.percentile(tail_percentile);
+  for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+    table.median_stage_s[s] = stage_samples[s].percentile(50.0);
+  }
+
+  for (const TailAccess& a : accesses_) {
+    if (!(a.latency > table.threshold)) continue;
+    ++table.tail_count;
+    const std::uint8_t dom = dominantStage(a.stages, table.median_stage_s);
+    if (dom != trace::kNoStage) ++table.dominated_by[dom];
+    if (a.reissues > 0) ++table.with_reissues;
+    if (a.blocks_lost > 0 || a.blocks_corrupt > 0) ++table.with_block_loss;
+    if (a.faults_in_window > 0) ++table.with_faults;
+    if (!a.complete) ++table.incomplete;
+  }
+  if (table.tail_count > 0) {
+    // Accesses with an all-zero breakdown (dom == kNoStage) would leave
+    // the fractions short of 1; fold them into the largest end-to-end
+    // proxy — client.decode is never all-zero for a completed RobuSTore
+    // access, so in practice this bucket stays empty. To keep the sum
+    // exactly 1 regardless, count them under stage 0.
+    std::uint32_t attributed = 0;
+    for (const auto n : table.dominated_by) attributed += n;
+    table.dominated_by[0] += table.tail_count - attributed;
+    for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+      table.fraction[s] = static_cast<double>(table.dominated_by[s]) /
+                          static_cast<double>(table.tail_count);
+    }
+  }
+  return table;
+}
+
+std::vector<const TailAccess*> TailAttribution::outliers(
+    std::size_t k) const {
+  std::vector<const TailAccess*> out;
+  out.reserve(accesses_.size());
+  for (const TailAccess& a : accesses_) out.push_back(&a);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TailAccess* a, const TailAccess* b) {
+                     if (a->latency != b->latency) {
+                       return a->latency > b->latency;
+                     }
+                     return a->trial < b->trial;
+                   });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace robustore::analysis

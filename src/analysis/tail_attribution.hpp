@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/flight_recorder.hpp"
+#include "trace/trace.hpp"
+
+namespace robustore::analysis {
+
+/// Structured attribution record for one flight-recorded access: the raw
+/// forensics (per-stage seconds, reissues, straggler disk, concurrent
+/// faults) that explain *why* the access took as long as it did.
+struct TailAccess {
+  std::uint32_t trial = 0;
+  double latency = 0.0;
+  bool complete = false;
+  trace::StageBreakdown stages;
+  std::uint32_t reissues = 0;
+  std::uint32_t blocks_lost = 0;
+  std::uint32_t blocks_corrupt = 0;
+  std::uint32_t straggler_disk = trace::kNoDisk;
+  double straggler_seconds = 0.0;
+  std::uint32_t faults_in_window = 0;
+};
+
+/// Aggregated blame over the tail: what fraction of the >p tail each
+/// stage dominates, plus overlapping cause counters (an access can have
+/// both reissues and a concurrent fault).
+struct BlameTable {
+  double tail_percentile = 0.0;
+  /// The latency cut (p-th percentile over every access in the pool).
+  double threshold = 0.0;
+  std::uint32_t total_accesses = 0;
+  std::uint32_t tail_count = 0;
+  /// fraction[s] = tail accesses whose dominant stage is s, over
+  /// tail_count — sums to exactly 1 when tail_count > 0.
+  double fraction[trace::kNumStages] = {};
+  std::uint32_t dominated_by[trace::kNumStages] = {};
+  /// Per-stage median seconds over *all* accesses — the baseline the
+  /// dominant-stage excess is measured against.
+  double median_stage_s[trace::kNumStages] = {};
+  // Cause counters over the tail (overlapping, not a partition).
+  std::uint32_t with_reissues = 0;
+  std::uint32_t with_block_loss = 0;
+  std::uint32_t with_faults = 0;
+  std::uint32_t incomplete = 0;
+};
+
+/// Folds per-trial flight recorders into a pool of attribution records
+/// and derives blame tables / outlier rankings from it. Deterministic:
+/// insertion order is the caller's trial order and every tie-break is
+/// explicit (stage index, then trial index).
+class TailAttribution {
+ public:
+  /// Adds every access the trial's recorder retained. Straggler and
+  /// concurrent-fault attribution are computed against that recorder's
+  /// disk-busy ledger and fault log while they are still per-trial.
+  void addTrial(std::uint32_t trial, const trace::FlightRecorder& recorder);
+
+  [[nodiscard]] const std::vector<TailAccess>& accesses() const {
+    return accesses_;
+  }
+
+  /// The stage whose seconds most exceed the pool's per-stage median —
+  /// "what was abnormally slow about this access", robust to stages that
+  /// are always large (disk.transfer). Ties break toward the lowest
+  /// stage index; when nothing exceeds its median (or medians are not
+  /// supplied), the largest raw stage wins. Returns kNoStage only for an
+  /// all-zero breakdown.
+  [[nodiscard]] static std::uint8_t dominantStage(
+      const trace::StageBreakdown& stages,
+      const double median_stage_s[trace::kNumStages]);
+
+  /// Blame over the accesses with latency strictly above the pool's
+  /// `tail_percentile` latency percentile. Zero tail (e.g. all latencies
+  /// equal) yields tail_count = 0 and all-zero fractions.
+  [[nodiscard]] BlameTable blame(double tail_percentile = 99.0) const;
+
+  /// The slowest `k` accesses, latency descending (tie: lower trial
+  /// first, then insertion order).
+  [[nodiscard]] std::vector<const TailAccess*> outliers(std::size_t k) const;
+
+ private:
+  std::vector<TailAccess> accesses_;
+};
+
+}  // namespace robustore::analysis

@@ -8,6 +8,7 @@
 #include "client/robustore_scheme.hpp"
 #include "client/rraid.hpp"
 #include "common/expects.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace robustore::client {
 
@@ -48,6 +49,12 @@ void Scheme::finish(Session& session) {
             session.finish_time + session.extra_latency, session.stream,
             trace::kClientTrack);
   }
+  if (auto* fr = flightRecorder(); fr != nullptr) {
+    // After the decode span so the ring sees the full access.
+    fr->endAccess(session.stream,
+                  session.finish_time + session.extra_latency,
+                  /*complete=*/true);
+  }
   if (session.on_complete) {
     session.on_complete();
   } else {
@@ -62,6 +69,9 @@ void Scheme::fail(Session& session) {
   if (auto* t = tracer(); t != nullptr) {
     t->instant("client.access_failed", session.finish_time, session.stream,
                trace::kClientTrack);
+  }
+  if (auto* fr = flightRecorder(); fr != nullptr) {
+    fr->endAccess(session.stream, session.finish_time, /*complete=*/false);
   }
   if (session.on_complete) {
     session.on_complete();
@@ -88,6 +98,11 @@ void Scheme::beginRead(Session& session, StoredFile& file,
     heal_rng_ = Rng(file.file_id * 0x9e3779b97f4a7c15ULL + 0x48EA1ULL);
   }
   session.start = engine().now();
+  if (auto* fr = flightRecorder(); fr != nullptr) {
+    // Reads only: heal/repair streams and writes never open a ring, so
+    // their spans are ignored by the recorder's stream filter.
+    fr->beginAccess(session.stream, session.start);
+  }
   engine().schedule(config.metadata_latency,
                     [this, &session, &file, &config] {
                       startRead(session, file, config);
@@ -149,6 +164,9 @@ void Scheme::abortRead(Session& session) {
       t->instant("client.access_aborted", session.finish_time, session.stream,
                  trace::kClientTrack);
     }
+    if (auto* fr = flightRecorder(); fr != nullptr) {
+      fr->endAccess(session.stream, session.finish_time, /*complete=*/false);
+    }
   }
   for (const auto& weak : session.tracked_reads) {
     // A dead weak_ptr is a settled read whose callbacks all fired.
@@ -186,7 +204,16 @@ metrics::AccessMetrics Scheme::collect(const Session& session,
   m.reissued_requests = session.reissued_requests;
   m.time_lost_to_failures = session.time_lost_to_failures;
   if (const trace::Tracer* t = cluster_->tracer(); t != nullptr) {
-    m.stages = t->breakdown(session.stream);
+    if (t->enabled()) {
+      m.stages = t->breakdown(session.stream);
+    } else if (const trace::FlightRecorder* fr = t->sink(); fr != nullptr) {
+      // Recorder-only mode: the recorder maintained the same addSpan
+      // sums the tracer would have — O(1), and scoped to the latest
+      // access when campaigns reuse stream ids.
+      if (const auto* b = fr->lastBreakdown(session.stream); b != nullptr) {
+        m.stages = *b;
+      }
+    }
   }
   return m;
 }
@@ -406,6 +433,14 @@ metrics::AccessMetrics Scheme::settle(Session& session, Bytes data_bytes,
   // A timed-out access is failed from here on: retry/watchdog events
   // still queued must no-op during the drain below.
   if (!session.complete) session.failed = true;
+  if (auto* fr = flightRecorder(); fr != nullptr) {
+    // Timed-out accesses never went through finish()/fail(); close the
+    // ring here (idempotent for the ones that did).
+    const SimTime end = session.finish_time > 0.0
+                            ? session.finish_time + session.extra_latency
+                            : engine().now();
+    fr->endAccess(session.stream, end, session.complete);
+  }
   if (auto* t = tracer(); t != nullptr) {
     // The whole-access envelope span (start through completion + decode
     // tail, or through the run boundary for failed/timed-out accesses).

@@ -318,6 +318,12 @@ class Scheme {
   /// The cluster's tracer, or null when tracing is off — schemes guard
   /// every trace emission on this single pointer test.
   [[nodiscard]] trace::Tracer* tracer() { return cluster_->tracer(); }
+  /// The flight recorder riding on the tracer (possibly with the tracer
+  /// itself disabled — the always-on recorder mode), or null.
+  [[nodiscard]] trace::FlightRecorder* flightRecorder() {
+    trace::Tracer* t = cluster_->tracer();
+    return t != nullptr ? t->sink() : nullptr;
+  }
 
  private:
   metrics::AccessMetrics settle(Session& session, Bytes data_bytes,

@@ -56,7 +56,18 @@ class SampleSet {
   [[nodiscard]] std::size_t count() const {
     return samples_.size() + pending_.size();
   }
-  /// Linear-interpolated percentile, p in [0, 100].
+  /// Linear-interpolated percentile, p in [0, 100] (asserted).
+  ///
+  /// Contract (pinned by the stats regression tests): the rank is
+  /// p/100 * (n-1) over the sorted samples, interpolating linearly
+  /// between the two neighbouring order statistics. Consequences:
+  ///   - empty set       -> 0.0 (no assertion; the defined empty value)
+  ///   - single sample   -> that sample, for every p
+  ///   - p = 0           -> the exact minimum
+  ///   - p = 100         -> the exact maximum (rank lands on n-1; the
+  ///                        upper neighbour clamps to the last sample)
+  /// QuantileHistogram::quantile follows the same rank convention so the
+  /// two agree to within its bucket error on identical streams.
   [[nodiscard]] double percentile(double p) const;
   /// The full sample multiset in ascending order (materialized copy).
   [[nodiscard]] std::vector<double> sorted() const;

@@ -116,7 +116,8 @@ std::uint32_t ExperimentRunner::trialsFromEnv(std::uint32_t fallback) {
 metrics::AccessMetrics ExperimentRunner::runTrial(
     const ExperimentConfig& config, client::SchemeKind kind,
     std::uint32_t trial_index, trace::Tracer* trace_out,
-    telemetry::TrialTelemetry* telemetry_out) {
+    telemetry::TrialTelemetry* telemetry_out,
+    trace::FlightRecorder* flight_out) {
   ROBUSTORE_EXPECTS(!trialsAreCoupled(config),
                     "coupled experiments cannot run as independent trials");
   // One trial = one worker thread: the guard scopes the host profile of
@@ -132,8 +133,18 @@ metrics::AccessMetrics ExperimentRunner::runTrial(
   // merges per-trial tracers in trial order, which is what makes traced
   // parallel runs byte-identical to serial ones.
   std::optional<trace::Tracer> tracer;
-  if (config.trace || trace_out != nullptr) {
-    tracer.emplace();
+  std::optional<trace::FlightRecorder> recorder;
+  const bool want_trace = config.trace || trace_out != nullptr;
+  const bool want_flight = config.flight || flight_out != nullptr;
+  if (want_trace || want_flight) {
+    // Recorder-only mode rides a *disabled* tracer: every existing
+    // `if (tracer_)` instrumentation site fires, the sink sees the
+    // events, and the tracer itself allocates nothing.
+    tracer.emplace(want_trace);
+    if (want_flight) {
+      recorder.emplace(config.flight_config);
+      tracer->setSink(&*recorder);
+    }
     cluster.attachTracer(&*tracer);
   }
 
@@ -204,6 +215,7 @@ metrics::AccessMetrics ExperimentRunner::runTrial(
     }
   }
   if (trace_out != nullptr && tracer) trace_out->append(*tracer);
+  if (flight_out != nullptr && recorder) flight_out->absorb(*recorder);
   return m;
 }
 
@@ -220,22 +232,30 @@ metrics::AccessAggregate ExperimentRunner::run(client::SchemeKind kind,
   if (trialsAreCoupled(config_)) return runCoupled(kind, options);
 
   std::vector<metrics::AccessMetrics> per_trial(config_.trials);
+  const bool want_flight = config_.flight && options.on_flight != nullptr;
+  std::vector<std::unique_ptr<trace::FlightRecorder>> flights;
+  if (want_flight) flights.resize(config_.trials);
+  const auto runCell = [&](std::uint32_t t) {
+    if (want_flight) {
+      flights[t] =
+          std::make_unique<trace::FlightRecorder>(config_.flight_config);
+    }
+    per_trial[t] = runTrial(config_, kind, t, nullptr, nullptr,
+                            want_flight ? flights[t].get() : nullptr);
+  };
   const unsigned threads = resolveThreads(options, config_.trials);
   if (threads <= 1) {
-    for (std::uint32_t t = 0; t < config_.trials; ++t) {
-      per_trial[t] = runTrial(config_, kind, t);
-    }
+    for (std::uint32_t t = 0; t < config_.trials; ++t) runCell(t);
   } else {
     TrialPool pool(threads);
-    pool.forEachIndex(config_.trials, [&](std::uint32_t t) {
-      per_trial[t] = runTrial(config_, kind, t);
-    });
+    pool.forEachIndex(config_.trials, runCell);
   }
 
   // Ordered reduction: identical to the serial loop for any thread count.
   metrics::AccessAggregate agg;
   for (std::uint32_t t = 0; t < config_.trials; ++t) {
     if (options.on_trial) options.on_trial(kind, t, per_trial[t]);
+    if (want_flight) options.on_flight(kind, t, *flights[t]);
     agg.add(per_trial[t]);
   }
   return agg;
@@ -257,10 +277,18 @@ std::vector<ExperimentRunner::SchemeResult> ExperimentRunner::runAll(
       static_cast<std::uint32_t>(std::size(kSchemeOrder));
   const std::uint32_t jobs = kNumSchemes * config_.trials;
   std::vector<metrics::AccessMetrics> grid(jobs);
+  const bool want_flight = config_.flight && options.on_flight != nullptr;
+  std::vector<std::unique_ptr<trace::FlightRecorder>> flights;
+  if (want_flight) flights.resize(jobs);
   const unsigned threads = resolveThreads(options, jobs);
   const auto runCell = [&](std::uint32_t i) {
     const auto kind = kSchemeOrder[i / config_.trials];
-    grid[i] = runTrial(config_, kind, i % config_.trials);
+    if (want_flight) {
+      flights[i] =
+          std::make_unique<trace::FlightRecorder>(config_.flight_config);
+    }
+    grid[i] = runTrial(config_, kind, i % config_.trials, nullptr, nullptr,
+                       want_flight ? flights[i].get() : nullptr);
   };
   if (threads <= 1) {
     for (std::uint32_t i = 0; i < jobs; ++i) runCell(i);
@@ -272,8 +300,10 @@ std::vector<ExperimentRunner::SchemeResult> ExperimentRunner::runAll(
   for (std::uint32_t s = 0; s < kNumSchemes; ++s) {
     metrics::AccessAggregate agg;
     for (std::uint32_t t = 0; t < config_.trials; ++t) {
-      const auto& m = grid[s * config_.trials + t];
+      const std::uint32_t i = s * config_.trials + t;
+      const auto& m = grid[i];
       if (options.on_trial) options.on_trial(kSchemeOrder[s], t, m);
+      if (want_flight) options.on_flight(kSchemeOrder[s], t, *flights[i]);
       agg.add(m);
     }
     results.push_back(SchemeResult{kSchemeOrder[s], agg});

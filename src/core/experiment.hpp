@@ -12,6 +12,7 @@
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/trace.hpp"
 
 namespace robustore::core {
@@ -98,6 +99,15 @@ struct ExperimentConfig {
   /// guard test pins this). Usually populated from ROBUSTORE_SAMPLE_DT
   /// (milliseconds) via telemetry::sampleDtFromEnv().
   SimTime sample_dt = 0.0;
+  /// Attach an always-on flight recorder to every trial (a disabled
+  /// tracer carries it as a sink, so the existing instrumentation sites
+  /// feed per-access event rings without allocating trace records). The
+  /// recorder schedules no engine events and draws no rng — simulated
+  /// results stay bitwise identical with it on or off. Per-trial
+  /// recorders surface through RunOptions::on_flight in trial order.
+  /// Usually populated from ROBUSTORE_FLIGHT via RunEnv::flight().
+  bool flight = false;
+  trace::FlightRecorderConfig flight_config;
 
   // --- trials ------------------------------------------------------------
   std::uint32_t trials = 20;
@@ -119,6 +129,14 @@ struct RunOptions {
   std::function<void(client::SchemeKind, std::uint32_t,
                      const metrics::AccessMetrics&)>
       on_trial;
+  /// Flight-recorder reduction hook (requires config.flight): invoked on
+  /// the calling thread, in strictly increasing trial order per scheme,
+  /// with the trial's recorder — absorb() it into a per-scheme recorder
+  /// for deterministic slowest-K aggregation. Coupled experiments do not
+  /// support flight recording and never invoke this.
+  std::function<void(client::SchemeKind, std::uint32_t,
+                     trace::FlightRecorder&)>
+      on_flight;
 };
 
 /// Runs one experiment configuration for one or all schemes. Each scheme
@@ -169,10 +187,13 @@ class ExperimentRunner {
   /// With config.sample_dt set and `telemetry_out` null the series are
   /// sampled into trial-local storage and dropped — exercised only so
   /// traced runs still get their counter tracks.
+  /// `flight_out` (optional) receives the trial's flight-recorder state
+  /// via absorb(); it implies a recorder even when config.flight is off.
   [[nodiscard]] static metrics::AccessMetrics runTrial(
       const ExperimentConfig& config, client::SchemeKind kind,
       std::uint32_t trial_index, trace::Tracer* trace_out = nullptr,
-      telemetry::TrialTelemetry* telemetry_out = nullptr);
+      telemetry::TrialTelemetry* telemetry_out = nullptr,
+      trace::FlightRecorder* flight_out = nullptr);
 
   /// True when trials share cluster state by design (warm filer caches
   /// via reuse_file, or load learning via metadata_disk_selection) and

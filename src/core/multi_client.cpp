@@ -61,6 +61,17 @@ MultiClientResult MultiClientExperiment::run() {
   cc.server.admission = config_.admission;
   client::Cluster cluster(engine, cc, Rng(config_.seed ^ 0x5eedu));
 
+  // Always-on recorder mode: the tracer stays disabled (no records, no
+  // allocation), its sink sees every span/instant the instrumentation
+  // sites already emit.
+  std::shared_ptr<trace::FlightRecorder> recorder;
+  trace::Tracer flight_tracer(false);
+  if (config_.flight) {
+    recorder = std::make_shared<trace::FlightRecorder>(config_.flight_config);
+    flight_tracer.setSink(recorder.get());
+    cluster.attachTracer(&flight_tracer);
+  }
+
   const bool campaign = config_.accesses_per_client > 1;
   std::vector<ClientState> clients(config_.num_clients);
   /// Finished campaign sessions with disk work still in service, paired
@@ -242,6 +253,7 @@ MultiClientResult MultiClientExperiment::run() {
   result.events_scheduled = stats.scheduled;
   result.events_fired = stats.fired;
   result.peak_live_events = stats.peak_live;
+  result.flight = std::move(recorder);
   return result;
 }
 

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "client/cluster.hpp"
 #include "client/scheme.hpp"
 #include "metrics/metrics.hpp"
 #include "server/admission.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace robustore::core {
 
@@ -54,6 +56,14 @@ struct MultiClientConfig {
   /// Simulated-time bound for the whole campaign; 0 uses access.timeout
   /// (the legacy bound, right for single accesses).
   SimTime run_deadline = 0.0;
+
+  /// Always-on flight recorder over the whole campaign (a disabled
+  /// tracer carries it as sink). Zero engine events, zero rng draws —
+  /// every simulated result in MultiClientResult is bitwise identical
+  /// with it on or off; the recorder surfaces via
+  /// MultiClientResult::flight.
+  bool flight = false;
+  trace::FlightRecorderConfig flight_config;
 };
 
 struct MultiClientResult {
@@ -81,6 +91,10 @@ struct MultiClientResult {
   /// this stays close to the deadline — bounded by in-service disk work,
   /// not by request timeouts.
   SimTime drained_at = 0.0;
+
+  /// The campaign's flight recorder when config.flight was set (shared
+  /// so results stay copyable); null otherwise.
+  std::shared_ptr<trace::FlightRecorder> flight;
 };
 
 class MultiClientExperiment {

@@ -94,6 +94,8 @@ bool RunEnv::hostProfile() { return boolish("ROBUSTORE_HOST_PROFILE"); }
 
 bool RunEnv::trace() { return boolish("ROBUSTORE_TRACE"); }
 
+bool RunEnv::flight() { return boolish("ROBUSTORE_FLIGHT"); }
+
 bool RunEnv::csv() { return std::getenv("ROBUSTORE_CSV") != nullptr; }
 
 std::optional<std::string> RunEnv::jsonDir() {

@@ -25,6 +25,8 @@ namespace robustore::core {
 /// |                        |                 | (unset/invalid = sampling off)  |
 /// | ROBUSTORE_HOST_PROFILE | bool-ish        | host-side profiling             |
 /// | ROBUSTORE_TRACE        | bool-ish        | per-stage latency tracing       |
+/// | ROBUSTORE_FLIGHT       | bool-ish        | always-on access flight         |
+/// |                        |                 | recorder (tail forensics)       |
 /// | ROBUSTORE_CSV          | presence        | CSV block in bench output       |
 /// | ROBUSTORE_JSON         | "1" or dir path | write BENCH_*.json ("1" = cwd)  |
 /// | ROBUSTORE_SIMD         | level name      | coding-kernel dispatch override |
@@ -66,6 +68,9 @@ class RunEnv {
 
   /// ROBUSTORE_TRACE as bool-ish.
   [[nodiscard]] static bool trace();
+
+  /// ROBUSTORE_FLIGHT as bool-ish.
+  [[nodiscard]] static bool flight();
 
   /// ROBUSTORE_CSV as presence.
   [[nodiscard]] static bool csv();

@@ -14,6 +14,11 @@ void AccessAggregate::merge(const AccessAggregate& other) {
   time_lost_.merge(other.time_lost_);
   incomplete_ += other.incomplete_;
   stages_ += other.stages_;
+  for (std::size_t i = 0; i < trace::kNumStages; ++i) {
+    stage_hist_[i].merge(other.stage_hist_[i]);
+  }
+  latency_hist_.merge(other.latency_hist_);
+  stage_hist_count_ += other.stage_hist_count_;
 }
 
 double AccessAggregate::meanStageSeconds(trace::Stage stage) const {
@@ -41,6 +46,13 @@ void AccessAggregate::add(const AccessMetrics& m) {
   reception_.add(m.receptionOverhead());
   cache_hits_.add(m.cache_hits);
   stages_ += m.stages;
+  if (!m.stages.empty()) {
+    for (std::size_t i = 0; i < trace::kNumStages; ++i) {
+      stage_hist_[i].record(m.stages.seconds[i]);
+    }
+    latency_hist_.record(m.latency);
+    ++stage_hist_count_;
+  }
 }
 
 }  // namespace robustore::metrics

@@ -1,0 +1,82 @@
+#include "telemetry/quantile_histogram.hpp"
+
+#include <cmath>
+
+namespace robustore::telemetry {
+
+std::int32_t QuantileHistogram::bucketKey(double value) {
+  int octave = 0;
+  const double mantissa = std::frexp(value, &octave);  // in [0.5, 1)
+  auto sub = static_cast<std::int32_t>((mantissa - 0.5) * 2.0 *
+                                       static_cast<double>(kSubBuckets));
+  if (sub < 0) sub = 0;
+  const auto last = static_cast<std::int32_t>(kSubBuckets) - 1;
+  if (sub > last) sub = last;
+  return octave * static_cast<std::int32_t>(kSubBuckets) + sub;
+}
+
+double QuantileHistogram::bucketMid(std::int32_t key) {
+  const auto n = static_cast<std::int32_t>(kSubBuckets);
+  // Floor division: octave keys are negative for values below 1.0.
+  std::int32_t octave = key / n;
+  std::int32_t sub = key % n;
+  if (sub < 0) {
+    sub += n;
+    --octave;
+  }
+  const double width = 0.5 / static_cast<double>(kSubBuckets);
+  const double mantissa =
+      0.5 + (static_cast<double>(sub) + 0.5) * width;
+  return std::ldexp(mantissa, octave);
+}
+
+void QuantileHistogram::record(double value) {
+  if (std::isnan(value) || value < 0.0) value = 0.0;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  if (value == 0.0) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[bucketKey(value)];
+}
+
+void QuantileHistogram::merge(const QuantileHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [key, n] : other.buckets_) buckets_[key] += n;
+}
+
+double QuantileHistogram::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max();
+  // Same rank convention as SampleSet::percentile; the histogram cannot
+  // interpolate between neighbours, so it returns the bucket midpoint of
+  // the sample at floor(rank) — within bucket error of the interpolated
+  // value because neighbours at adjacent ranks share or adjoin buckets.
+  const double rank =
+      p / 100.0 * static_cast<double>(count_ - 1);
+  auto index = static_cast<std::uint64_t>(rank);
+  if (index >= count_) index = count_ - 1;
+  if (index < zero_count_) return 0.0;
+  std::uint64_t cumulative = zero_count_;
+  for (const auto& [key, n] : buckets_) {
+    cumulative += n;
+    if (cumulative > index) {
+      double v = bucketMid(key);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max();
+}
+
+}  // namespace robustore::telemetry

@@ -25,6 +25,26 @@ double Histogram::bucketEdge(std::size_t i) const {
   return least_ * std::exp2(static_cast<double>(i));
 }
 
+double Histogram::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  auto index = static_cast<std::uint64_t>(rank);
+  if (index >= count_) index = count_ - 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative > index) {
+      double v = bucketEdge(i);
+      if (v < min()) v = min();
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
 template <typename T, typename... Args>
 T& MetricRegistry::getOrCreate(Family<T>& family, std::string_view name,
                                Args&&... args) {

@@ -54,6 +54,19 @@ class Histogram {
   /// Upper edge of bucket i (the last bucket is unbounded).
   [[nodiscard]] double bucketEdge(std::size_t i) const;
 
+  /// Bucket-resolution quantile for p in [0, 100] (clamped): the upper
+  /// edge of the bucket holding the sample at rank p/100 * (count-1)
+  /// (SampleSet's rank convention), clamped into [min, max]. Edge
+  /// contract: empty -> 0.0, p <= 0 -> min, p >= 100 -> max.
+  ///
+  /// Worst-case error is one bucket: edges are powers of two, so the
+  /// result can overstate the true order statistic by up to 2x (the
+  /// bucket's full width) — plus whatever the [0, least] first bucket
+  /// spans. This is exposition-grade (Prometheus consumers reading p99
+  /// off the final snapshot), not analysis-grade; use QuantileHistogram
+  /// when ~1% relative error matters.
+  [[nodiscard]] double quantile(double p) const;
+
  private:
   double least_;
   std::uint64_t buckets_[kNumBuckets] = {};

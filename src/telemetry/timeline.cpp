@@ -1,5 +1,6 @@
 #include "telemetry/timeline.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "telemetry/registry.hpp"
@@ -7,10 +8,34 @@
 namespace robustore::telemetry {
 namespace {
 
+/// Non-finite gauge values serialize as fixed tokens: printf's "nan"
+/// carries an implementation-defined sign ("-nan" on some libcs — a
+/// nondeterministic export byte), and "inf" is not a JSON token at all.
+/// CSV gets the bare tokens; JSON quotes them so the document stays
+/// parseable.
+const char* nonFiniteToken(double value) {
+  if (std::isnan(value)) return "NaN";
+  return value > 0 ? "Inf" : "-Inf";
+}
+
 void appendNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += nonFiniteToken(value);
+    return;
+  }
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.9g", value);
   out += buf;
+}
+
+void appendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += '"';
+    out += nonFiniteToken(value);
+    out += '"';
+    return;
+  }
+  appendNumber(out, value);
 }
 
 }  // namespace
@@ -64,9 +89,9 @@ std::string Timeline::toJson(SimTime sample_dt) const {
     for (std::size_t i = 0; i < s.size(); ++i) {
       if (i != 0) out += ",";
       out += '[';
-      appendNumber(out, s.t[i]);
+      appendJsonNumber(out, s.t[i]);
       out += ',';
-      appendNumber(out, s.v[i]);
+      appendJsonNumber(out, s.v[i]);
       out += ']';
     }
     out += "]}";

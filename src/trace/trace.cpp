@@ -1,6 +1,7 @@
 #include "trace/trace.hpp"
 
 #include "common/expects.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace robustore::trace {
 
@@ -31,6 +32,7 @@ const char* stageName(Stage stage) {
 void Tracer::span(Stage stage, SimTime begin, SimTime end,
                   std::uint64_t access, std::uint32_t track,
                   std::uint32_t disk, std::uint64_t ref) {
+  if (sink_ != nullptr) sink_->onSpan(stage, begin, end, access, disk);
   if (!enabled_) return;
   ROBUSTORE_EXPECTS(end >= begin, "span ends before it begins");
   Record r;
@@ -48,6 +50,7 @@ void Tracer::span(Stage stage, SimTime begin, SimTime end,
 void Tracer::namedSpan(const char* name, SimTime begin, SimTime end,
                        std::uint64_t access, std::uint32_t track,
                        std::uint32_t disk, std::uint64_t ref) {
+  if (sink_ != nullptr) sink_->onNamedSpan(name, begin, end, access, disk);
   if (!enabled_) return;
   ROBUSTORE_EXPECTS(end >= begin, "span ends before it begins");
   Record r;
@@ -64,6 +67,7 @@ void Tracer::namedSpan(const char* name, SimTime begin, SimTime end,
 void Tracer::instant(const char* name, SimTime at, std::uint64_t access,
                      std::uint32_t track, std::uint32_t disk,
                      std::uint64_t ref) {
+  if (sink_ != nullptr) sink_->onInstant(name, at, access, disk);
   if (!enabled_) return;
   Record r;
   r.name = name;

@@ -11,6 +11,8 @@
 
 namespace robustore::trace {
 
+class FlightRecorder;
+
 /// The latency stages of an access (§6.2.3's decomposition: where does
 /// access time go?). Every span the instrumentation emits is either one
 /// of these stages or a named event outside the taxonomy (fault.*,
@@ -121,6 +123,15 @@ class Tracer {
 
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Attaches a flight recorder that sees every span/instant this tracer
+  /// is offered — even when the tracer itself is disabled (a disabled
+  /// tracer with a sink is the always-on recorder mode: existing
+  /// `if (tracer_)` instrumentation sites feed the ring without the
+  /// tracer allocating records). counter() samples are not forwarded —
+  /// they are system-wide series, not per-access events.
+  void setSink(FlightRecorder* sink) { sink_ = sink; }
+  [[nodiscard]] FlightRecorder* sink() const { return sink_; }
+
   void span(Stage stage, SimTime begin, SimTime end, std::uint64_t access,
             std::uint32_t track, std::uint32_t disk = kNoDisk,
             std::uint64_t ref = 0);
@@ -159,6 +170,7 @@ class Tracer {
 
  private:
   bool enabled_ = true;
+  FlightRecorder* sink_ = nullptr;
   std::vector<Record> records_;
   /// Name intern pool: deque for stable storage, the map for dedup. Keys
   /// are views into the pooled strings themselves.

@@ -71,6 +71,30 @@ TEST(HostProfiler, ExclusiveAccountingSumsToAtMostWallTime) {
   EXPECT_LE(p.totalScopeSeconds(), p.wall_seconds);
 }
 
+TEST(HostProfiler, NestedSameNameScopesKeepExclusiveAccounting) {
+  // Re-entering a scope already on the stack (decode calling back into
+  // decode) must not double-charge the overlap: the outer occurrence is
+  // paused while the inner one runs, so the scope's total stays within
+  // the wall clock and both entries count as calls.
+  HostProfiler::resetGlobal();
+  {
+    const HostProfiler::TrialGuard guard(/*active=*/true);
+    const HostProfiler::Scope outer(HostScope::kDecode);
+    spin(0.002);
+    {
+      const HostProfiler::Scope inner(HostScope::kDecode);
+      spin(0.002);
+    }
+    spin(0.002);
+  }
+  const HostProfile p = HostProfiler::globalSnapshot();
+  ASSERT_FALSE(p.empty());
+  EXPECT_EQ(p.calls[static_cast<std::size_t>(HostScope::kDecode)], 2u);
+  // All three spins are decode time exactly once.
+  EXPECT_GT(p.scopeSeconds(HostScope::kDecode), 0.005);
+  EXPECT_LE(p.totalScopeSeconds(), p.wall_seconds);
+}
+
 TEST(HostProfiler, RepeatedScopesAccumulateCalls) {
   HostProfiler::resetGlobal();
   {

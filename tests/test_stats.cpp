@@ -101,6 +101,33 @@ TEST(SampleSet, PercentileAfterMoreAdds) {
   EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
 }
 
+// Regression pins for the percentile contract documented in stats.hpp:
+// rank = p/100 * (n-1) with linear interpolation, and the edge values
+// that QuantileHistogram::quantile mirrors.
+TEST(SampleSet, PercentileEdgeCasesArePinned) {
+  SampleSet empty;
+  EXPECT_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_EQ(empty.percentile(50.0), 0.0);
+  EXPECT_EQ(empty.percentile(100.0), 0.0);
+
+  SampleSet single;
+  single.add(4.25);
+  EXPECT_DOUBLE_EQ(single.percentile(0.0), 4.25);
+  EXPECT_DOUBLE_EQ(single.percentile(37.0), 4.25);
+  EXPECT_DOUBLE_EQ(single.percentile(100.0), 4.25);
+
+  SampleSet s;
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);    // exact minimum
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 5.0);  // exact maximum
+  // rank = 0.5 * 4 = 2 lands exactly on the middle order statistic...
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 3.0);
+  // ...and an off-grid rank interpolates: 0.25 * 4 = 1 -> 2.0,
+  // 0.30 * 4 = 1.2 -> 2.0 + 0.2 * (3.0 - 2.0).
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(30.0), 2.2);
+}
+
 TEST(SampleSet, MergeMatchesSequentialAdds) {
   SampleSet sequential;
   SampleSet left;

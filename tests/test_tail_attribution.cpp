@@ -1,0 +1,154 @@
+// analysis::TailAttribution: the blame-table derivation over flight
+// records. Pins dominant-stage selection (excess over pool median, raw
+// fallback, explicit tie-breaks), fraction normalization (sums to
+// exactly 1 over the tail), the overlapping cause counters, and the
+// outlier ordering contract.
+
+#include "analysis/tail_attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/flight_recorder.hpp"
+#include "trace/trace.hpp"
+
+namespace robustore::analysis {
+namespace {
+
+using trace::Stage;
+
+/// Builds a recorder holding one completed access of `latency` whose
+/// time sits in `stage`, and feeds it to `attribution` as `trial`.
+void addAccess(TailAttribution& attribution, std::uint32_t trial,
+               double latency, Stage stage, std::uint32_t reissues = 0) {
+  trace::FlightRecorderConfig config;
+  config.keep_slowest = 1;
+  trace::FlightRecorder recorder(config);
+  trace::Tracer tracer(false);
+  tracer.setSink(&recorder);
+  recorder.beginAccess(1, 0.0);
+  tracer.span(stage, 0.0, latency, 1, trace::kClientTrack);
+  for (std::uint32_t r = 0; r < reissues; ++r) {
+    tracer.span(Stage::kClientReissue, 0.0, 0.01, 1, trace::kClientTrack);
+  }
+  recorder.endAccess(1, latency, true);
+  attribution.addTrial(trial, recorder);
+}
+
+TEST(TailAttribution, DominantStageIsTheLargestExcessOverMedian) {
+  double medians[trace::kNumStages] = {};
+  medians[static_cast<std::size_t>(Stage::kDiskTransfer)] = 1.0;
+  medians[static_cast<std::size_t>(Stage::kClientDecode)] = 0.1;
+
+  trace::StageBreakdown b;
+  b.addSpan(Stage::kDiskTransfer, 1.2);  // excess 0.2
+  b.addSpan(Stage::kClientDecode, 0.8);  // excess 0.7 -> dominant
+  EXPECT_EQ(TailAttribution::dominantStage(b, medians),
+            static_cast<std::uint8_t>(Stage::kClientDecode));
+}
+
+TEST(TailAttribution, DominantStageFallsBackToLargestRaw) {
+  // Nothing exceeds its median: the access is slow in its usual shape,
+  // so blame the biggest raw contributor.
+  double medians[trace::kNumStages];
+  for (auto& m : medians) m = 100.0;
+  trace::StageBreakdown b;
+  b.addSpan(Stage::kDiskSeek, 2.0);
+  b.addSpan(Stage::kNetTransfer, 5.0);
+  EXPECT_EQ(TailAttribution::dominantStage(b, medians),
+            static_cast<std::uint8_t>(Stage::kNetTransfer));
+  // All-zero breakdown: nothing to blame.
+  const trace::StageBreakdown zero;
+  EXPECT_EQ(TailAttribution::dominantStage(zero, medians), trace::kNoStage);
+}
+
+TEST(TailAttribution, DominantStageTiesBreakTowardTheLowestIndex) {
+  double medians[trace::kNumStages] = {};
+  trace::StageBreakdown b;
+  b.addSpan(Stage::kDiskSeek, 1.0);      // index 2
+  b.addSpan(Stage::kClientDecode, 1.0);  // index 7, equal excess
+  EXPECT_EQ(TailAttribution::dominantStage(b, medians),
+            static_cast<std::uint8_t>(Stage::kDiskSeek));
+}
+
+TEST(TailAttribution, BlameFractionsSumToExactlyOne) {
+  TailAttribution attribution;
+  // 18 unremarkable accesses and two distinct slow ones.
+  for (std::uint32_t t = 0; t < 18; ++t) {
+    addAccess(attribution, t, 1.0 + 0.001 * t, Stage::kDiskTransfer);
+  }
+  addAccess(attribution, 18, 9.0, Stage::kClientDecode, /*reissues=*/2);
+  addAccess(attribution, 19, 8.0, Stage::kServerForward);
+
+  const BlameTable table = attribution.blame(80.0);
+  EXPECT_EQ(table.total_accesses, 20u);
+  ASSERT_GT(table.tail_count, 0u);
+  double sum = 0.0;
+  for (const double f : table.fraction) sum += f;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  // The two engineered outliers are in the tail and blamed correctly.
+  EXPECT_GT(table.fraction[static_cast<std::size_t>(Stage::kClientDecode)],
+            0.0);
+  EXPECT_GT(table.fraction[static_cast<std::size_t>(Stage::kServerForward)],
+            0.0);
+  EXPECT_EQ(table.with_reissues, 1u);
+}
+
+TEST(TailAttribution, EmptyAndNoTailPools) {
+  TailAttribution attribution;
+  const BlameTable empty = attribution.blame(99.0);
+  EXPECT_EQ(empty.total_accesses, 0u);
+  EXPECT_EQ(empty.tail_count, 0u);
+
+  // All latencies equal: nothing is strictly above the percentile.
+  for (std::uint32_t t = 0; t < 5; ++t) {
+    addAccess(attribution, t, 2.0, Stage::kDiskTransfer);
+  }
+  const BlameTable flat = attribution.blame(90.0);
+  EXPECT_EQ(flat.total_accesses, 5u);
+  EXPECT_EQ(flat.tail_count, 0u);
+  for (const double f : flat.fraction) EXPECT_EQ(f, 0.0);
+}
+
+TEST(TailAttribution, OutliersAreLatencyDescendingTrialAscendingOnTies) {
+  TailAttribution attribution;
+  addAccess(attribution, 0, 2.0, Stage::kDiskTransfer);
+  addAccess(attribution, 1, 5.0, Stage::kDiskTransfer);
+  addAccess(attribution, 2, 5.0, Stage::kDiskTransfer);
+  addAccess(attribution, 3, 1.0, Stage::kDiskTransfer);
+
+  const auto top = attribution.outliers(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0]->trial, 1u);  // 5.0, earlier trial first on the tie
+  EXPECT_EQ(top[1]->trial, 2u);  // 5.0
+  EXPECT_EQ(top[2]->trial, 0u);  // 2.0
+  // k larger than the pool returns everything.
+  EXPECT_EQ(attribution.outliers(99).size(), 4u);
+}
+
+TEST(TailAttribution, AddTrialCapturesForensicFields) {
+  trace::FlightRecorder recorder;
+  trace::Tracer tracer(false);
+  tracer.setSink(&recorder);
+  tracer.instant("fault.fail_stop", 0.5, 0, trace::kFaultTrack, 3);
+  recorder.beginAccess(1, 0.0);
+  tracer.span(Stage::kDiskTransfer, 0.0, 0.9, 1, trace::diskTrack(3), 3);
+  tracer.span(Stage::kClientReissue, 0.9, 1.0, 1, trace::kClientTrack);
+  tracer.instant("client.block_lost", 0.95, 1, trace::kClientTrack);
+  recorder.endAccess(1, 1.0, false);
+
+  TailAttribution attribution;
+  attribution.addTrial(4, recorder);
+  ASSERT_EQ(attribution.accesses().size(), 1u);
+  const TailAccess& a = attribution.accesses()[0];
+  EXPECT_EQ(a.trial, 4u);
+  EXPECT_DOUBLE_EQ(a.latency, 1.0);
+  EXPECT_FALSE(a.complete);
+  EXPECT_EQ(a.reissues, 1u);
+  EXPECT_EQ(a.blocks_lost, 1u);
+  EXPECT_EQ(a.straggler_disk, 3u);
+  EXPECT_NEAR(a.straggler_seconds, 0.9, 1e-12);
+  EXPECT_EQ(a.faults_in_window, 1u);
+}
+
+}  // namespace
+}  // namespace robustore::analysis

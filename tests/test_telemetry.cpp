@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -114,6 +116,34 @@ TEST(Timeline, CsvAndJsonExports) {
   EXPECT_NE(json.find("\"q\""), std::string::npos);
   // sample_dt 0 omits the interval field.
   EXPECT_EQ(tl.toJson(0.0).find("sample_dt_s"), std::string::npos);
+}
+
+TEST(Timeline, NonFiniteGaugeValuesSerializeDeterministically) {
+  // printf's "nan" carries an implementation-defined sign and "inf" is
+  // not a JSON token: the exporters pin fixed tokens instead, so exports
+  // are byte-identical across libcs and the JSON stays parseable.
+  telemetry::Timeline tl;
+  tl.series("g").add(0.0, std::nan(""));
+  tl.series("g").add(0.01, -std::nan(""));  // sign must not leak
+  tl.series("g").add(0.02, std::numeric_limits<double>::infinity());
+  tl.series("g").add(0.03, -std::numeric_limits<double>::infinity());
+  tl.series("g").add(0.04, 1.5);
+
+  const std::string csv = tl.toCsv();
+  EXPECT_NE(csv.find("0,g,NaN\n"), std::string::npos);
+  EXPECT_NE(csv.find("0.01,g,NaN\n"), std::string::npos);  // not "-NaN"
+  EXPECT_NE(csv.find("0.02,g,Inf\n"), std::string::npos);
+  EXPECT_NE(csv.find("0.03,g,-Inf\n"), std::string::npos);
+  EXPECT_EQ(csv.find("nan"), std::string::npos);
+  EXPECT_EQ(csv.find("inf"), std::string::npos);
+
+  const std::string json = tl.toJson(0.0);
+  EXPECT_TRUE(trace::validJson(json)) << json;
+  // JSON quotes the tokens (bare NaN/Inf are not valid JSON values).
+  EXPECT_NE(json.find("[0,\"NaN\"]"), std::string::npos);
+  EXPECT_NE(json.find("[0.02,\"Inf\"]"), std::string::npos);
+  EXPECT_NE(json.find("[0.03,\"-Inf\"]"), std::string::npos);
+  EXPECT_NE(json.find("[0.04,1.5]"), std::string::npos);
 }
 
 TEST(Timeline, SnapshotToRegistry) {

@@ -7,6 +7,7 @@
 // Prints the three paper metrics (bandwidth, latency std-dev, I/O
 // overhead) per scheme; --csv switches to machine-readable output.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/tail_attribution.hpp"
 #include "chaos/campaign.hpp"
 #include "chaos/schedule.hpp"
 #include "chaos/shrink.hpp"
@@ -79,12 +81,20 @@ void usage(const char* argv0) {
       "  format. Sampling reads state only: the simulated results are\n"
       "  bitwise identical with it on or off.\n"
       "\n"
+      "subcommand: %s tail [options] [--trial N] [--slowest K] [--out DIR]\n"
+      "  Runs the trials with the always-on flight recorder and prints\n"
+      "  tail-latency forensics: a per-stage blame table over the access\n"
+      "  pool plus structured attribution (dominant stage, straggler disk,\n"
+      "  reissues, concurrent faults) for the slowest accesses. --out DIR\n"
+      "  expands the slowest K accesses into full Chrome traces.\n"
+      "  See `%s tail --help`.\n"
+      "\n"
       "subcommand: %s chaos [--seeds A..B] [--shrink] [--replay FILE]\n"
       "  Runs seeded randomized fault campaigns (all four schemes, repair\n"
       "  service and data plane active) with end-to-end invariant checks;\n"
       "  failing schedules can be minimized and replayed bit-identically.\n"
       "  See `%s chaos --help`.\n",
-      argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 /// Focused help for `robustore_cli trace --help`.
@@ -473,6 +483,176 @@ int timelineMain(int argc, char** argv) {
   return 0;
 }
 
+/// Focused help for `robustore_cli tail --help`.
+void tailUsage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s tail [options] [--trial N] [--slowest K] [--out DIR]\n"
+      "  Runs the trials with the always-on flight recorder (compact\n"
+      "  per-access event rings; zero engine events, zero rng draws) and\n"
+      "  prints tail-latency forensics.\n"
+      "  --trial N    forensics for ONE trial             (default: all)\n"
+      "  --slowest K  outliers to attribute / expand      (default 3)\n"
+      "  --out DIR    write the slowest K accesses as Chrome trace JSON\n"
+      "               (DIR/tail_<rank>_trial<N>.json; load in Perfetto)\n"
+      "  Output: a blame table (fraction of the >p90/>p99 tail dominated\n"
+      "  by each stage) plus one attribution line per outlier — dominant\n"
+      "  stage, reissue count, straggler disk and its busy seconds,\n"
+      "  faults concurrent with the access. Takes the shared experiment\n"
+      "  options (see `%s --help`) except --threads/--csv and the\n"
+      "  trial-coupling flags; --scheme all defaults to robustore.\n",
+      argv0, argv0);
+}
+
+/// `robustore_cli tail`: flight-recorder forensics over the trial pool.
+/// Returns the process exit code.
+int tailMain(int argc, char** argv) {
+  std::int64_t only_trial = -1;
+  std::uint32_t slowest = 3;
+  std::string out_dir;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trial" && i + 1 < argc) {
+      only_trial = static_cast<std::int64_t>(std::atof(argv[++i]));
+    } else if (arg == "--slowest" && i + 1 < argc) {
+      slowest = static_cast<std::uint32_t>(std::atof(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  bool help = false;
+  const auto options = parse(static_cast<int>(rest.size()), rest.data(), help);
+  if (help) {
+    tailUsage(stdout, argv[0]);
+    return 0;
+  }
+  if (!options || slowest == 0) {
+    tailUsage(stderr, argv[0]);
+    return 2;
+  }
+  if (core::ExperimentRunner::trialsAreCoupled(options->config)) {
+    std::fprintf(stderr,
+                 "tail: --reuse-file / --metadata-selection couple trials "
+                 "and cannot be flight-recorded one trial at a time\n");
+    return 2;
+  }
+  const client::SchemeKind kind =
+      options->scheme.value_or(client::SchemeKind::kRobuStore);
+  if (only_trial >= 0 &&
+      only_trial >= static_cast<std::int64_t>(options->config.trials)) {
+    std::fprintf(stderr, "tail: --trial %lld out of range (trials=%u)\n",
+                 static_cast<long long>(only_trial), options->config.trials);
+    return 2;
+  }
+
+  // Master recorder: retains the slowest K over the whole pool (the
+  // retention rule is deterministic, so the ranking matches outliers()).
+  core::ExperimentConfig config = options->config;
+  trace::FlightRecorderConfig master_cfg;
+  master_cfg.keep_slowest = slowest;
+  trace::FlightRecorder master(master_cfg);
+  analysis::TailAttribution attribution;
+
+  const std::uint32_t lo =
+      only_trial >= 0 ? static_cast<std::uint32_t>(only_trial) : 0;
+  const std::uint32_t hi = only_trial >= 0
+                               ? static_cast<std::uint32_t>(only_trial) + 1
+                               : config.trials;
+  std::uint32_t incomplete = 0;
+  for (std::uint32_t t = lo; t < hi; ++t) {
+    trace::FlightRecorder per(config.flight_config);
+    const metrics::AccessMetrics m = core::ExperimentRunner::runTrial(
+        config, kind, t, /*trace_out=*/nullptr, /*telemetry_out=*/nullptr,
+        &per);
+    if (!m.complete) ++incomplete;
+    attribution.addTrial(t, per);
+    master.absorb(per);
+  }
+
+  const std::size_t pool = attribution.accesses().size();
+  std::printf("%s: %zu accesses recorded (%u incomplete), %llu events, "
+              "%llu faults logged\n",
+              client::schemeName(kind), pool, incomplete,
+              static_cast<unsigned long long>(master.eventsSeen()),
+              static_cast<unsigned long long>(master.faultsLogged()));
+  if (pool == 0) {
+    std::printf("tail: nothing recorded\n");
+    return 0;
+  }
+
+  const analysis::BlameTable b99 = attribution.blame(99.0);
+  for (const double p : {90.0, 99.0}) {
+    const analysis::BlameTable b = attribution.blame(p);
+    std::printf("\nblame p%.0f: cut %.4fs, tail %u/%u", p, b.threshold,
+                b.tail_count, b.total_accesses);
+    if (b.tail_count == 0) {
+      std::printf(" (no access strictly above the cut)\n");
+      continue;
+    }
+    std::printf("  [reissue %u, block loss %u, faults %u, incomplete %u]\n",
+                b.with_reissues, b.with_block_loss, b.with_faults,
+                b.incomplete);
+    for (std::uint8_t s = 0; s < trace::kNumStages; ++s) {
+      if (b.fraction[s] <= 0.0) continue;
+      std::printf("  %-16s %5.1f%%  (pool median %.4fs)\n",
+                  trace::stageName(static_cast<trace::Stage>(s)),
+                  b.fraction[s] * 100.0, b.median_stage_s[s]);
+    }
+  }
+
+  std::printf("\nslowest %u accesses:\n", slowest);
+  const auto top = attribution.outliers(slowest);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const analysis::TailAccess& a = *top[i];
+    const std::uint8_t dom =
+        analysis::TailAttribution::dominantStage(a.stages, b99.median_stage_s);
+    std::printf("  #%zu trial %u: %.4fs%s, dominant %s, %u reissues",
+                i + 1, a.trial, a.latency, a.complete ? "" : " (INCOMPLETE)",
+                dom == trace::kNoStage
+                    ? "none"
+                    : trace::stageName(static_cast<trace::Stage>(dom)),
+                a.reissues);
+    if (a.straggler_disk != trace::kNoDisk) {
+      std::printf(", straggler disk %u (%.4fs busy)", a.straggler_disk,
+                  a.straggler_seconds);
+    }
+    std::printf(", %u faults in window\n", a.faults_in_window);
+  }
+
+  if (!out_dir.empty()) {
+    // The retained set is the slowest K; rank them latency-descending
+    // (insertion order breaks ties, matching outliers()).
+    std::vector<const trace::FlightRecord*> recs;
+    for (const auto& r : master.retained()) recs.push_back(r.get());
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const trace::FlightRecord* a,
+                        const trace::FlightRecord* b) {
+                       return a->latency() > b->latency();
+                     });
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      trace::Tracer expanded(true);
+      master.expand(*recs[i], expanded);
+      const std::string path = out_dir + "/tail_" + std::to_string(i + 1) +
+                               "_trial" + std::to_string(top.size() > i
+                                                             ? top[i]->trial
+                                                             : 0) +
+                               ".json";
+      if (!trace::writeChromeTraceJson(expanded, path)) {
+        std::fprintf(stderr, "tail: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("expanded trace written to %s (%zu records%s)\n",
+                  path.c_str(), expanded.records().size(),
+                  recs[i]->wrapped() ? ", ring wrapped" : "");
+    }
+  }
+  return 0;
+}
+
 /// Focused help for `robustore_cli chaos --help`.
 void chaosUsage(std::FILE* to, const char* argv0) {
   std::fprintf(
@@ -691,6 +871,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "timeline") == 0) {
     return timelineMain(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "tail") == 0) {
+    return tailMain(argc, argv);
   }
   if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
     return chaosMain(argc, argv);
